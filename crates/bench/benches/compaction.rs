@@ -1,0 +1,48 @@
+//! Criterion benchmark: compaction cost and the compacted model's
+//! forward-pass speedup (the wall-clock side of experiment T5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use reprune::nn::models;
+use reprune::prune::compact::{compact_network, zero_dead_unit_biases};
+use reprune::prune::{LadderConfig, PruneCriterion};
+use reprune::tensor::Tensor;
+
+fn masked_net(sparsity: f64) -> reprune::nn::Network {
+    let mut net = models::default_perception_cnn(3).expect("model");
+    let ladder = LadderConfig::new(vec![0.0, sparsity])
+        .criterion(PruneCriterion::ChannelL2)
+        .build(&net)
+        .expect("ladder");
+    let masks = ladder.level(1).expect("level").masks.clone();
+    masks.apply(&mut net).expect("mask");
+    zero_dead_unit_biases(&mut net, &masks).expect("bias");
+    net
+}
+
+fn bench_compaction_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compact_network");
+    for sparsity in [0.3f64, 0.6, 0.9] {
+        let net = masked_net(sparsity);
+        group.bench_function(format!("{:.0}pct", sparsity * 100.0), |b| {
+            b.iter(|| compact_network(&net).expect("compact"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_compacted_forward(c: &mut Criterion) {
+    let x = Tensor::ones(&[1, 16, 16]);
+    let mut group = c.benchmark_group("forward_compacted");
+    let mut dense = models::default_perception_cnn(3).expect("model");
+    group.bench_function("dense", |b| b.iter(|| dense.forward(&x).expect("fwd")));
+    for sparsity in [0.5f64, 0.9] {
+        let (mut compacted, _) = compact_network(&masked_net(sparsity)).expect("compact");
+        group.bench_function(format!("compacted_{:.0}pct", sparsity * 100.0), |b| {
+            b.iter(|| compacted.forward(&x).expect("fwd"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compaction_cost, bench_compacted_forward);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Criterion micro-benchmarks of the pruning primitives: ladder
+//! construction, level transitions (the reversal log push/pop), and mask
+//! application — the wall-clock counterparts of the platform model's
+//! delta-restore costs.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use reprune::nn::models;
+use reprune::prune::{LadderConfig, PruneCriterion, ReversiblePruner};
+
+fn bench_ladder_build(c: &mut Criterion) {
+    let net = models::default_perception_cnn(1).expect("model");
+    let mut group = c.benchmark_group("ladder_build");
+    for crit in [PruneCriterion::Magnitude, PruneCriterion::ChannelL2] {
+        group.bench_function(format!("{crit}"), |b| {
+            b.iter(|| {
+                LadderConfig::new(vec![0.0, 0.3, 0.6, 0.9])
+                    .criterion(crit)
+                    .build(&net)
+                    .expect("builds")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_transitions(c: &mut Criterion) {
+    let net = models::default_perception_cnn(2).expect("model");
+    let ladder = LadderConfig::new(vec![0.0, 0.3, 0.6, 0.9])
+        .criterion(PruneCriterion::ChannelL2)
+        .build(&net)
+        .expect("ladder");
+    let mut group = c.benchmark_group("set_level");
+    for target in [1usize, 2, 3] {
+        group.bench_function(format!("prune_0_to_{target}"), |b| {
+            b.iter_batched(
+                || {
+                    let live = net.clone();
+                    let pruner = ReversiblePruner::attach(&live, ladder.clone()).expect("attach");
+                    (live, pruner)
+                },
+                |(mut live, mut pruner)| pruner.set_level(&mut live, target).expect("prune"),
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_function(format!("restore_{target}_to_0"), |b| {
+            b.iter_batched(
+                || {
+                    let mut live = net.clone();
+                    let mut pruner =
+                        ReversiblePruner::attach(&live, ladder.clone()).expect("attach");
+                    pruner.set_level(&mut live, target).expect("prune");
+                    (live, pruner)
+                },
+                |(mut live, mut pruner)| pruner.set_level(&mut live, 0).expect("restore"),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_mask_apply(c: &mut Criterion) {
+    let net = models::default_perception_cnn(3).expect("model");
+    let ladder = LadderConfig::new(vec![0.0, 0.6])
+        .criterion(PruneCriterion::Magnitude)
+        .build(&net)
+        .expect("ladder");
+    let masks = ladder.level(1).expect("level").masks.clone();
+    c.bench_function("mask_apply_60pct", |b| {
+        b.iter_batched(
+            || net.clone(),
+            |mut live| masks.apply(&mut live).expect("apply"),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_ladder_build, bench_transitions, bench_mask_apply);
+criterion_main!(benches);

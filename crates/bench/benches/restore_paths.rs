@@ -1,0 +1,54 @@
+//! Criterion benchmark: wall-clock cost of the in-RAM restoration paths —
+//! reversal-log pop vs full snapshot copy — on the real weight tensors.
+//! (Storage reload and fine-tuning are priced by the platform model; their
+//! real costs are dominated by I/O and training we intentionally do not
+//! perform in a micro-benchmark.)
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use reprune::nn::models;
+use reprune::prune::{LadderConfig, PruneCriterion, ReversiblePruner, SnapshotRestore};
+
+fn bench_restore_mechanisms(c: &mut Criterion) {
+    let net = models::default_perception_cnn(5).expect("model");
+    let mut group = c.benchmark_group("restore_wallclock");
+    for sparsity in [0.3f64, 0.6, 0.9] {
+        let ladder = LadderConfig::new(vec![0.0, sparsity])
+            .criterion(PruneCriterion::Magnitude)
+            .build(&net)
+            .expect("ladder");
+        group.bench_function(format!("delta_log_{:.0}pct", sparsity * 100.0), |b| {
+            b.iter_batched(
+                || {
+                    let mut live = net.clone();
+                    let mut pruner =
+                        ReversiblePruner::attach(&live, ladder.clone()).expect("attach");
+                    pruner.set_level(&mut live, 1).expect("prune");
+                    (live, pruner)
+                },
+                |(mut live, mut pruner)| pruner.set_level(&mut live, 0).expect("restore"),
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_function(format!("snapshot_{:.0}pct", sparsity * 100.0), |b| {
+            b.iter_batched(
+                || {
+                    let snap = SnapshotRestore::capture(&net);
+                    let mut live = net.clone();
+                    ladder
+                        .level(1)
+                        .expect("level")
+                        .masks
+                        .apply(&mut live)
+                        .expect("mask");
+                    (live, snap)
+                },
+                |(mut live, snap)| snap.restore(&mut live).expect("restore"),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_restore_mechanisms);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Experiment F2 — inference latency and energy vs sparsity on the
+//! embedded platform model.
+//!
+//! The figure's message: only *structured* sparsity turns into dense-
+//! hardware latency/energy wins; unstructured magnitude masks leave the
+//! MAC count nearly untouched. Run with:
+//! `cargo run --release -p reprune-bench --bin fig2_latency_energy`
+
+use reprune::nn::dataset::SCENE_SIZE;
+use reprune::platform::profile::NetworkProfile;
+use reprune::platform::SocModel;
+use reprune::prune::{LadderConfig, PruneCriterion};
+use reprune_bench::{print_row, print_rule, trained_perception};
+
+const SCALE: f64 = 150.0; // deployment scale (DESIGN.md §5)
+
+fn main() {
+    let (net, _) = trained_perception(42);
+    let soc = SocModel::jetson_class();
+    let input = [1, SCENE_SIZE, SCENE_SIZE];
+    let levels: Vec<f64> = (0..=9).map(|i| i as f64 * 0.1).collect();
+
+    println!("F2: single-inference latency (ms) and energy (mJ) vs sparsity");
+    println!("platform: {} | deployment scale {SCALE}x\n", soc.name);
+    let widths = [9, 14, 14, 14, 14, 12];
+    print_row(
+        &[
+            "sparsity".into(),
+            "lat struct".into(),
+            "lat unstruct".into(),
+            "en struct".into(),
+            "en unstruct".into(),
+            "macs struct".into(),
+        ],
+        &widths,
+    );
+    print_rule(&widths);
+
+    let mut struct_latency = Vec::new();
+    let mut unstruct_latency = Vec::new();
+    for &s in &levels {
+        let mut row = vec![format!("{:.1}", s)];
+        let mut macs_struct = 0u64;
+        let mut lat_pair = Vec::new();
+        let mut en_pair = Vec::new();
+        for crit in [PruneCriterion::ChannelL2, PruneCriterion::Magnitude] {
+            let ladder_levels = if s == 0.0 { vec![0.0] } else { vec![0.0, s] };
+            let ladder = LadderConfig::new(ladder_levels)
+                .criterion(crit)
+                .build(&net)
+                .expect("ladder builds");
+            let masks = &ladder
+                .level(ladder.num_levels() - 1)
+                .expect("top level")
+                .masks;
+            let profile = NetworkProfile::of_masked(&net, &input, Some(masks))
+                .expect("profile")
+                .scaled(SCALE);
+            let cost = soc.inference_cost(&profile);
+            lat_pair.push(cost.latency.as_millis());
+            en_pair.push(cost.energy.as_millijoules());
+            if matches!(crit, PruneCriterion::ChannelL2) {
+                macs_struct = cost.macs;
+            }
+        }
+        struct_latency.push(lat_pair[0]);
+        unstruct_latency.push(lat_pair[1]);
+        row.push(format!("{:.3}", lat_pair[0]));
+        row.push(format!("{:.3}", lat_pair[1]));
+        row.push(format!("{:.3}", en_pair[0]));
+        row.push(format!("{:.3}", en_pair[1]));
+        row.push(format!("{}", macs_struct));
+        print_row(&row, &widths);
+    }
+
+    // Shape checks (EXPERIMENTS.md F2).
+    assert!(
+        struct_latency.last().unwrap() < &(struct_latency[0] * 0.6),
+        "structured pruning at 90% must cut latency substantially"
+    );
+    let unstruct_drop = (unstruct_latency[0] - unstruct_latency.last().unwrap()) / unstruct_latency[0];
+    let struct_drop = (struct_latency[0] - struct_latency.last().unwrap()) / struct_latency[0];
+    assert!(
+        struct_drop > 2.0 * unstruct_drop,
+        "structured latency gains ({struct_drop:.2}) must dwarf unstructured ({unstruct_drop:.2})"
+    );
+    println!("\nshape checks passed: structured sparsity buys latency; unstructured barely does.");
+}

@@ -1,0 +1,115 @@
+//! Experiment F3 — scenario timeline: risk, active sparsity level,
+//! confidence, and violations over a mixed drive under the
+//! reversible-adaptive policy.
+//!
+//! Prints one row per 5 seconds plus an ASCII strip chart.
+//! Run with: `cargo run --release -p reprune-bench --bin fig3_timeline`
+
+use reprune::runtime::manager::{RestoreMechanism, RuntimeManager, RuntimeManagerConfig};
+use reprune::runtime::policy::{AdaptiveConfig, Policy};
+use reprune::scenario::{ScenarioConfig, SegmentKind};
+use reprune_bench::{print_row, print_rule, standard_envelope, standard_ladder, trained_perception};
+
+fn main() {
+    let (net, _) = trained_perception(45);
+    let scenario = ScenarioConfig::new()
+        .duration_s(600.0)
+        .seed(2024)
+        .start_segment(SegmentKind::Highway)
+        .event_rate_scale(1.5)
+        .generate();
+    let mut mgr = RuntimeManager::attach(
+        net.clone(),
+        standard_ladder(&net),
+        RuntimeManagerConfig::new(
+            Policy::adaptive(AdaptiveConfig::default()),
+            standard_envelope(),
+        )
+        .mechanism(RestoreMechanism::DeltaLog)
+        .frame_seed(3),
+    )
+    .expect("attach");
+    let result = mgr.run(&scenario).expect("run");
+
+    println!("F3: 600 s mixed drive, reversible-adaptive policy, delta-log restore\n");
+    let widths = [8, 14, 8, 8, 7, 12, 11];
+    print_row(
+        &[
+            "t (s)".into(),
+            "segment".into(),
+            "risk".into(),
+            "est".into(),
+            "level".into(),
+            "confidence".into(),
+            "violation".into(),
+        ],
+        &widths,
+    );
+    print_rule(&widths);
+    for rec in result.records.iter().step_by(50) {
+        print_row(
+            &[
+                format!("{:.0}", rec.t),
+                rec.segment.to_string(),
+                format!("{:.2}", rec.true_risk),
+                format!("{:.2}", rec.estimated_risk),
+                format!("{}", rec.level),
+                format!("{:.2}", rec.confidence),
+                if rec.violation { "X".into() } else { "".into() },
+            ],
+            &widths,
+        );
+    }
+
+    // ASCII strip chart: risk (·=low █=high) over level digits.
+    println!("\nrisk / level strip (1 char ≈ 5 s):");
+    let riskline: String = result
+        .records
+        .iter()
+        .step_by(50)
+        .map(|r| match (r.true_risk * 4.0) as usize {
+            0 => '.',
+            1 => ':',
+            2 => '+',
+            3 => '#',
+            _ => '@',
+        })
+        .collect();
+    let levelline: String = result
+        .records
+        .iter()
+        .step_by(50)
+        .map(|r| char::from_digit(r.level as u32, 10).unwrap_or('?'))
+        .collect();
+    println!("risk : {riskline}");
+    println!("level: {levelline}");
+
+    println!(
+        "\nsummary: energy saved {:.1}% | violations {} ({:.2}% of ticks) | \
+         transitions {} | mean sparsity {:.0}%",
+        100.0 * result.energy_saved_fraction(),
+        result.violations,
+        100.0 * result.violation_fraction(),
+        result.transitions,
+        100.0 * result.mean_sparsity()
+    );
+
+    // Shape checks (EXPERIMENTS.md F3): the level track must anti-correlate
+    // with risk, and savings must be real while violations stay rare.
+    let (lo, hi): (Vec<_>, Vec<_>) = result.records.iter().partition(|r| r.true_risk < 0.3);
+    let mean_level = |v: &[&reprune::runtime::TickRecord]| {
+        v.iter().map(|r| r.level as f64).sum::<f64>() / v.len().max(1) as f64
+    };
+    let lo_ref: Vec<_> = lo.iter().collect();
+    let hi_ref: Vec<_> = hi.iter().collect();
+    if !lo.is_empty() && !hi.is_empty() {
+        assert!(
+            mean_level(&lo_ref.iter().map(|r| **r).collect::<Vec<_>>())
+                > mean_level(&hi_ref.iter().map(|r| **r).collect::<Vec<_>>()),
+            "low-risk ticks must run sparser than high-risk ticks"
+        );
+    }
+    assert!(result.energy_saved_fraction() > 0.15, "adaptive must save energy");
+    assert!(result.violation_fraction() < 0.05, "violations must stay rare");
+    println!("\nshape checks passed: sparsity tracks inverse risk; real savings, rare violations.");
+}

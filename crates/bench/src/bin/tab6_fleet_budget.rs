@@ -1,0 +1,181 @@
+//! Experiment T6 (extension) — multi-model budget planning: a perception
+//! CNN and a control MLP sharing one per-tick energy budget.
+//!
+//! Member profiles are *measured*: per-level energy from the platform
+//! model, per-level utility from real test-set accuracy. The table sweeps
+//! the budget and shows the planner shedding capacity where it is
+//! cheapest, while safety envelopes stay hard constraints.
+//! Run with: `cargo run --release -p reprune-bench --bin tab6_fleet_budget`
+
+use reprune::nn::dataset::{BlobsDataset, SCENE_SIZE};
+use reprune::nn::train::{train_classifier, TrainConfig};
+use reprune::nn::{metrics, models, Network};
+use reprune::platform::profile::NetworkProfile;
+use reprune::platform::{Joules, SocModel};
+use reprune::prune::{LadderConfig, PruneCriterion, ReversiblePruner, SparsityLadder};
+use reprune::runtime::envelope::SafetyEnvelope;
+use reprune::runtime::fleet::{plan_budget, FleetMember};
+use reprune_bench::{print_row, print_rule, trained_perception};
+
+const SCALE: f64 = 150.0;
+
+/// Profiles a member: per-level platform energy + measured accuracy.
+fn profile_member<E: reprune::nn::dataset::Example>(
+    name: &str,
+    net: &Network,
+    ladder: &SparsityLadder,
+    input_dims: &[usize],
+    test: &[E],
+    soc: &SocModel,
+) -> FleetMember {
+    let mut live = net.clone();
+    let mut pruner = ReversiblePruner::attach(&live, ladder.clone()).expect("attach");
+    let mut energy = Vec::new();
+    let mut utility = Vec::new();
+    for level in 0..ladder.num_levels() {
+        pruner.set_level(&mut live, level).expect("walk");
+        let masks = &ladder.level(level).expect("level").masks;
+        let profile = NetworkProfile::of_masked(net, input_dims, Some(masks))
+            .expect("profile")
+            .scaled(SCALE);
+        energy.push(soc.inference_cost(&profile).energy);
+        utility.push(
+            metrics::evaluate(&mut live, test)
+                .expect("eval")
+                .accuracy,
+        );
+    }
+    pruner.set_level(&mut live, 0).expect("restore");
+    // Guard the planner's monotonicity requirement: accuracy estimates on
+    // a finite test set can wobble upward by a sample or two.
+    for i in 1..utility.len() {
+        utility[i] = utility[i].min(utility[i - 1]);
+    }
+    FleetMember {
+        name: name.into(),
+        envelope: SafetyEnvelope::evenly_spaced(ladder.num_levels(), 0.6).expect("envelope"),
+        energy_per_level: energy,
+        utility_per_level: utility,
+    }
+}
+
+fn main() {
+    let soc = SocModel::jetson_class();
+
+    // Member 1: the perception CNN.
+    let (cnn, cnn_test) = trained_perception(60);
+    let cnn_ladder = LadderConfig::new(vec![0.0, 0.3, 0.6, 0.9])
+        .criterion(PruneCriterion::ChannelL2)
+        .build(&cnn)
+        .expect("ladder");
+    let perception = profile_member(
+        "perception",
+        &cnn,
+        &cnn_ladder,
+        &[1, SCENE_SIZE, SCENE_SIZE],
+        cnn_test.samples(),
+        &soc,
+    );
+
+    // Member 2: the control MLP on the tabular task.
+    let blobs = BlobsDataset::generate(400, 12, 4, 0.5, 61);
+    let mut mlp = models::control_mlp(12, &[64, 32], 4, 62).expect("mlp");
+    train_classifier(
+        &mut mlp,
+        blobs.samples(),
+        &TrainConfig {
+            epochs: 12,
+            ..Default::default()
+        },
+    )
+    .expect("train mlp");
+    let mlp_test = BlobsDataset::generate(150, 12, 4, 0.5, 63);
+    let mlp_ladder = LadderConfig::new(vec![0.0, 0.3, 0.6, 0.9])
+        .criterion(PruneCriterion::ChannelL2)
+        .build(&mlp)
+        .expect("ladder");
+    let control = profile_member(
+        "control",
+        &mlp,
+        &mlp_ladder,
+        &[12],
+        mlp_test.samples(),
+        &soc,
+    );
+
+    let members = [perception.clone(), control.clone()];
+    let full_energy = members
+        .iter()
+        .map(|m| m.energy_per_level[0])
+        .sum::<Joules>();
+    println!("T6 (extension): shared energy budget across perception + control");
+    println!(
+        "full-capacity fleet energy: {:.3} mJ/tick | member profiles measured\n",
+        full_energy.as_millijoules()
+    );
+    for m in &members {
+        println!(
+            "  {:<11} energy mJ {:?}  utility {:?}",
+            m.name,
+            m.energy_per_level
+                .iter()
+                .map(|e| (e.as_millijoules() * 1000.0).round() / 1000.0)
+                .collect::<Vec<_>>(),
+            m.utility_per_level
+                .iter()
+                .map(|u| (u * 1000.0).round() / 1000.0)
+                .collect::<Vec<_>>()
+        );
+    }
+    println!();
+
+    let widths = [12, 10, 12, 12, 12, 10];
+    print_row(
+        &[
+            "budget %".into(),
+            "risk".into(),
+            "perception".into(),
+            "control".into(),
+            "utility".into(),
+            "feasible".into(),
+        ],
+        &widths,
+    );
+    print_rule(&widths);
+
+    let mut utilities_low_risk = Vec::new();
+    for (risks, label) in [([0.05, 0.05], "calm"), ([0.9, 0.05], "p-risk")] {
+        for budget_frac in [1.0, 0.8, 0.6, 0.4, 0.3] {
+            let budget = Joules(full_energy.0 * budget_frac);
+            let plan = plan_budget(&members, &risks, Some(budget)).expect("plan");
+            if label == "calm" {
+                utilities_low_risk.push((budget_frac, plan.total_utility, plan.feasible));
+            }
+            print_row(
+                &[
+                    format!("{:.0}%", budget_frac * 100.0),
+                    label.into(),
+                    format!("L{}", plan.levels[0]),
+                    format!("L{}", plan.levels[1]),
+                    format!("{:.3}", plan.total_utility),
+                    format!("{}", plan.feasible),
+                ],
+                &widths,
+            );
+        }
+        print_rule(&widths);
+    }
+
+    // Shape checks: utility monotone in budget; high perception risk pins
+    // perception at L0 regardless of budget.
+    for pair in utilities_low_risk.windows(2) {
+        assert!(
+            pair[1].1 <= pair[0].1 + 1e-9,
+            "utility must not grow as the budget shrinks"
+        );
+    }
+    let pinned = plan_budget(&members, &[0.9, 0.0], Some(Joules(full_energy.0 * 0.3)))
+        .expect("plan");
+    assert_eq!(pinned.levels[0], 0, "risky perception stays dense even at 30% budget");
+    println!("\nshape checks passed: budget trades utility greedily; safety is never traded.");
+}

@@ -1,0 +1,87 @@
+//! Experiment T7 (extension) — what ODD enforcement costs: energy saved
+//! under a permissive vs a conservative Operational Design Domain.
+//!
+//! Outside the ODD the runtime refuses to prune (minimal-risk response),
+//! so a conservative ODD trades energy for assurance coverage. The table
+//! quantifies that trade across weather mixes.
+//! Run with: `cargo run --release -p reprune-bench --bin tab7_odd_enforcement`
+
+use reprune::runtime::manager::{RestoreMechanism, RuntimeManager, RuntimeManagerConfig};
+use reprune::runtime::policy::{AdaptiveConfig, Policy};
+use reprune::scenario::{OddSpec, ScenarioConfig, Weather};
+use reprune_bench::{print_row, print_rule, standard_envelope, standard_ladder, trained_perception};
+
+fn main() {
+    let (net, _) = trained_perception(70);
+    println!("T7 (extension): energy cost of ODD enforcement (300 s drives)\n");
+    let widths = [10, 14, 14, 14, 12];
+    print_row(
+        &[
+            "weather".into(),
+            "ODD".into(),
+            "saved %".into(),
+            "exit ticks %".into(),
+            "violations".into(),
+        ],
+        &widths,
+    );
+    print_rule(&widths);
+
+    let odds: [(&str, OddSpec); 2] = [
+        ("permissive", OddSpec::permissive()),
+        ("conservative", OddSpec::conservative()),
+    ];
+    let mut saved = std::collections::BTreeMap::new();
+    for weather in [Weather::Clear, Weather::Rain, Weather::Night, Weather::Fog] {
+        let scenario = ScenarioConfig::new()
+            .duration_s(300.0)
+            .seed(70)
+            .fixed_weather(weather)
+            .generate();
+        for (name, odd) in &odds {
+            let mut mgr = RuntimeManager::attach(
+                net.clone(),
+                standard_ladder(&net),
+                RuntimeManagerConfig::new(
+                    Policy::adaptive(AdaptiveConfig::default()),
+                    standard_envelope(),
+                )
+                .mechanism(RestoreMechanism::DeltaLog)
+                .odd(odd.clone())
+                .frame_seed(7),
+            )
+            .expect("attach");
+            let r = mgr.run(&scenario).expect("run");
+            saved.insert((weather.to_string(), name.to_string()), r.energy_saved_fraction());
+            print_row(
+                &[
+                    weather.to_string(),
+                    name.to_string(),
+                    format!("{:.1}", 100.0 * r.energy_saved_fraction()),
+                    format!("{:.1}", 100.0 * r.odd_exit_ticks() as f64 / r.records.len() as f64),
+                    format!("{}", r.violations),
+                ],
+                &widths,
+            );
+        }
+        print_rule(&widths);
+    }
+
+    // Shape checks: in clear weather the ODDs agree (both inside); in
+    // night/fog the conservative ODD forfeits all savings (100% exits →
+    // always full capacity) while the permissive one keeps pruning.
+    let g = |w: &str, o: &str| saved[&(w.to_string(), o.to_string())];
+    assert!((g("clear", "permissive") - g("clear", "conservative")).abs() < 0.02);
+    for w in ["night", "fog"] {
+        assert!(
+            g(w, "conservative").abs() < 1e-9,
+            "conservative ODD must refuse to prune in {w}"
+        );
+        assert!(
+            g(w, "permissive") > 0.02,
+            "permissive ODD still prunes in {w}: {}",
+            g(w, "permissive")
+        );
+    }
+    println!("\nshape checks passed: ODD enforcement converts assurance scope into energy cost.");
+}

@@ -1,0 +1,125 @@
+//! Shared plumbing for the experiment binaries.
+//!
+//! Every `src/bin/<experiment>.rs` regenerates one table or figure of the
+//! reproduced evaluation (see DESIGN.md §4 for the index and
+//! EXPERIMENTS.md for paper-vs-measured). This library holds the pieces
+//! they share: a standard trained perception model, the standard ladder /
+//! envelope, and text-table printing.
+
+use reprune::nn::dataset::{SceneContext, SceneDataset};
+use reprune::nn::train::{train_classifier, TrainConfig};
+use reprune::nn::{models, Network};
+use reprune::prune::{LadderConfig, PruneCriterion, SparsityLadder};
+use reprune::runtime::envelope::SafetyEnvelope;
+
+/// Standard context mix used for training and evaluation sets.
+pub const CONTEXT_MIX: [(SceneContext, f32); 4] = [
+    (SceneContext::Clear, 0.55),
+    (SceneContext::Rain, 0.15),
+    (SceneContext::Night, 0.15),
+    (SceneContext::Fog, 0.15),
+];
+
+/// Trains the reference perception CNN and returns it with a held-out
+/// test set. Deterministic per `seed`.
+///
+/// # Panics
+///
+/// Panics if model construction or training fails (cannot happen with the
+/// fixed reference configuration).
+pub fn trained_perception(seed: u64) -> (Network, SceneDataset) {
+    let data = SceneDataset::builder()
+        .samples(600)
+        .seed(seed ^ 0xDA7A)
+        .context_mix(&CONTEXT_MIX)
+        .build();
+    let (train, test) = data.split(0.8);
+    let mut net = models::default_perception_cnn(seed).expect("reference model builds");
+    train_classifier(
+        &mut net,
+        train.samples(),
+        &TrainConfig {
+            epochs: 10,
+            batch_size: 16,
+            lr: 0.04,
+            seed,
+            ..TrainConfig::default()
+        },
+    )
+    .expect("reference training converges");
+    (net, test)
+}
+
+/// The standard 4-level ladder used across the end-to-end experiments.
+///
+/// # Panics
+///
+/// Panics if the ladder cannot be built for `net` (requires the reference
+/// architecture).
+pub fn standard_ladder(net: &Network) -> SparsityLadder {
+    LadderConfig::new(vec![0.0, 0.3, 0.6, 0.9])
+        .criterion(PruneCriterion::ChannelL2)
+        .build(net)
+        .expect("standard ladder builds")
+}
+
+/// The standard safety envelope matched to [`standard_ladder`].
+///
+/// # Panics
+///
+/// Never in practice; thresholds are a fixed valid constant.
+pub fn standard_envelope() -> SafetyEnvelope {
+    SafetyEnvelope::new(vec![0.6, 0.4, 0.2]).expect("constant envelope is valid")
+}
+
+/// Prints an aligned row of cells (simple fixed-width table output).
+pub fn print_row(cells: &[String], widths: &[usize]) {
+    let line: Vec<String> = cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect();
+    println!("{}", line.join("  "));
+}
+
+/// Prints a rule matching the given column widths.
+pub fn print_rule(widths: &[usize]) {
+    let line: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    println!("{}", line.join("--"));
+}
+
+/// Mean and sample standard deviation of a slice (std 0 for n < 2).
+pub fn mean_std(values: &[f64]) -> (f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    if values.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+        / (values.len() - 1) as f64;
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_std_basics() {
+        let (m, s) = mean_std(&[1.0, 2.0, 3.0]);
+        assert!((m - 2.0).abs() < 1e-12);
+        assert!((s - 1.0).abs() < 1e-12);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+        assert_eq!(mean_std(&[5.0]), (5.0, 0.0));
+    }
+
+    #[test]
+    fn standard_pieces_agree() {
+        let (net, test) = trained_perception(1);
+        assert!(!test.is_empty());
+        let ladder = standard_ladder(&net);
+        assert_eq!(ladder.num_levels(), standard_envelope().levels());
+    }
+}

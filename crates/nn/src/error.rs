@@ -1,0 +1,98 @@
+use reprune_tensor::TensorError;
+use std::fmt;
+
+/// Error type for the neural-network layer of the stack.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// A tensor-level operation failed (shape mismatch, bad index, …).
+    Tensor(TensorError),
+    /// Backward was called before any forward pass cached activations.
+    NoForwardCache {
+        /// Layer description for diagnostics.
+        layer: String,
+    },
+    /// A layer id did not resolve to a layer of the expected kind.
+    UnknownLayer {
+        /// The offending layer index.
+        index: usize,
+    },
+    /// Model construction parameters were inconsistent.
+    BadArchitecture {
+        /// Human-readable description.
+        message: String,
+    },
+    /// A training run was configured with unusable hyperparameters.
+    BadHyperparameter {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl NnError {
+    /// Convenience constructor for [`NnError::BadArchitecture`].
+    pub fn bad_architecture(message: impl Into<String>) -> Self {
+        NnError::BadArchitecture {
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for [`NnError::BadHyperparameter`].
+    pub fn bad_hyperparameter(message: impl Into<String>) -> Self {
+        NnError::BadHyperparameter {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NnError::NoForwardCache { layer } => {
+                write!(f, "backward called on {layer} without a cached forward pass")
+            }
+            NnError::UnknownLayer { index } => write!(f, "no prunable layer at index {index}"),
+            NnError::BadArchitecture { message } => write!(f, "bad architecture: {message}"),
+            NnError::BadHyperparameter { message } => {
+                write!(f, "bad hyperparameter: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = NnError::UnknownLayer { index: 3 };
+        assert!(e.to_string().contains("index 3"));
+        let e = NnError::bad_architecture("zero classes");
+        assert!(e.to_string().contains("zero classes"));
+    }
+
+    #[test]
+    fn tensor_error_converts_and_sources() {
+        use std::error::Error;
+        let te = TensorError::Empty { op: "max" };
+        let ne: NnError = te.clone().into();
+        assert_eq!(ne, NnError::Tensor(te));
+        assert!(ne.source().is_some());
+    }
+}

@@ -1,0 +1,166 @@
+//! Loss functions and the softmax transform.
+
+use crate::{NnError, Result};
+use reprune_tensor::Tensor;
+
+/// Numerically stable softmax over a rank-1 logits tensor.
+///
+/// Returns a probability vector; an empty input produces an empty output.
+pub fn softmax(logits: &Tensor) -> Tensor {
+    if logits.is_empty() {
+        return logits.clone();
+    }
+    let m = logits.max().expect("non-empty checked above");
+    let exp = logits.map(|x| (x - m).exp());
+    let z = exp.sum();
+    exp.map(|x| x / z)
+}
+
+/// Softmax cross-entropy loss against an integer class target.
+///
+/// Returns `(loss, gradient_wrt_logits)`; the gradient is the classic
+/// `softmax(logits) - one_hot(target)`.
+///
+/// # Errors
+///
+/// Returns [`NnError::BadHyperparameter`] if `target` is out of range or
+/// the logits tensor is not rank 1.
+pub fn softmax_cross_entropy(logits: &Tensor, target: usize) -> Result<(f32, Tensor)> {
+    if logits.shape().rank() != 1 {
+        return Err(NnError::bad_hyperparameter(format!(
+            "cross-entropy expects rank-1 logits, got rank {}",
+            logits.shape().rank()
+        )));
+    }
+    if target >= logits.len() {
+        return Err(NnError::bad_hyperparameter(format!(
+            "target {target} out of range for {} classes",
+            logits.len()
+        )));
+    }
+    let probs = softmax(logits);
+    let p_target = probs.data()[target].max(1e-12);
+    let loss = -p_target.ln();
+    let mut grad = probs;
+    grad.data_mut()[target] -= 1.0;
+    Ok((loss, grad))
+}
+
+/// Mean-squared-error loss against a target tensor.
+///
+/// Returns `(loss, gradient_wrt_prediction)`.
+///
+/// # Errors
+///
+/// Returns a tensor shape error if shapes disagree.
+pub fn mse(prediction: &Tensor, target: &Tensor) -> Result<(f32, Tensor)> {
+    let diff = prediction.sub(target)?;
+    let n = diff.len().max(1) as f32;
+    let loss = diff.map(|d| d * d).sum() / n;
+    let grad = diff.scale(2.0 / n);
+    Ok((loss, grad))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let l = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+        let p = softmax(&l);
+        assert!((p.sum() - 1.0).abs() < 1e-6);
+        assert!(p.data()[2] > p.data()[1] && p.data()[1] > p.data()[0]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let l = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+        let shifted = l.add_scalar(100.0);
+        assert!(softmax(&l).approx_eq(&softmax(&shifted), 1e-6));
+    }
+
+    #[test]
+    fn softmax_handles_large_logits() {
+        let l = Tensor::from_vec(vec![1000.0, 1000.0], &[2]).unwrap();
+        let p = softmax(&l);
+        assert!(p.data().iter().all(|x| x.is_finite()));
+        assert!((p.data()[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_empty() {
+        assert!(softmax(&Tensor::zeros(&[0])).is_empty());
+    }
+
+    #[test]
+    fn cross_entropy_perfect_prediction_near_zero() {
+        let l = Tensor::from_vec(vec![20.0, 0.0, 0.0], &[3]).unwrap();
+        let (loss, _) = softmax_cross_entropy(&l, 0).unwrap();
+        assert!(loss < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_uniform_is_log_n() {
+        let l = Tensor::zeros(&[4]);
+        let (loss, _) = softmax_cross_entropy(&l, 2).unwrap();
+        assert!((loss - 4.0f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_shape_and_sign() {
+        let l = Tensor::from_vec(vec![0.5, -0.5], &[2]).unwrap();
+        let (_, g) = softmax_cross_entropy(&l, 1).unwrap();
+        assert_eq!(g.len(), 2);
+        assert!(g.data()[1] < 0.0, "target gradient must be negative");
+        assert!(g.data()[0] > 0.0);
+        // Gradient sums to zero for softmax CE.
+        assert!(g.sum().abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_rejects_bad_target_and_rank() {
+        let l = Tensor::zeros(&[3]);
+        assert!(softmax_cross_entropy(&l, 3).is_err());
+        assert!(softmax_cross_entropy(&Tensor::zeros(&[1, 3]), 0).is_err());
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_difference() {
+        let l = Tensor::from_vec(vec![0.3, -1.2, 0.8], &[3]).unwrap();
+        let (_, g) = softmax_cross_entropy(&l, 2).unwrap();
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut lp = l.clone();
+            lp.data_mut()[i] += eps;
+            let mut lm = l.clone();
+            lm.data_mut()[i] -= eps;
+            let (fp, _) = softmax_cross_entropy(&lp, 2).unwrap();
+            let (fm, _) = softmax_cross_entropy(&lm, 2).unwrap();
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!((numeric - g.data()[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn mse_zero_for_equal() {
+        let a = Tensor::linspace(0.0, 1.0, 5);
+        let (loss, grad) = mse(&a, &a).unwrap();
+        assert_eq!(loss, 0.0);
+        assert_eq!(grad.sum(), 0.0);
+    }
+
+    #[test]
+    fn mse_known_value() {
+        let p = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let t = Tensor::from_vec(vec![0.0, 0.0], &[2]).unwrap();
+        let (loss, grad) = mse(&p, &t).unwrap();
+        assert!((loss - 2.5).abs() < 1e-6);
+        assert_eq!(grad.data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn mse_rejects_shape_mismatch() {
+        assert!(mse(&Tensor::zeros(&[2]), &Tensor::zeros(&[3])).is_err());
+    }
+}

@@ -1,0 +1,213 @@
+//! Evaluation metrics: accuracy, confidence, and confusion matrices.
+
+use crate::dataset::Example;
+use crate::{Network, Result};
+
+/// Aggregate evaluation result over a sample set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evaluation {
+    /// Fraction of samples classified correctly.
+    pub accuracy: f64,
+    /// Mean softmax confidence of the predicted class.
+    pub mean_confidence: f64,
+    /// Mean softmax confidence on *correctly* classified samples.
+    pub mean_confidence_correct: f64,
+    /// Number of samples evaluated.
+    pub samples: usize,
+}
+
+/// Evaluates a network over labeled examples.
+///
+/// # Errors
+///
+/// Propagates forward-pass shape errors.
+pub fn evaluate<E: Example>(net: &mut Network, samples: &[E]) -> Result<Evaluation> {
+    let mut correct = 0usize;
+    let mut conf_sum = 0.0f64;
+    let mut conf_correct_sum = 0.0f64;
+    for s in samples {
+        let (pred, conf) = net.predict(s.input())?;
+        conf_sum += conf as f64;
+        if pred == s.label() {
+            correct += 1;
+            conf_correct_sum += conf as f64;
+        }
+    }
+    let n = samples.len();
+    Ok(Evaluation {
+        accuracy: if n == 0 { 0.0 } else { correct as f64 / n as f64 },
+        mean_confidence: if n == 0 { 0.0 } else { conf_sum / n as f64 },
+        mean_confidence_correct: if correct == 0 {
+            0.0
+        } else {
+            conf_correct_sum / correct as f64
+        },
+        samples: n,
+    })
+}
+
+/// A `k×k` confusion matrix; rows are true labels, columns predictions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    counts: Vec<usize>,
+    classes: usize,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix over `classes` classes.
+    pub fn new(classes: usize) -> Self {
+        ConfusionMatrix {
+            counts: vec![0; classes * classes],
+            classes,
+        }
+    }
+
+    /// Records one (truth, prediction) pair; out-of-range labels are
+    /// ignored.
+    pub fn record(&mut self, truth: usize, prediction: usize) {
+        if truth < self.classes && prediction < self.classes {
+            self.counts[truth * self.classes + prediction] += 1;
+        }
+    }
+
+    /// Count at `(truth, prediction)`.
+    pub fn count(&self, truth: usize, prediction: usize) -> usize {
+        self.counts[truth * self.classes + prediction]
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Total recorded samples.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy (diagonal mass over total), 0 for empty.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let diag: usize = (0..self.classes).map(|i| self.count(i, i)).sum();
+        diag as f64 / total as f64
+    }
+
+    /// Per-class recall; `None` for classes with no true samples.
+    pub fn recall(&self, class: usize) -> Option<f64> {
+        let row: usize = (0..self.classes).map(|j| self.count(class, j)).sum();
+        if row == 0 {
+            None
+        } else {
+            Some(self.count(class, class) as f64 / row as f64)
+        }
+    }
+}
+
+/// Builds a confusion matrix by running the network over the samples.
+///
+/// # Errors
+///
+/// Propagates forward-pass shape errors.
+pub fn confusion<E: Example>(
+    net: &mut Network,
+    samples: &[E],
+    classes: usize,
+) -> Result<ConfusionMatrix> {
+    let mut cm = ConfusionMatrix::new(classes);
+    for s in samples {
+        let (pred, _) = net.predict(s.input())?;
+        cm.record(s.label(), pred);
+    }
+    Ok(cm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Layer, Linear};
+    use reprune_tensor::rng::Prng;
+    use reprune_tensor::Tensor;
+
+    fn identity_net(classes: usize) -> Network {
+        // A linear layer wired as the identity: predicts argmax of input.
+        let mut rng = Prng::new(0);
+        let mut l = Linear::new(classes, classes, &mut rng);
+        l.weight.value = Tensor::eye(classes).scale(10.0);
+        l.bias.value = Tensor::zeros(&[classes]);
+        Network::new("identity", vec![Layer::Linear(l)])
+    }
+
+    fn one_hot(classes: usize, hot: usize) -> Tensor {
+        let mut t = Tensor::zeros(&[classes]);
+        t.data_mut()[hot] = 1.0;
+        t
+    }
+
+    #[test]
+    fn evaluate_perfect_classifier() {
+        let mut net = identity_net(3);
+        let samples: Vec<(Tensor, usize)> =
+            (0..3).map(|c| (one_hot(3, c), c)).collect();
+        let e = evaluate(&mut net, &samples).unwrap();
+        assert_eq!(e.accuracy, 1.0);
+        assert_eq!(e.samples, 3);
+        assert!(e.mean_confidence > 0.9);
+        assert_eq!(e.mean_confidence, e.mean_confidence_correct);
+    }
+
+    #[test]
+    fn evaluate_wrong_labels() {
+        let mut net = identity_net(3);
+        let samples: Vec<(Tensor, usize)> =
+            (0..3).map(|c| (one_hot(3, c), (c + 1) % 3)).collect();
+        let e = evaluate(&mut net, &samples).unwrap();
+        assert_eq!(e.accuracy, 0.0);
+        assert_eq!(e.mean_confidence_correct, 0.0);
+    }
+
+    #[test]
+    fn evaluate_empty() {
+        let mut net = identity_net(2);
+        let samples: Vec<(Tensor, usize)> = vec![];
+        let e = evaluate(&mut net, &samples).unwrap();
+        assert_eq!(e.accuracy, 0.0);
+        assert_eq!(e.samples, 0);
+    }
+
+    #[test]
+    fn confusion_counts() {
+        let mut cm = ConfusionMatrix::new(2);
+        cm.record(0, 0);
+        cm.record(0, 1);
+        cm.record(1, 1);
+        cm.record(9, 0); // ignored
+        assert_eq!(cm.total(), 3);
+        assert_eq!(cm.count(0, 1), 1);
+        assert!((cm.accuracy() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(cm.recall(0), Some(0.5));
+        assert_eq!(cm.recall(1), Some(1.0));
+    }
+
+    #[test]
+    fn confusion_recall_none_for_unseen_class() {
+        let cm = ConfusionMatrix::new(3);
+        assert_eq!(cm.recall(2), None);
+        assert_eq!(cm.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn confusion_from_network() {
+        let mut net = identity_net(3);
+        let samples: Vec<(Tensor, usize)> =
+            (0..3).map(|c| (one_hot(3, c), c)).collect();
+        let cm = confusion(&mut net, &samples, 3).unwrap();
+        assert_eq!(cm.accuracy(), 1.0);
+        assert_eq!(cm.classes(), 3);
+        for c in 0..3 {
+            assert_eq!(cm.count(c, c), 1);
+        }
+    }
+}

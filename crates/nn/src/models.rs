@@ -1,0 +1,226 @@
+//! The reference model zoo used across the experiments.
+//!
+//! Two architectures cover the paper's workload classes:
+//!
+//! * [`perception_cnn`] — the convolutional scene classifier the runtime
+//!   prunes and restores (the stand-in for the paper's perception DNN),
+//! * [`control_mlp`] — a small dense network for the tabular control task,
+//!   used by the MLP variants of the experiments.
+
+use crate::layer::{BatchNorm2d, Conv2d, Dropout, Flatten, Layer, Linear, MaxPool2d, Relu};
+use crate::{Network, NnError, Result};
+use reprune_tensor::rng::Prng;
+
+use crate::dataset::{SCENE_CLASSES, SCENE_SIZE};
+
+/// Builds the reference perception CNN for `classes` outputs.
+///
+/// Architecture (for 1×16×16 inputs):
+/// `Conv(1→16,3×3,p1) → ReLU → MaxPool2 → Conv(16→32,3×3,p1) → ReLU →
+/// MaxPool2 → Flatten → Linear(512→96) → ReLU → Dropout(0.1) →
+/// Linear(96→classes)`.
+///
+/// ~54k parameters — small enough to train on a laptop in seconds, large
+/// enough that channel pruning has real latency consequences under the
+/// platform model.
+///
+/// # Errors
+///
+/// Returns [`NnError::BadArchitecture`] if `classes == 0`.
+pub fn perception_cnn(classes: usize, seed: u64) -> Result<Network> {
+    if classes == 0 {
+        return Err(NnError::bad_architecture("perception_cnn needs ≥1 class"));
+    }
+    let mut rng = Prng::new(seed);
+    let pooled = SCENE_SIZE / 4; // two 2× pools
+    Ok(Network::new(
+        "perception-cnn",
+        vec![
+            Layer::Conv2d(Conv2d::new(1, 16, 3, 1, 1, &mut rng)),
+            Layer::Relu(Relu::new()),
+            Layer::MaxPool2d(MaxPool2d::new(2, 2)),
+            Layer::Conv2d(Conv2d::new(16, 32, 3, 1, 1, &mut rng)),
+            Layer::Relu(Relu::new()),
+            Layer::MaxPool2d(MaxPool2d::new(2, 2)),
+            Layer::Flatten(Flatten::new()),
+            Layer::Linear(Linear::new(32 * pooled * pooled, 96, &mut rng)),
+            Layer::Relu(Relu::new()),
+            Layer::Dropout(Dropout::new(0.1, seed ^ 0xD120)),
+            Layer::Linear(Linear::new(96, classes, &mut rng)),
+        ],
+    ))
+}
+
+/// Builds the default six-class perception CNN used in the experiments.
+///
+/// # Errors
+///
+/// Never fails in practice (class count is the compile-time constant
+/// [`SCENE_CLASSES`]); the `Result` keeps the signature uniform.
+pub fn default_perception_cnn(seed: u64) -> Result<Network> {
+    perception_cnn(SCENE_CLASSES, seed)
+}
+
+/// Builds the deep perception CNN variant for `classes` outputs.
+///
+/// Architecture (for 1×16×16 inputs):
+/// `Conv(1→16,3×3,p1) → BatchNorm → ReLU → MaxPool2 →
+/// Conv(16→32,3×3,p1) → ReLU → Conv(32→32,3×3,p1) → ReLU → MaxPool2 →
+/// Flatten → Linear(512→128) → ReLU → Dropout(0.1) → Linear(128→classes)`.
+///
+/// ~90k parameters, three conv layers and a batch norm — used by the
+/// model-scaling experiments and as the stress case for compaction
+/// (channel removal must propagate through conv→conv chains and the
+/// norm's per-channel parameters).
+///
+/// # Errors
+///
+/// Returns [`NnError::BadArchitecture`] if `classes == 0`.
+pub fn perception_cnn_deep(classes: usize, seed: u64) -> Result<Network> {
+    if classes == 0 {
+        return Err(NnError::bad_architecture("perception_cnn_deep needs ≥1 class"));
+    }
+    let mut rng = Prng::new(seed);
+    let pooled = SCENE_SIZE / 4;
+    Ok(Network::new(
+        "perception-cnn-deep",
+        vec![
+            Layer::Conv2d(Conv2d::new(1, 16, 3, 1, 1, &mut rng)),
+            Layer::BatchNorm2d(BatchNorm2d::new(16)),
+            Layer::Relu(Relu::new()),
+            Layer::MaxPool2d(MaxPool2d::new(2, 2)),
+            Layer::Conv2d(Conv2d::new(16, 32, 3, 1, 1, &mut rng)),
+            Layer::Relu(Relu::new()),
+            Layer::Conv2d(Conv2d::new(32, 32, 3, 1, 1, &mut rng)),
+            Layer::Relu(Relu::new()),
+            Layer::MaxPool2d(MaxPool2d::new(2, 2)),
+            Layer::Flatten(Flatten::new()),
+            Layer::Linear(Linear::new(32 * pooled * pooled, 128, &mut rng)),
+            Layer::Relu(Relu::new()),
+            Layer::Dropout(Dropout::new(0.1, seed ^ 0xDEEB)),
+            Layer::Linear(Linear::new(128, classes, &mut rng)),
+        ],
+    ))
+}
+
+/// Builds a dense network `in → hidden… → classes` with ReLU between
+/// layers, for the control/tabular task.
+///
+/// # Errors
+///
+/// Returns [`NnError::BadArchitecture`] for empty dimensions.
+pub fn control_mlp(
+    in_features: usize,
+    hidden: &[usize],
+    classes: usize,
+    seed: u64,
+) -> Result<Network> {
+    if in_features == 0 || classes == 0 || hidden.contains(&0) {
+        return Err(NnError::bad_architecture(
+            "control_mlp dimensions must all be positive",
+        ));
+    }
+    let mut rng = Prng::new(seed);
+    let mut layers = Vec::new();
+    let mut prev = in_features;
+    for &h in hidden {
+        layers.push(Layer::Linear(Linear::new(prev, h, &mut rng)));
+        layers.push(Layer::Relu(Relu::new()));
+        prev = h;
+    }
+    layers.push(Layer::Linear(Linear::new(prev, classes, &mut rng)));
+    Ok(Network::new("control-mlp", layers))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reprune_tensor::Tensor;
+
+    #[test]
+    fn perception_cnn_forward_shape() {
+        let mut net = default_perception_cnn(1).unwrap();
+        let x = Tensor::ones(&[1, SCENE_SIZE, SCENE_SIZE]);
+        let y = net.forward(&x).unwrap();
+        assert_eq!(y.dims(), &[SCENE_CLASSES]);
+    }
+
+    #[test]
+    fn perception_cnn_parameter_count() {
+        let net = default_perception_cnn(2).unwrap();
+        // conv1 16*1*3*3+16=160; conv2 32*16*3*3+32=4640;
+        // fc1 96*512+96=49248; fc2 6*96+6=582 → 54630.
+        assert_eq!(net.num_parameters(), 54_630);
+    }
+
+    #[test]
+    fn perception_cnn_has_four_prunable_layers() {
+        let net = default_perception_cnn(3).unwrap();
+        let metas = net.prunable_layers();
+        assert_eq!(metas.len(), 4);
+    }
+
+    #[test]
+    fn perception_cnn_rejects_zero_classes() {
+        assert!(perception_cnn(0, 1).is_err());
+    }
+
+    #[test]
+    fn perception_cnn_deterministic_by_seed() {
+        assert_eq!(
+            default_perception_cnn(7).unwrap(),
+            default_perception_cnn(7).unwrap()
+        );
+        assert_ne!(
+            default_perception_cnn(7).unwrap(),
+            default_perception_cnn(8).unwrap()
+        );
+    }
+
+    #[test]
+    fn deep_cnn_forward_shape_and_prunables() {
+        let mut net = perception_cnn_deep(SCENE_CLASSES, 4).unwrap();
+        let y = net.forward(&Tensor::ones(&[1, SCENE_SIZE, SCENE_SIZE])).unwrap();
+        assert_eq!(y.dims(), &[SCENE_CLASSES]);
+        assert_eq!(net.prunable_layers().len(), 5, "3 convs + 2 linears");
+        assert!(net.num_parameters() > 80_000);
+        assert!(perception_cnn_deep(0, 1).is_err());
+    }
+
+    #[test]
+    fn deep_cnn_trains_a_little() {
+        use crate::dataset::SceneDataset;
+        use crate::train::{train_classifier, TrainConfig};
+        let data = SceneDataset::builder().samples(120).seed(5).build();
+        let mut net = perception_cnn_deep(SCENE_CLASSES, 6).unwrap();
+        let hist = train_classifier(
+            &mut net,
+            data.samples(),
+            &TrainConfig {
+                epochs: 4,
+                lr: 0.02,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            hist.final_accuracy().unwrap() > 0.5,
+            "deep CNN should learn quickly: {hist:?}"
+        );
+    }
+
+    #[test]
+    fn control_mlp_shapes() {
+        let mut net = control_mlp(8, &[32, 16], 4, 5).unwrap();
+        let y = net.forward(&Tensor::ones(&[8])).unwrap();
+        assert_eq!(y.dims(), &[4]);
+        assert_eq!(net.prunable_layers().len(), 3);
+    }
+
+    #[test]
+    fn control_mlp_rejects_degenerate_dims() {
+        assert!(control_mlp(0, &[4], 2, 0).is_err());
+        assert!(control_mlp(4, &[0], 2, 0).is_err());
+        assert!(control_mlp(4, &[4], 0, 0).is_err());
+    }
+}

@@ -1,0 +1,391 @@
+//! Mini-batch SGD training.
+
+use crate::dataset::Example;
+use crate::layer::{AdamStep, SgdStep};
+use crate::loss;
+use crate::{Network, NnError, Result};
+use reprune_tensor::rng::Prng;
+
+/// Optimizer selection for [`TrainConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Optimizer {
+    /// SGD with classical momentum (uses [`TrainConfig::momentum`]).
+    #[default]
+    Sgd,
+    /// Adam with the given decay rates.
+    Adam {
+        /// First-moment decay.
+        beta1: f32,
+        /// Second-moment decay.
+        beta2: f32,
+    },
+}
+
+impl Optimizer {
+    /// Adam with the standard (0.9, 0.999) decays.
+    pub fn adam() -> Self {
+        Optimizer::Adam {
+            beta1: 0.9,
+            beta2: 0.999,
+        }
+    }
+}
+
+/// Training hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size (gradients are averaged over the batch).
+    pub batch_size: usize,
+    /// Initial learning rate.
+    pub lr: f32,
+    /// Multiplicative learning-rate decay applied after each epoch.
+    pub lr_decay: f32,
+    /// Momentum coefficient.
+    pub momentum: f32,
+    /// L2 weight decay.
+    pub weight_decay: f32,
+    /// Shuffle seed; shuffling is per-epoch and deterministic.
+    pub seed: u64,
+    /// Which optimizer to use.
+    pub optimizer: Optimizer,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 10,
+            batch_size: 16,
+            lr: 0.05,
+            lr_decay: 0.95,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+            seed: 0,
+            optimizer: Optimizer::Sgd,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadHyperparameter`] for non-positive batch size,
+    /// learning rate, or decay.
+    pub fn validate(&self) -> Result<()> {
+        if self.batch_size == 0 {
+            return Err(NnError::bad_hyperparameter("batch_size must be > 0"));
+        }
+        if self.lr <= 0.0 || !self.lr.is_finite() {
+            return Err(NnError::bad_hyperparameter("lr must be positive and finite"));
+        }
+        if self.lr_decay <= 0.0 {
+            return Err(NnError::bad_hyperparameter("lr_decay must be positive"));
+        }
+        Ok(())
+    }
+}
+
+/// Per-epoch training statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochStats {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Mean cross-entropy loss over the epoch.
+    pub mean_loss: f64,
+    /// Training accuracy over the epoch.
+    pub accuracy: f64,
+    /// Learning rate used this epoch.
+    pub lr: f32,
+}
+
+/// Full training history.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TrainHistory {
+    /// One entry per epoch.
+    pub epochs: Vec<EpochStats>,
+}
+
+impl TrainHistory {
+    /// Final epoch's mean loss, or `None` if no training happened.
+    pub fn final_loss(&self) -> Option<f64> {
+        self.epochs.last().map(|e| e.mean_loss)
+    }
+
+    /// Final epoch's training accuracy, or `None` if no training happened.
+    pub fn final_accuracy(&self) -> Option<f64> {
+        self.epochs.last().map(|e| e.accuracy)
+    }
+}
+
+/// Trains a classification network with mini-batch SGD and cross-entropy.
+///
+/// # Errors
+///
+/// Returns [`NnError::BadHyperparameter`] for an invalid config or empty
+/// training set; propagates shape errors from the model.
+pub fn train_classifier<E: Example>(
+    net: &mut Network,
+    samples: &[E],
+    config: &TrainConfig,
+) -> Result<TrainHistory> {
+    config.validate()?;
+    if samples.is_empty() {
+        return Err(NnError::bad_hyperparameter("empty training set"));
+    }
+    let mut rng = Prng::new(config.seed);
+    let mut order: Vec<usize> = (0..samples.len()).collect();
+    let mut lr = config.lr;
+    let mut history = TrainHistory::default();
+    for epoch in 0..config.epochs {
+        rng.shuffle(&mut order);
+        let mut loss_sum = 0.0f64;
+        let mut correct = 0usize;
+        for chunk in order.chunks(config.batch_size) {
+            net.zero_grad();
+            for &i in chunk {
+                let s = &samples[i];
+                let logits = net.forward_train(s.input())?;
+                let (l, grad) = loss::softmax_cross_entropy(&logits, s.label())?;
+                loss_sum += l as f64;
+                if logits.argmax()? == s.label() {
+                    correct += 1;
+                }
+                net.backward(&grad)?;
+            }
+            match config.optimizer {
+                Optimizer::Sgd => net.sgd_step(
+                    SgdStep {
+                        lr,
+                        momentum: config.momentum,
+                        weight_decay: config.weight_decay,
+                    },
+                    chunk.len(),
+                )?,
+                Optimizer::Adam { beta1, beta2 } => net.adam_step(
+                    AdamStep {
+                        lr,
+                        beta1,
+                        beta2,
+                        eps: 1e-8,
+                        weight_decay: config.weight_decay,
+                    },
+                    chunk.len(),
+                )?,
+            }
+        }
+        history.epochs.push(EpochStats {
+            epoch,
+            mean_loss: loss_sum / samples.len() as f64,
+            accuracy: correct as f64 / samples.len() as f64,
+            lr,
+        });
+        lr *= config.lr_decay;
+    }
+    Ok(history)
+}
+
+/// Runs `steps` fine-tuning mini-batches (used by the fine-tuning recovery
+/// baseline in the restore-cost experiments). Returns the mean loss.
+///
+/// # Errors
+///
+/// Same conditions as [`train_classifier`].
+pub fn fine_tune<E: Example>(
+    net: &mut Network,
+    samples: &[E],
+    steps: usize,
+    lr: f32,
+    seed: u64,
+) -> Result<f64> {
+    if samples.is_empty() {
+        return Err(NnError::bad_hyperparameter("empty fine-tuning set"));
+    }
+    let mut rng = Prng::new(seed);
+    let batch = 8usize.min(samples.len());
+    let mut loss_sum = 0.0f64;
+    let mut count = 0usize;
+    for _ in 0..steps {
+        net.zero_grad();
+        for _ in 0..batch {
+            let s = &samples[rng.next_below(samples.len())];
+            let logits = net.forward_train(s.input())?;
+            let (l, grad) = loss::softmax_cross_entropy(&logits, s.label())?;
+            loss_sum += l as f64;
+            count += 1;
+            net.backward(&grad)?;
+        }
+        net.sgd_step(
+            SgdStep {
+                lr,
+                momentum: 0.9,
+                weight_decay: 0.0,
+            },
+            batch,
+        )?;
+    }
+    Ok(loss_sum / count.max(1) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::BlobsDataset;
+    use crate::layer::{Layer, Linear, Relu};
+    use crate::metrics;
+
+    fn mlp(dims: usize, hidden: usize, classes: usize, seed: u64) -> Network {
+        let mut rng = Prng::new(seed);
+        Network::new(
+            "mlp",
+            vec![
+                Layer::Linear(Linear::new(dims, hidden, &mut rng)),
+                Layer::Relu(Relu::new()),
+                Layer::Linear(Linear::new(hidden, classes, &mut rng)),
+            ],
+        )
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut c = TrainConfig::default();
+        assert!(c.validate().is_ok());
+        c.batch_size = 0;
+        assert!(c.validate().is_err());
+        c.batch_size = 8;
+        c.lr = -1.0;
+        assert!(c.validate().is_err());
+        c.lr = 0.1;
+        c.lr_decay = 0.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn training_learns_blobs() {
+        let data = BlobsDataset::generate(200, 4, 3, 0.4, 1);
+        let mut net = mlp(4, 16, 3, 2);
+        let hist = train_classifier(
+            &mut net,
+            data.samples(),
+            &TrainConfig {
+                epochs: 15,
+                batch_size: 16,
+                lr: 0.05,
+                ..TrainConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(hist.epochs.len(), 15);
+        assert!(hist.final_accuracy().unwrap() > 0.9, "{hist:?}");
+        let test = BlobsDataset::generate(100, 4, 3, 0.4, 99);
+        let eval = metrics::evaluate(&mut net, test.samples()).unwrap();
+        assert!(eval.accuracy > 0.85, "test acc {}", eval.accuracy);
+    }
+
+    #[test]
+    fn adam_trains_blobs() {
+        let data = BlobsDataset::generate(200, 4, 3, 0.4, 21);
+        let mut net = mlp(4, 16, 3, 22);
+        let hist = train_classifier(
+            &mut net,
+            data.samples(),
+            &TrainConfig {
+                epochs: 15,
+                lr: 0.005,
+                optimizer: Optimizer::adam(),
+                ..TrainConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(hist.final_accuracy().unwrap() > 0.9, "{hist:?}");
+    }
+
+    #[test]
+    fn adam_beats_plain_sgd_early() {
+        // On an ill-scaled problem Adam's per-parameter normalization
+        // should win the first epochs against momentum-free SGD.
+        let data = BlobsDataset::generate(150, 4, 2, 0.3, 23);
+        let run = |optimizer: Optimizer, lr: f32| {
+            let mut net = mlp(4, 8, 2, 24);
+            train_classifier(
+                &mut net,
+                data.samples(),
+                &TrainConfig {
+                    epochs: 2,
+                    lr,
+                    momentum: 0.0,
+                    optimizer,
+                    ..TrainConfig::default()
+                },
+            )
+            .unwrap()
+            .final_loss()
+            .unwrap()
+        };
+        let sgd = run(Optimizer::Sgd, 0.001); // deliberately small lr
+        let adam = run(Optimizer::adam(), 0.01);
+        assert!(adam < sgd, "adam {adam} vs sgd {sgd}");
+    }
+
+    #[test]
+    fn loss_decreases_across_epochs() {
+        let data = BlobsDataset::generate(120, 4, 2, 0.3, 3);
+        let mut net = mlp(4, 8, 2, 4);
+        let hist =
+            train_classifier(&mut net, data.samples(), &TrainConfig { epochs: 8, ..Default::default() })
+                .unwrap();
+        let first = hist.epochs.first().unwrap().mean_loss;
+        let last = hist.final_loss().unwrap();
+        assert!(last < first, "first {first}, last {last}");
+    }
+
+    #[test]
+    fn lr_decay_applied() {
+        let data = BlobsDataset::generate(20, 2, 2, 0.3, 5);
+        let mut net = mlp(2, 4, 2, 6);
+        let hist = train_classifier(
+            &mut net,
+            data.samples(),
+            &TrainConfig {
+                epochs: 3,
+                lr: 1.0,
+                lr_decay: 0.5,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(hist.epochs[0].lr, 1.0);
+        assert_eq!(hist.epochs[1].lr, 0.5);
+        assert_eq!(hist.epochs[2].lr, 0.25);
+    }
+
+    #[test]
+    fn empty_training_set_rejected() {
+        let mut net = mlp(2, 4, 2, 0);
+        let samples: Vec<crate::dataset::TabularSample> = vec![];
+        assert!(train_classifier(&mut net, &samples, &TrainConfig::default()).is_err());
+        assert!(fine_tune(&mut net, &samples, 1, 0.01, 0).is_err());
+    }
+
+    #[test]
+    fn fine_tune_runs_and_reports_loss() {
+        let data = BlobsDataset::generate(40, 3, 2, 0.4, 8);
+        let mut net = mlp(3, 8, 2, 9);
+        let loss = fine_tune(&mut net, data.samples(), 5, 0.05, 1).unwrap();
+        assert!(loss.is_finite() && loss > 0.0);
+    }
+
+    #[test]
+    fn training_is_deterministic_given_seed() {
+        let data = BlobsDataset::generate(60, 3, 2, 0.4, 10);
+        let run = || {
+            let mut net = mlp(3, 8, 2, 11);
+            train_classifier(&mut net, data.samples(), &TrainConfig { epochs: 3, ..Default::default() })
+                .unwrap();
+            net
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,44 @@
+//! Embedded-platform cost model.
+//!
+//! The paper's evaluation ran on automotive-class embedded hardware we do
+//! not have, so — per the substitution rule in DESIGN.md §5 — this crate
+//! models it analytically: a roofline-style SoC description
+//! ([`SocModel`]) turns a network profile (MACs + weight traffic, from
+//! [`profile`]) into inference latency and energy, and prices the four
+//! restoration paths ([`restore`]) the experiments compare:
+//!
+//! * reversal-log delta restore (this paper),
+//! * full in-RAM snapshot copy,
+//! * storage (eMMC) reload of the model image,
+//! * fine-tuning recovery.
+//!
+//! Absolute numbers are calibrated to a Jetson-class SoC
+//! ([`SocModel::jetson_class`]) but every experiment consumes *relative*
+//! costs, which the roofline model preserves.
+//!
+//! # Example
+//!
+//! ```
+//! use reprune_nn::models;
+//! use reprune_platform::{profile::NetworkProfile, SocModel};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let net = models::default_perception_cnn(7)?;
+//! let profile = NetworkProfile::of(&net, &[1, 16, 16])?;
+//! let soc = SocModel::jetson_class();
+//! let cost = soc.inference_cost(&profile);
+//! assert!(cost.latency.0 > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+
+mod soc;
+mod units;
+
+pub mod profile;
+pub mod restore;
+
+pub use soc::{InferenceCost, SocModel};
+pub use units::{Bytes, Joules, Seconds};

@@ -1,0 +1,297 @@
+//! Static network profiling: per-layer MAC counts and weight traffic.
+//!
+//! The profile is computed by symbolically propagating the input shape
+//! through the network once; effective (post-pruning) profiles scale each
+//! prunable layer's cost by the kept-channel fraction of the layer *and*
+//! of its upstream producer — structured pruning of layer `k`'s output
+//! channels also shrinks layer `k+1`'s input.
+
+use crate::units::Bytes;
+use reprune_nn::layer::Layer;
+use reprune_nn::{LayerId, Network, NnError};
+use reprune_prune::{stats, MaskSet};
+use serde::{Deserialize, Serialize};
+
+/// Cost-relevant facts about one layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerProfile {
+    /// Position in the network.
+    pub layer: LayerId,
+    /// Layer kind name (for reports).
+    pub kind: String,
+    /// Multiply-accumulate operations for one inference.
+    pub macs: u64,
+    /// Weight bytes streamed from memory for one inference.
+    pub weight_bytes: Bytes,
+    /// Activation elements produced.
+    pub activations: u64,
+}
+
+/// Whole-network inference profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkProfile {
+    /// Per-layer breakdown in execution order.
+    pub layers: Vec<LayerProfile>,
+}
+
+impl NetworkProfile {
+    /// Profiles `net` for a single input of shape `input_dims`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadArchitecture`] if the input shape cannot flow
+    /// through the network.
+    pub fn of(net: &Network, input_dims: &[usize]) -> Result<Self, NnError> {
+        Self::of_masked(net, input_dims, None)
+    }
+
+    /// Profiles `net` with structured-pruning masks applied: MACs and
+    /// weight traffic of each prunable layer scale with its kept-unit
+    /// fraction and with the kept fraction of the upstream prunable layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadArchitecture`] for an unroutable input shape.
+    pub fn of_masked(
+        net: &Network,
+        input_dims: &[usize],
+        masks: Option<&MaskSet>,
+    ) -> Result<Self, NnError> {
+        let kept: std::collections::BTreeMap<LayerId, f64> = match masks {
+            Some(m) => stats::kept_unit_fraction(net, m).into_iter().collect(),
+            None => std::collections::BTreeMap::new(),
+        };
+        let mut dims: Vec<usize> = input_dims.to_vec();
+        let mut layers = Vec::new();
+        let mut upstream_kept = 1.0f64;
+        for (i, layer) in net.layers().enumerate() {
+            let id = LayerId(i);
+            let kind = layer.kind_name().to_string();
+            match layer {
+                Layer::Conv2d(conv) => {
+                    if dims.len() != 3 {
+                        return Err(NnError::bad_architecture(format!(
+                            "Conv2d at {id} expects CHW input, shape was {dims:?}"
+                        )));
+                    }
+                    let (c, h, w) = (dims[0], dims[1], dims[2]);
+                    let spec = reprune_tensor::conv::Conv2dSpec::square(
+                        conv.kernel,
+                        conv.stride,
+                        conv.padding,
+                    );
+                    let (oh, ow) = spec
+                        .output_hw(h, w)
+                        .map_err(|e| NnError::bad_architecture(e.to_string()))?;
+                    let oc = conv.out_channels();
+                    let dense_macs =
+                        (oc * c * conv.kernel * conv.kernel * oh * ow) as u64;
+                    let dense_bytes = conv.weight.value.len() * 4;
+                    let kept_out = kept.get(&id).copied().unwrap_or(1.0);
+                    let scale = kept_out * upstream_kept;
+                    layers.push(LayerProfile {
+                        layer: id,
+                        kind,
+                        macs: (dense_macs as f64 * scale).round() as u64,
+                        weight_bytes: Bytes((dense_bytes as f64 * scale).round() as u64),
+                        activations: (oc * oh * ow) as u64,
+                    });
+                    upstream_kept = kept_out;
+                    dims = vec![oc, oh, ow];
+                }
+                Layer::Linear(lin) => {
+                    let in_f = lin.in_features();
+                    let out_f = lin.out_features();
+                    let cur: usize = dims.iter().product();
+                    if cur != in_f {
+                        return Err(NnError::bad_architecture(format!(
+                            "Linear at {id} expects {in_f} features, got {cur}"
+                        )));
+                    }
+                    let dense_macs = (in_f * out_f) as u64;
+                    let dense_bytes = lin.weight.value.len() * 4;
+                    let kept_out = kept.get(&id).copied().unwrap_or(1.0);
+                    let scale = kept_out * upstream_kept;
+                    layers.push(LayerProfile {
+                        layer: id,
+                        kind,
+                        macs: (dense_macs as f64 * scale).round() as u64,
+                        weight_bytes: Bytes((dense_bytes as f64 * scale).round() as u64),
+                        activations: out_f as u64,
+                    });
+                    upstream_kept = kept_out;
+                    dims = vec![out_f];
+                }
+                Layer::MaxPool2d(p) => {
+                    dims = pool_dims(&dims, p.kernel, p.stride, id)?;
+                    layers.push(LayerProfile {
+                        layer: id,
+                        kind,
+                        macs: 0,
+                        weight_bytes: Bytes::ZERO,
+                        activations: dims.iter().product::<usize>() as u64,
+                    });
+                }
+                Layer::AvgPool2d(p) => {
+                    dims = pool_dims(&dims, p.kernel, p.stride, id)?;
+                    layers.push(LayerProfile {
+                        layer: id,
+                        kind,
+                        macs: 0,
+                        weight_bytes: Bytes::ZERO,
+                        activations: dims.iter().product::<usize>() as u64,
+                    });
+                }
+                Layer::Flatten(_) => {
+                    dims = vec![dims.iter().product()];
+                    layers.push(LayerProfile {
+                        layer: id,
+                        kind,
+                        macs: 0,
+                        weight_bytes: Bytes::ZERO,
+                        activations: dims[0] as u64,
+                    });
+                }
+                // Activations, norm, dropout: shape-preserving, negligible MACs.
+                _ => {
+                    layers.push(LayerProfile {
+                        layer: id,
+                        kind,
+                        macs: 0,
+                        weight_bytes: Bytes::ZERO,
+                        activations: dims.iter().product::<usize>() as u64,
+                    });
+                }
+            }
+        }
+        Ok(NetworkProfile { layers })
+    }
+
+    /// Returns a copy with every layer's MACs, weight bytes, and
+    /// activations multiplied by `factor`.
+    ///
+    /// The trainable reference models in this repository are deliberately
+    /// tiny; experiments that need deployment-scale costs (a ResNet-class
+    /// perception network) scale the profile by a constant factor, which
+    /// preserves all relative comparisons (DESIGN.md §5).
+    pub fn scaled(&self, factor: f64) -> NetworkProfile {
+        let f = factor.max(0.0);
+        NetworkProfile {
+            layers: self
+                .layers
+                .iter()
+                .map(|l| LayerProfile {
+                    layer: l.layer,
+                    kind: l.kind.clone(),
+                    macs: (l.macs as f64 * f).round() as u64,
+                    weight_bytes: Bytes((l.weight_bytes.as_f64() * f).round() as u64),
+                    activations: (l.activations as f64 * f).round() as u64,
+                })
+                .collect(),
+        }
+    }
+
+    /// Total MACs for one inference.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(|l| l.macs).sum()
+    }
+
+    /// Total weight bytes streamed for one inference.
+    pub fn total_weight_bytes(&self) -> Bytes {
+        self.layers.iter().map(|l| l.weight_bytes).sum()
+    }
+
+    /// Total activation elements produced.
+    pub fn total_activations(&self) -> u64 {
+        self.layers.iter().map(|l| l.activations).sum()
+    }
+}
+
+fn pool_dims(dims: &[usize], kernel: usize, stride: usize, id: LayerId) -> Result<Vec<usize>, NnError> {
+    if dims.len() != 3 {
+        return Err(NnError::bad_architecture(format!(
+            "pooling at {id} expects CHW input, shape was {dims:?}"
+        )));
+    }
+    let spec = reprune_tensor::conv::Conv2dSpec::square(kernel, stride, 0);
+    let (oh, ow) = spec
+        .output_hw(dims[1], dims[2])
+        .map_err(|e| NnError::bad_architecture(e.to_string()))?;
+    Ok(vec![dims[0], oh, ow])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reprune_nn::models;
+    use reprune_prune::{LadderConfig, PruneCriterion};
+
+    #[test]
+    fn dense_profile_of_perception_cnn() {
+        let net = models::default_perception_cnn(1).unwrap();
+        let p = NetworkProfile::of(&net, &[1, 16, 16]).unwrap();
+        // conv1: 16*1*3*3*16*16 = 36864; conv2: 32*16*3*3*8*8 = 294912;
+        // fc1: 512*96 = 49152; fc2: 96*6 = 576 → 381504.
+        assert_eq!(p.total_macs(), 381_504);
+        // Weight bytes = 4 * (144 + 4608 + 49152 + 576).
+        assert_eq!(p.total_weight_bytes(), Bytes(4 * 54_480));
+        assert_eq!(p.layers.len(), net.num_layers());
+    }
+
+    #[test]
+    fn masked_profile_scales_down() {
+        let net = models::default_perception_cnn(2).unwrap();
+        let ladder = LadderConfig::new(vec![0.0, 0.5])
+            .criterion(PruneCriterion::ChannelL2)
+            .build(&net)
+            .unwrap();
+        let dense = NetworkProfile::of(&net, &[1, 16, 16]).unwrap();
+        let masked =
+            NetworkProfile::of_masked(&net, &[1, 16, 16], Some(&ladder.level(1).unwrap().masks))
+                .unwrap();
+        // Conv1 at 50% kept: half the MACs.
+        assert_eq!(masked.layers[0].macs, dense.layers[0].macs / 2);
+        // Conv2: 50% kept out × 50% kept in = quarter.
+        assert_eq!(masked.layers[3].macs, dense.layers[3].macs / 4);
+        assert!(masked.total_macs() < dense.total_macs() / 2);
+        // Level-0 masks are a no-op.
+        let level0 =
+            NetworkProfile::of_masked(&net, &[1, 16, 16], Some(&ladder.level(0).unwrap().masks))
+                .unwrap();
+        assert_eq!(level0.total_macs(), dense.total_macs());
+    }
+
+    #[test]
+    fn unstructured_masks_barely_change_profile() {
+        // Magnitude pruning rarely kills whole channels, so the dense-
+        // hardware profile stays ~unchanged — the motivation for using
+        // structured pruning at runtime (experiment F2's message).
+        let net = models::default_perception_cnn(3).unwrap();
+        let ladder = LadderConfig::new(vec![0.0, 0.5])
+            .criterion(PruneCriterion::Magnitude)
+            .build(&net)
+            .unwrap();
+        let dense = NetworkProfile::of(&net, &[1, 16, 16]).unwrap();
+        let masked =
+            NetworkProfile::of_masked(&net, &[1, 16, 16], Some(&ladder.level(1).unwrap().masks))
+                .unwrap();
+        assert!(masked.total_macs() as f64 > 0.8 * dense.total_macs() as f64);
+    }
+
+    #[test]
+    fn mlp_profile() {
+        let net = models::control_mlp(8, &[32, 16], 4, 1).unwrap();
+        let p = NetworkProfile::of(&net, &[8]).unwrap();
+        assert_eq!(p.total_macs(), (8 * 32 + 32 * 16 + 16 * 4) as u64);
+        assert!(p.total_activations() > 0);
+    }
+
+    #[test]
+    fn profile_rejects_wrong_input_shape() {
+        let net = models::default_perception_cnn(4).unwrap();
+        assert!(NetworkProfile::of(&net, &[16, 16]).is_err());
+        assert!(NetworkProfile::of(&net, &[1, 4, 4]).is_err(), "too small to pool twice");
+        let mlp = models::control_mlp(8, &[4], 2, 0).unwrap();
+        assert!(NetworkProfile::of(&mlp, &[7]).is_err());
+    }
+}

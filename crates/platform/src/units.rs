@@ -1,0 +1,177 @@
+//! Unit newtypes so latencies, energies, and byte counts cannot be mixed.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+macro_rules! unit_newtype {
+    ($(#[$doc:meta])* $name:ident, $suffix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// The zero value.
+            pub const ZERO: $name = $name(0.0);
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            fn add(self, rhs: $name) -> $name {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: $name) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = $name;
+            fn sub(self, rhs: $name) -> $name {
+                $name(self.0 - rhs.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = $name;
+            fn mul(self, rhs: f64) -> $name {
+                $name(self.0 * rhs)
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = $name>>(iter: I) -> $name {
+                $name(iter.map(|x| x.0).sum())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:.6}{}", self.0, $suffix)
+            }
+        }
+    };
+}
+
+unit_newtype!(
+    /// A duration in seconds.
+    Seconds,
+    "s"
+);
+unit_newtype!(
+    /// An energy in joules.
+    Joules,
+    "J"
+);
+
+/// A byte count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default, Hash, Serialize, Deserialize)]
+pub struct Bytes(pub u64);
+
+impl Bytes {
+    /// The zero value.
+    pub const ZERO: Bytes = Bytes(0);
+
+    /// Byte count from a `usize`.
+    pub fn from_usize(n: usize) -> Self {
+        Bytes(n as u64)
+    }
+
+    /// As an `f64` for rate arithmetic.
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+}
+
+impl Add for Bytes {
+    type Output = Bytes;
+    fn add(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Bytes {
+    fn add_assign(&mut self, rhs: Bytes) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sum for Bytes {
+    fn sum<I: Iterator<Item = Bytes>>(iter: I) -> Bytes {
+        Bytes(iter.map(|x| x.0).sum())
+    }
+}
+
+impl fmt::Display for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}B", self.0)
+    }
+}
+
+impl Seconds {
+    /// Converts to milliseconds.
+    pub fn as_millis(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// Converts to microseconds.
+    pub fn as_micros(self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// Constructs from milliseconds.
+    pub fn from_millis(ms: f64) -> Self {
+        Seconds(ms * 1e-3)
+    }
+}
+
+impl Joules {
+    /// Converts to millijoules.
+    pub fn as_millijoules(self) -> f64 {
+        self.0 * 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Seconds(1.0) + Seconds(0.5);
+        assert_eq!(a, Seconds(1.5));
+        assert_eq!(a - Seconds(0.5), Seconds(1.0));
+        assert_eq!(Joules(2.0) * 3.0, Joules(6.0));
+        let mut s = Seconds::ZERO;
+        s += Seconds(2.0);
+        assert_eq!(s, Seconds(2.0));
+    }
+
+    #[test]
+    fn sums() {
+        let total: Seconds = vec![Seconds(1.0), Seconds(2.0)].into_iter().sum();
+        assert_eq!(total, Seconds(3.0));
+        let b: Bytes = vec![Bytes(4), Bytes(6)].into_iter().sum();
+        assert_eq!(b, Bytes(10));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Seconds(0.002).as_millis(), 2.0);
+        assert_eq!(Seconds::from_millis(5.0), Seconds(0.005));
+        assert_eq!(Seconds(1e-6).as_micros(), 1.0);
+        assert_eq!(Joules(0.25).as_millijoules(), 250.0);
+        assert_eq!(Bytes::from_usize(7).as_f64(), 7.0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Bytes(42).to_string(), "42B");
+        assert!(Seconds(1.5).to_string().ends_with('s'));
+        assert!(Joules(1.5).to_string().ends_with('J'));
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests for the platform cost model.
+
+use proptest::prelude::*;
+use reprune_nn::models;
+use reprune_platform::profile::NetworkProfile;
+use reprune_platform::restore::{price, RestorePath, RestoreScenario};
+use reprune_platform::{Bytes, SocModel};
+use reprune_prune::{LadderConfig, PruneCriterion};
+
+fn socs() -> Vec<SocModel> {
+    vec![SocModel::jetson_class(), SocModel::mcu_class()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn inference_cost_monotone_in_scale(factor in 1.0f64..500.0) {
+        let net = models::default_perception_cnn(1).unwrap();
+        let base = NetworkProfile::of(&net, &[1, 16, 16]).unwrap();
+        let scaled = base.scaled(factor);
+        prop_assert_eq!(scaled.layers.len(), base.layers.len());
+        for soc in socs() {
+            let a = soc.inference_cost(&base);
+            let b = soc.inference_cost(&scaled);
+            prop_assert!(b.latency.0 >= a.latency.0);
+            prop_assert!(b.energy.0 >= a.energy.0);
+            prop_assert!(b.macs >= a.macs);
+        }
+    }
+
+    #[test]
+    fn structured_masks_never_increase_cost(sparsity in 0.05f64..0.95) {
+        let net = models::default_perception_cnn(2).unwrap();
+        let ladder = LadderConfig::new(vec![0.0, sparsity])
+            .criterion(PruneCriterion::ChannelL2)
+            .build(&net)
+            .unwrap();
+        let dense = NetworkProfile::of(&net, &[1, 16, 16]).unwrap();
+        let masked = NetworkProfile::of_masked(
+            &net,
+            &[1, 16, 16],
+            Some(&ladder.level(1).unwrap().masks),
+        )
+        .unwrap();
+        prop_assert!(masked.total_macs() <= dense.total_macs());
+        prop_assert!(masked.total_weight_bytes() <= dense.total_weight_bytes());
+        for soc in socs() {
+            prop_assert!(
+                soc.inference_cost(&masked).energy.0 <= soc.inference_cost(&dense).energy.0
+            );
+        }
+    }
+
+    #[test]
+    fn restore_prices_are_positive_and_monotone(
+        entries in 1usize..10_000_000,
+        model_kb in 1u64..100_000,
+    ) {
+        let scenario = RestoreScenario {
+            pruned_entries: entries,
+            model_bytes: Bytes(model_kb * 1000),
+            forward_macs: 1_000_000,
+        };
+        for soc in socs() {
+            for path in [
+                RestorePath::DeltaLog,
+                RestorePath::Snapshot,
+                RestorePath::StorageReload,
+                RestorePath::FineTune { steps: 10, batch: 4 },
+            ] {
+                let c = price(&soc, scenario, path);
+                prop_assert!(c.latency.0 > 0.0, "{path} latency");
+                prop_assert!(c.energy.0 > 0.0, "{path} energy");
+            }
+            // Doubling the entries never cheapens the delta path.
+            let double = RestoreScenario {
+                pruned_entries: entries * 2,
+                ..scenario
+            };
+            prop_assert!(
+                price(&soc, double, RestorePath::DeltaLog).latency.0
+                    >= price(&soc, scenario, RestorePath::DeltaLog).latency.0
+            );
+        }
+    }
+
+    #[test]
+    fn delta_memory_is_exactly_eight_bytes_per_entry(entries in 0usize..1_000_000) {
+        let scenario = RestoreScenario {
+            pruned_entries: entries,
+            model_bytes: Bytes(1_000_000),
+            forward_macs: 1,
+        };
+        let c = price(&SocModel::jetson_class(), scenario, RestorePath::DeltaLog);
+        prop_assert_eq!(c.standing_memory, Bytes((entries * 8) as u64));
+    }
+
+    #[test]
+    fn only_weight_restoring_paths_are_bit_exact(entries in 1usize..1000) {
+        let scenario = RestoreScenario {
+            pruned_entries: entries,
+            model_bytes: Bytes(100_000),
+            forward_macs: 1000,
+        };
+        for soc in socs() {
+            prop_assert!(price(&soc, scenario, RestorePath::DeltaLog).bit_exact);
+            prop_assert!(price(&soc, scenario, RestorePath::Snapshot).bit_exact);
+            prop_assert!(price(&soc, scenario, RestorePath::StorageReload).bit_exact);
+            let ft = RestorePath::FineTune { steps: 1, batch: 1 };
+            prop_assert!(!price(&soc, scenario, ft).bit_exact);
+        }
+    }
+}

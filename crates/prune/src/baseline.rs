@@ -1,0 +1,362 @@
+//! Baseline restoration paths the paper compares against.
+//!
+//! Three conventional alternatives to the reversal log:
+//!
+//! * [`SnapshotRestore`] — keep a full in-RAM copy of every weight and
+//!   copy it back. Fast, but memory cost equals the whole model
+//!   regardless of how little was pruned.
+//! * [`OneShotPruner`] — irreversible pruning; restoring means reloading
+//!   the model image from storage. The in-memory mechanics are modeled
+//!   here; the (dominant) storage latency is charged by
+//!   `reprune-platform`'s cost model.
+//! * [`FineTuneRecovery`] — don't restore at all: try to train the pruned
+//!   network back to accuracy. Slowest by orders of magnitude and never
+//!   bit-exact; included to bound the design space.
+
+use crate::mask::MaskSet;
+use crate::{PruneError, Result};
+use reprune_nn::dataset::Example;
+use reprune_nn::{train, Network};
+use serde::{Deserialize, Serialize};
+
+/// Full-copy restoration baseline: snapshots every prunable weight.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SnapshotRestore {
+    weights: Vec<(reprune_nn::LayerId, reprune_tensor::Tensor)>,
+}
+
+impl SnapshotRestore {
+    /// Captures a snapshot of all prunable weights.
+    pub fn capture(net: &Network) -> Self {
+        let weights = net
+            .prunable_layers()
+            .into_iter()
+            .filter_map(|meta| net.weight(meta.id).ok().map(|w| (meta.id, w.clone())))
+            .collect();
+        SnapshotRestore { weights }
+    }
+
+    /// Bytes held by the snapshot (always the full prunable-weight size).
+    pub fn bytes(&self) -> usize {
+        self.weights
+            .iter()
+            .map(|(_, w)| w.len() * std::mem::size_of::<f32>())
+            .sum()
+    }
+
+    /// Copies the snapshot back into the network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PruneError::MaskMismatch`] if the network's layer shapes
+    /// changed since capture.
+    pub fn restore(&self, net: &mut Network) -> Result<usize> {
+        let mut restored = 0usize;
+        for (id, saved) in &self.weights {
+            let w = net.weight_mut(*id)?;
+            if w.dims() != saved.dims() {
+                return Err(PruneError::mask_mismatch(format!(
+                    "snapshot shape {:?} vs live {:?} at {id}",
+                    saved.dims(),
+                    w.dims()
+                )));
+            }
+            w.data_mut().copy_from_slice(saved.data());
+            restored += saved.len();
+        }
+        Ok(restored)
+    }
+}
+
+/// Irreversible one-shot pruning: applies a mask and **discards** the
+/// evicted values, as a conventional deploy-time pruner would.
+///
+/// Restoration is only possible from an externally stored model image
+/// (the flash/eMMC copy every deployed system keeps), via
+/// [`OneShotPruner::reload_from`]. The byte volume that reload must move
+/// is exposed so the platform model can charge realistic storage latency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OneShotPruner {
+    applied: Option<MaskSet>,
+}
+
+impl OneShotPruner {
+    /// Creates an idle one-shot pruner.
+    pub fn new() -> Self {
+        OneShotPruner { applied: None }
+    }
+
+    /// Applies `masks` to the network, discarding the evicted weights.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mask-validation errors.
+    pub fn prune(&mut self, net: &mut Network, masks: MaskSet) -> Result<usize> {
+        masks.apply(net)?;
+        let count = masks.pruned_count();
+        self.applied = Some(masks);
+        Ok(count)
+    }
+
+    /// The masks currently applied, if any.
+    pub fn applied(&self) -> Option<&MaskSet> {
+        self.applied.as_ref()
+    }
+
+    /// Bytes a storage reload must transfer to undo this pruning: the
+    /// full prunable-weight image (storage images are not delta-addressable).
+    pub fn reload_bytes(net: &Network) -> usize {
+        net.prunable_layers()
+            .iter()
+            .map(|m| m.weight_len() * std::mem::size_of::<f32>())
+            .sum()
+    }
+
+    /// Restores the network by deserializing and copying from a persisted
+    /// byte image (see [`reprune_nn::serialize`]) — the realistic reload
+    /// path: the bytes are what actually crosses the storage bus.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PruneError::NotRestorable`] if nothing was pruned,
+    /// deserialization errors for a corrupt image, or
+    /// [`PruneError::MaskMismatch`] on shape drift.
+    pub fn reload_from_image(&mut self, net: &mut Network, image: &[u8]) -> Result<usize> {
+        let stored = reprune_nn::serialize::from_bytes(image)?;
+        self.reload_from(net, &stored)
+    }
+
+    /// Restores the network by copying from `stored_image`, the model as
+    /// persisted in storage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PruneError::NotRestorable`] if nothing was pruned, or
+    /// [`PruneError::MaskMismatch`] if the image's shapes disagree.
+    pub fn reload_from(&mut self, net: &mut Network, stored_image: &Network) -> Result<usize> {
+        if self.applied.is_none() {
+            return Err(PruneError::NotRestorable {
+                message: "one-shot pruner has nothing to undo".into(),
+            });
+        }
+        let mut restored = 0usize;
+        for meta in stored_image.prunable_layers() {
+            let saved = stored_image.weight(meta.id)?;
+            let live = net.weight_mut(meta.id)?;
+            if live.dims() != saved.dims() {
+                return Err(PruneError::mask_mismatch(format!(
+                    "stored image shape {:?} vs live {:?} at {}",
+                    saved.dims(),
+                    live.dims(),
+                    meta.id
+                )));
+            }
+            live.data_mut().copy_from_slice(saved.data());
+            restored += saved.len();
+        }
+        self.applied = None;
+        Ok(restored)
+    }
+}
+
+impl Default for OneShotPruner {
+    fn default() -> Self {
+        OneShotPruner::new()
+    }
+}
+
+/// Fine-tuning recovery baseline: instead of restoring evicted weights,
+/// train the pruned network until it claws accuracy back.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FineTuneRecovery {
+    /// Mini-batch steps to run.
+    pub steps: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FineTuneRecovery {
+    fn default() -> Self {
+        FineTuneRecovery {
+            steps: 50,
+            lr: 0.01,
+            seed: 0,
+        }
+    }
+}
+
+impl FineTuneRecovery {
+    /// Runs the recovery, re-asserting `masks` after every step so pruned
+    /// weights stay pruned. Returns the final mean loss.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training and mask errors.
+    pub fn run<E: Example>(
+        &self,
+        net: &mut Network,
+        masks: &MaskSet,
+        samples: &[E],
+    ) -> Result<f64> {
+        let mut last = 0.0;
+        for step in 0..self.steps {
+            last = train::fine_tune(net, samples, 1, self.lr, self.seed.wrapping_add(step as u64))?;
+            masks.apply(net)?;
+        }
+        Ok(last)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::criterion::PruneCriterion;
+    use crate::ladder::LadderConfig;
+    use reprune_nn::dataset::BlobsDataset;
+    use reprune_nn::{metrics, models};
+
+    fn mlp() -> Network {
+        models::control_mlp(4, &[16, 8], 3, 7).unwrap()
+    }
+
+    #[test]
+    fn snapshot_restores_exactly() {
+        let mut net = mlp();
+        let original = net.clone();
+        let snap = SnapshotRestore::capture(&net);
+        let id = net.prunable_layers()[0].id;
+        net.weight_mut(id).unwrap().map_inplace(|_| 0.0);
+        assert_ne!(net, original);
+        let restored = snap.restore(&mut net).unwrap();
+        assert!(restored > 0);
+        assert_eq!(net, original);
+    }
+
+    #[test]
+    fn snapshot_bytes_equal_full_model() {
+        let net = mlp();
+        let snap = SnapshotRestore::capture(&net);
+        let expect: usize = net
+            .prunable_layers()
+            .iter()
+            .map(|m| m.weight_len() * 4)
+            .sum();
+        assert_eq!(snap.bytes(), expect);
+    }
+
+    #[test]
+    fn one_shot_prunes_and_cannot_self_restore() {
+        let mut net = mlp();
+        let stored = net.clone(); // the flash image
+        let ladder = LadderConfig::new(vec![0.0, 0.5]).build(&net).unwrap();
+        let masks = ladder.level(1).unwrap().masks.clone();
+        let mut pruner = OneShotPruner::new();
+        assert!(pruner.applied().is_none());
+        let n = pruner.prune(&mut net, masks).unwrap();
+        assert!(n > 0);
+        assert!(pruner.applied().is_some());
+        assert!(net.sparsity() > 0.2);
+        // Restore needs the stored image and moves the whole model.
+        let restored = pruner.reload_from(&mut net, &stored).unwrap();
+        let full: usize = net.prunable_layers().iter().map(|m| m.weight_len()).sum();
+        assert_eq!(restored, full);
+        assert_eq!(net, stored);
+        assert!(pruner.applied().is_none());
+    }
+
+    #[test]
+    fn one_shot_reloads_from_byte_image() {
+        let mut net = mlp();
+        let image = reprune_nn::serialize::to_bytes(&net);
+        let original = net.clone();
+        let ladder = LadderConfig::new(vec![0.0, 0.6]).build(&net).unwrap();
+        let mut pruner = OneShotPruner::new();
+        pruner
+            .prune(&mut net, ladder.level(1).unwrap().masks.clone())
+            .unwrap();
+        assert_ne!(net, original);
+        pruner.reload_from_image(&mut net, &image).unwrap();
+        for meta in original.prunable_layers() {
+            assert_eq!(
+                net.weight(meta.id).unwrap(),
+                original.weight(meta.id).unwrap()
+            );
+        }
+        // Corrupt image is rejected.
+        let mut bad = reprune_nn::serialize::to_bytes(&original);
+        bad[10] ^= 0x55;
+        pruner
+            .prune(&mut net, ladder.level(1).unwrap().masks.clone())
+            .unwrap();
+        assert!(pruner.reload_from_image(&mut net, &bad).is_err());
+    }
+
+    #[test]
+    fn one_shot_reload_without_prune_errors() {
+        let mut net = mlp();
+        let stored = net.clone();
+        let mut pruner = OneShotPruner::new();
+        assert!(matches!(
+            pruner.reload_from(&mut net, &stored),
+            Err(PruneError::NotRestorable { .. })
+        ));
+    }
+
+    #[test]
+    fn reload_bytes_is_full_image() {
+        let net = mlp();
+        let full: usize = net.prunable_layers().iter().map(|m| m.weight_len() * 4).sum();
+        assert_eq!(OneShotPruner::reload_bytes(&net), full);
+    }
+
+    #[test]
+    fn fine_tune_recovery_improves_pruned_accuracy() {
+        let data = BlobsDataset::generate(200, 4, 3, 0.4, 1);
+        let mut net = mlp();
+        train::train_classifier(
+            &mut net,
+            data.samples(),
+            &train::TrainConfig {
+                epochs: 10,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // Heavy unstructured pruning.
+        let ladder = LadderConfig::new(vec![0.0, 0.85])
+            .criterion(PruneCriterion::Random { seed: 3 })
+            .build(&net)
+            .unwrap();
+        let masks = ladder.level(1).unwrap().masks.clone();
+        let mut one_shot = OneShotPruner::new();
+        one_shot.prune(&mut net, masks.clone()).unwrap();
+        let before = metrics::evaluate(&mut net, data.samples()).unwrap().accuracy;
+        FineTuneRecovery {
+            steps: 60,
+            lr: 0.02,
+            seed: 2,
+        }
+        .run(&mut net, &masks, data.samples())
+        .unwrap();
+        let after = metrics::evaluate(&mut net, data.samples()).unwrap().accuracy;
+        assert!(after > before, "fine-tune {before} -> {after}");
+        // Masks still respected afterwards.
+        for m in masks.iter() {
+            let w = net.weight(m.layer).unwrap();
+            for i in m.pruned_indices() {
+                assert_eq!(w.data()[i], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_shape_drift() {
+        let net_a = mlp();
+        let net_b = models::control_mlp(4, &[8], 3, 9).unwrap();
+        let snap = SnapshotRestore::capture(&net_a);
+        let mut other = net_b;
+        assert!(snap.restore(&mut other).is_err());
+    }
+}

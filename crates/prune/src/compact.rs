@@ -1,0 +1,453 @@
+//! Physical network compaction: turning structured sparsity into a
+//! genuinely smaller network.
+//!
+//! Masked channels still occupy memory and (on hardware without
+//! zero-skipping) MACs. For long benign phases the runtime can go one
+//! step further: *compact* the masked network into a physically smaller
+//! one — dead output channels removed, downstream input slices removed to
+//! match — and run that. Compaction is the irreversible endpoint of the
+//! sparsity ladder; the reversal log still holds everything needed to
+//! rebuild full capacity on the original network object.
+//!
+//! [`compact_network`] removes structured units that are entirely zero
+//! (weights *and* bias — use [`zero_dead_unit_biases`] first, which is
+//! what a deployed structured pruner does anyway), and proves equivalence
+//! by construction: the compacted network computes exactly the same
+//! function as the masked one.
+
+use crate::mask::MaskSet;
+use crate::{PruneError, Result};
+use reprune_nn::layer::{BatchNorm2d, Layer, Param};
+use reprune_nn::{LayerId, Network};
+use reprune_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// What compaction removed, per layer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompactionReport {
+    /// `(layer, units_before, units_after)` for every resized layer.
+    pub resized: Vec<(LayerId, usize, usize)>,
+    /// Parameters before compaction.
+    pub params_before: usize,
+    /// Parameters after compaction.
+    pub params_after: usize,
+}
+
+impl CompactionReport {
+    /// Fraction of parameters removed.
+    pub fn reduction(&self) -> f64 {
+        if self.params_before == 0 {
+            0.0
+        } else {
+            1.0 - self.params_after as f64 / self.params_before as f64
+        }
+    }
+}
+
+/// Zeroes the biases of structured units whose weights are fully masked.
+///
+/// Structured pruning conventionally removes the whole channel — weights
+/// *and* bias; the reversal-log masks cover only weight tensors, so this
+/// bridges the gap before compaction. Returns how many biases were
+/// zeroed. (Note: the reversal log does not record biases; use this only
+/// on a network you will compact or reload, not one you will delta-restore.)
+///
+/// # Errors
+///
+/// Propagates mask/layer mismatches.
+pub fn zero_dead_unit_biases(net: &mut Network, masks: &MaskSet) -> Result<usize> {
+    masks.validate_against(net)?;
+    let metas = net.prunable_layers();
+    let mut zeroed = 0usize;
+    for meta in metas {
+        let Some(mask) = masks.get(meta.id) else {
+            continue;
+        };
+        let dead: Vec<usize> = (0..meta.units)
+            .filter(|&u| (u * meta.unit_len..(u + 1) * meta.unit_len).all(|i| mask.is_pruned(i)))
+            .collect();
+        if dead.is_empty() {
+            continue;
+        }
+        match net.layer_mut(meta.id) {
+            Some(Layer::Linear(l)) => {
+                for &u in &dead {
+                    if l.bias.value.data()[u] != 0.0 {
+                        l.bias.value.data_mut()[u] = 0.0;
+                        zeroed += 1;
+                    }
+                }
+            }
+            Some(Layer::Conv2d(l)) => {
+                for &u in &dead {
+                    if l.bias.value.data()[u] != 0.0 {
+                        l.bias.value.data_mut()[u] = 0.0;
+                        zeroed += 1;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(zeroed)
+}
+
+/// Channel bookkeeping flowing between layers during compaction.
+#[derive(Debug, Clone)]
+enum Upstream {
+    /// No structured reduction upstream (or unknown producer).
+    Full,
+    /// Producer kept these unit indices out of `original` units.
+    Reduced { kept: Vec<usize>, original: usize },
+}
+
+fn dead_units(weight: &Tensor, bias: &Tensor, units: usize, unit_len: usize) -> Vec<usize> {
+    let w = weight.data();
+    (0..units)
+        .filter(|&u| {
+            bias.data()[u] == 0.0 && w[u * unit_len..(u + 1) * unit_len].iter().all(|&x| x == 0.0)
+        })
+        .collect()
+}
+
+fn kept_units(dead: &[usize], units: usize) -> Vec<usize> {
+    let dead_set: std::collections::HashSet<usize> = dead.iter().copied().collect();
+    (0..units).filter(|u| !dead_set.contains(u)).collect()
+}
+
+/// Builds a physically smaller network by removing all-zero structured
+/// units (channel + bias) and the matching downstream input slices.
+///
+/// The compacted network computes exactly the same function as the input
+/// network. The final prunable layer's output units are never removed
+/// (they are the model's output interface).
+///
+/// # Errors
+///
+/// Returns [`PruneError::MaskMismatch`] if the architecture's channel
+/// flow cannot be tracked (e.g. a Linear whose input is not divisible by
+/// the producing conv's channel count).
+pub fn compact_network(net: &Network) -> Result<(Network, CompactionReport)> {
+    let prunable: Vec<LayerId> = net.prunable_layers().iter().map(|m| m.id).collect();
+    let last_prunable = prunable.last().copied();
+    let mut upstream = Upstream::Full;
+    let mut layers = Vec::with_capacity(net.num_layers());
+    let mut resized = Vec::new();
+
+    for (i, layer) in net.layers().enumerate() {
+        let id = LayerId(i);
+        match layer {
+            Layer::Conv2d(conv) => {
+                let dims = conv.weight.value.dims().to_vec(); // [oc, ic, kh, kw]
+                let (oc, ic, kh, kw) = (dims[0], dims[1], dims[2], dims[3]);
+                // Select input channels to match upstream reduction.
+                let in_kept: Vec<usize> = match &upstream {
+                    Upstream::Full => (0..ic).collect(),
+                    Upstream::Reduced { kept, original } => {
+                        if *original != ic {
+                            return Err(PruneError::mask_mismatch(format!(
+                                "conv at {id} expects {ic} input channels, upstream had {original}"
+                            )));
+                        }
+                        kept.clone()
+                    }
+                };
+                let unit_len = ic * kh * kw;
+                let dead = if Some(id) == last_prunable {
+                    Vec::new()
+                } else {
+                    dead_units(&conv.weight.value, &conv.bias.value, oc, unit_len)
+                };
+                let out_kept = kept_units(&dead, oc);
+                let new_ic = in_kept.len();
+                let mut w = Tensor::zeros(&[out_kept.len(), new_ic, kh, kw]);
+                {
+                    let src = conv.weight.value.data();
+                    let dst = w.data_mut();
+                    for (no, &o) in out_kept.iter().enumerate() {
+                        for (nc, &c) in in_kept.iter().enumerate() {
+                            for k in 0..kh * kw {
+                                dst[(no * new_ic + nc) * kh * kw + k] =
+                                    src[(o * ic + c) * kh * kw + k];
+                            }
+                        }
+                    }
+                }
+                let b = Tensor::from_vec(
+                    out_kept.iter().map(|&o| conv.bias.value.data()[o]).collect(),
+                    &[out_kept.len()],
+                )?;
+                if out_kept.len() != oc || new_ic != ic {
+                    resized.push((id, oc, out_kept.len()));
+                }
+                let mut new_conv = conv.clone();
+                new_conv.weight = Param::new(w);
+                new_conv.bias = Param::new(b);
+                layers.push(Layer::Conv2d(new_conv));
+                upstream = Upstream::Reduced {
+                    kept: out_kept,
+                    original: oc,
+                };
+            }
+            Layer::Linear(lin) => {
+                let dims = lin.weight.value.dims().to_vec(); // [out, in]
+                let (out_f, in_f) = (dims[0], dims[1]);
+                // Columns to keep, expanding channel groups if the
+                // producer was spatial (crossed a Flatten).
+                let in_cols: Vec<usize> = match &upstream {
+                    Upstream::Full => (0..in_f).collect(),
+                    Upstream::Reduced { kept, original } => {
+                        if in_f == *original {
+                            kept.clone()
+                        } else if in_f % original == 0 {
+                            let group = in_f / original;
+                            kept.iter()
+                                .flat_map(|&c| c * group..(c + 1) * group)
+                                .collect()
+                        } else {
+                            return Err(PruneError::mask_mismatch(format!(
+                                "linear at {id}: {in_f} inputs not divisible by upstream {original} units"
+                            )));
+                        }
+                    }
+                };
+                let dead = if Some(id) == last_prunable {
+                    Vec::new()
+                } else {
+                    dead_units(&lin.weight.value, &lin.bias.value, out_f, in_f)
+                };
+                let out_kept = kept_units(&dead, out_f);
+                let mut w = Tensor::zeros(&[out_kept.len(), in_cols.len()]);
+                {
+                    let src = lin.weight.value.data();
+                    let dst = w.data_mut();
+                    for (no, &o) in out_kept.iter().enumerate() {
+                        for (nc, &c) in in_cols.iter().enumerate() {
+                            dst[no * in_cols.len() + nc] = src[o * in_f + c];
+                        }
+                    }
+                }
+                let b = Tensor::from_vec(
+                    out_kept.iter().map(|&o| lin.bias.value.data()[o]).collect(),
+                    &[out_kept.len()],
+                )?;
+                if out_kept.len() != out_f || in_cols.len() != in_f {
+                    resized.push((id, out_f, out_kept.len()));
+                }
+                let mut new_lin = lin.clone();
+                new_lin.weight = Param::new(w);
+                new_lin.bias = Param::new(b);
+                layers.push(Layer::Linear(new_lin));
+                upstream = Upstream::Reduced {
+                    kept: out_kept,
+                    original: out_f,
+                };
+            }
+            Layer::BatchNorm2d(bn) => {
+                // Select per-channel parameters to match upstream.
+                match &upstream {
+                    Upstream::Full => layers.push(Layer::BatchNorm2d(bn.clone())),
+                    Upstream::Reduced { kept, original } => {
+                        if bn.gamma.value.len() != *original {
+                            return Err(PruneError::mask_mismatch(format!(
+                                "batchnorm at {id} covers {} channels, upstream had {original}",
+                                bn.gamma.value.len()
+                            )));
+                        }
+                        let pick = |t: &Tensor| -> Result<Tensor> {
+                            Ok(Tensor::from_vec(
+                                kept.iter().map(|&c| t.data()[c]).collect(),
+                                &[kept.len()],
+                            )?)
+                        };
+                        let mut nb = BatchNorm2d::new(kept.len());
+                        nb.ema = bn.ema;
+                        nb.eps = bn.eps;
+                        nb.gamma = Param::new(pick(&bn.gamma.value)?);
+                        nb.beta = Param::new(pick(&bn.beta.value)?);
+                        nb.running_mean = pick(&bn.running_mean)?;
+                        nb.running_var = pick(&bn.running_var)?;
+                        layers.push(Layer::BatchNorm2d(nb));
+                    }
+                }
+                // Channel identities are preserved through the norm.
+            }
+            // Shape-preserving layers pass channel bookkeeping through;
+            // Flatten is handled at the consuming Linear via the group
+            // expansion above.
+            other => layers.push(other.clone()),
+        }
+    }
+
+    let compacted = Network::new(format!("{}-compact", net.name()), layers);
+    let report = CompactionReport {
+        resized,
+        params_before: net.num_parameters(),
+        params_after: compacted.num_parameters(),
+    };
+    Ok((compacted, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::criterion::PruneCriterion;
+    use crate::ladder::LadderConfig;
+    use reprune_nn::models;
+    use reprune_tensor::rng::Prng;
+
+    fn masked_cnn(sparsity: f64, seed: u64) -> (Network, MaskSet) {
+        let mut net = models::default_perception_cnn(seed).unwrap();
+        let ladder = LadderConfig::new(vec![0.0, sparsity])
+            .criterion(PruneCriterion::ChannelL2)
+            .build(&net)
+            .unwrap();
+        let masks = ladder.level(1).unwrap().masks.clone();
+        masks.apply(&mut net).unwrap();
+        (net, masks)
+    }
+
+    #[test]
+    fn zero_dead_unit_biases_counts() {
+        let (mut net, masks) = masked_cnn(0.5, 1);
+        let zeroed = zero_dead_unit_biases(&mut net, &masks).unwrap();
+        // Biases start at 0 after init but training would change them;
+        // nudge them first to make the test meaningful.
+        let mut net2 = models::default_perception_cnn(1).unwrap();
+        for meta in net2.prunable_layers() {
+            if let Some(Layer::Conv2d(c)) = net2.layer_mut(meta.id) {
+                c.bias.value.map_inplace(|_| 0.5);
+            }
+        }
+        masks.apply(&mut net2).unwrap();
+        let z2 = zero_dead_unit_biases(&mut net2, &masks).unwrap();
+        assert!(z2 > 0, "nonzero biases of dead channels must be zeroed");
+        assert_eq!(zeroed, 0, "fresh zero biases need no zeroing");
+    }
+
+    #[test]
+    fn compaction_is_function_preserving() {
+        let (mut masked, masks) = masked_cnn(0.5, 2);
+        zero_dead_unit_biases(&mut masked, &masks).unwrap();
+        let (mut compact, report) = compact_network(&masked).unwrap();
+        assert!(report.params_after < report.params_before);
+        assert!(report.reduction() > 0.3, "reduction {}", report.reduction());
+        let mut rng = Prng::new(9);
+        for _ in 0..10 {
+            let x = reprune_tensor::Tensor::rand_normal(&[1, 16, 16], 0.0, 1.0, &mut rng);
+            let a = masked.forward(&x).unwrap();
+            let b = compact.forward(&x).unwrap();
+            assert!(
+                a.approx_eq(&b, 1e-4),
+                "masked and compacted networks must agree"
+            );
+        }
+    }
+
+    #[test]
+    fn compaction_resizes_expected_layers() {
+        let (mut masked, masks) = masked_cnn(0.5, 3);
+        zero_dead_unit_biases(&mut masked, &masks).unwrap();
+        let (compact, report) = compact_network(&masked).unwrap();
+        // conv1 16→8, conv2 32→16, fc1 96→48, and fc2's *input* columns
+        // shrink with fc1 (its 6 output units are protected).
+        assert_eq!(report.resized.len(), 4);
+        let metas = compact.prunable_layers();
+        assert_eq!(metas[0].units, 8);
+        assert_eq!(metas[1].units, 16);
+        assert_eq!(metas[2].units, 48);
+        assert_eq!(metas[3].units, 6, "output layer keeps all classes");
+    }
+
+    #[test]
+    fn dense_network_compacts_to_itself() {
+        let net = models::default_perception_cnn(4).unwrap();
+        let (compact, report) = compact_network(&net).unwrap();
+        assert_eq!(report.params_before, report.params_after);
+        assert!(report.resized.is_empty());
+        assert_eq!(report.reduction(), 0.0);
+        assert_eq!(compact.num_parameters(), net.num_parameters());
+    }
+
+    #[test]
+    fn mlp_compaction_preserves_function() {
+        let mut net = models::control_mlp(6, &[16, 12], 3, 5).unwrap();
+        let ladder = LadderConfig::new(vec![0.0, 0.5])
+            .criterion(PruneCriterion::ChannelL2)
+            .build(&net)
+            .unwrap();
+        let masks = ladder.level(1).unwrap().masks.clone();
+        masks.apply(&mut net).unwrap();
+        zero_dead_unit_biases(&mut net, &masks).unwrap();
+        let (mut compact, report) = compact_network(&net).unwrap();
+        assert!(report.params_after < report.params_before);
+        let mut rng = Prng::new(6);
+        for _ in 0..10 {
+            let x = reprune_tensor::Tensor::rand_normal(&[6], 0.0, 1.0, &mut rng);
+            let a = net.forward(&x).unwrap();
+            let b = compact.forward(&x).unwrap();
+            assert!(a.approx_eq(&b, 1e-4));
+        }
+    }
+
+    #[test]
+    fn compacted_network_is_faster_shaped() {
+        // The compacted model must have proportionally fewer parameters —
+        // the wall-clock claim is benchmarked in reprune-bench.
+        let (mut masked, masks) = masked_cnn(0.75, 7);
+        zero_dead_unit_biases(&mut masked, &masks).unwrap();
+        let (_, report) = compact_network(&masked).unwrap();
+        assert!(
+            report.reduction() > 0.55,
+            "75% channel pruning should compact away >55% of parameters, got {:.2}",
+            report.reduction()
+        );
+    }
+
+    #[test]
+    fn deep_cnn_compaction_through_conv_chain_and_batchnorm() {
+        // Three convs + BatchNorm: channel removal must propagate through
+        // the conv→conv chain and shrink the norm's per-channel params.
+        let mut net = models::perception_cnn_deep(6, 9).unwrap();
+        let ladder = LadderConfig::new(vec![0.0, 0.5])
+            .criterion(PruneCriterion::ChannelL2)
+            .build(&net)
+            .unwrap();
+        let masks = ladder.level(1).unwrap().masks.clone();
+        masks.apply(&mut net).unwrap();
+        zero_dead_unit_biases(&mut net, &masks).unwrap();
+        let (mut compact, report) = compact_network(&net).unwrap();
+        assert!(report.reduction() > 0.4, "reduction {}", report.reduction());
+        // BatchNorm must have shrunk with conv1.
+        let bn_channels = compact
+            .layers()
+            .find_map(|l| match l {
+                reprune_nn::layer::Layer::BatchNorm2d(bn) => Some(bn.gamma.value.len()),
+                _ => None,
+            })
+            .expect("deep net has a batchnorm");
+        assert_eq!(bn_channels, 8, "16 channels halved");
+        let mut rng = Prng::new(10);
+        for _ in 0..5 {
+            let x = reprune_tensor::Tensor::rand_normal(&[1, 16, 16], 0.0, 1.0, &mut rng);
+            let a = net.forward(&x).unwrap();
+            let b = compact.forward(&x).unwrap();
+            assert!(a.approx_eq(&b, 1e-3), "deep compaction must preserve the function");
+        }
+    }
+
+    #[test]
+    fn nonzero_bias_blocks_unit_removal() {
+        // A dead-weights channel with a live bias is NOT removable.
+        let mut net = models::control_mlp(4, &[8], 2, 8).unwrap();
+        let meta = net.prunable_layers()[0].clone();
+        if let Some(Layer::Linear(l)) = net.layer_mut(meta.id) {
+            l.weight.value.map_inplace(|_| 0.0);
+            l.bias.value.data_mut()[0] = 1.0; // unit 0: live bias
+        }
+        let (compact, report) = compact_network(&net).unwrap();
+        let units_after = compact.prunable_layers()[0].units;
+        assert_eq!(units_after, 1, "only the bias-carrying unit survives");
+        assert_eq!(report.resized[0], (meta.id, 8, 1));
+    }
+}

@@ -1,0 +1,222 @@
+//! Pruning criteria: which weights get evicted first.
+//!
+//! A criterion produces, per layer, an **eviction order** — a permutation
+//! of weight-element indices sorted from "prune first" to "prune last".
+//! Every sparsity level of a [`crate::SparsityLadder`] is a prefix of this
+//! order, which is what makes ladder masks *nested* by construction: a
+//! stricter level always prunes a superset of a looser one, so the
+//! reversal log composes as a stack.
+
+use crate::{PruneError, Result};
+use reprune_nn::{Network, PrunableLayer};
+use reprune_tensor::rng::Prng;
+use serde::{Deserialize, Serialize};
+
+/// Strategy for ranking weights to evict.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PruneCriterion {
+    /// Unstructured magnitude pruning: smallest `|w|` evicted first.
+    /// Best accuracy retention, but dense kernels gain little latency.
+    Magnitude,
+    /// Structured pruning: whole output channels (conv) / output rows
+    /// (linear) evicted in order of ascending L2 norm. This is the
+    /// criterion the deployed runtime uses because removed channels
+    /// translate directly into skipped MACs on dense hardware.
+    ChannelL2,
+    /// Random eviction — the sanity-check baseline.
+    Random {
+        /// Seed for the eviction permutation.
+        seed: u64,
+    },
+}
+
+impl PruneCriterion {
+    /// Whether this criterion evicts whole structured units.
+    pub fn is_structured(self) -> bool {
+        matches!(self, PruneCriterion::ChannelL2)
+    }
+
+    /// Computes the eviction order of a layer's weight elements.
+    ///
+    /// For structured criteria the returned indices are grouped unit by
+    /// unit (all elements of the first evicted channel, then the second,
+    /// …), so prefix-truncation at unit boundaries removes whole channels.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer-resolution errors from the network.
+    pub fn eviction_order(self, net: &Network, layer: &PrunableLayer) -> Result<Vec<usize>> {
+        let w = net.weight(layer.id)?;
+        if w.len() != layer.weight_len() {
+            return Err(PruneError::mask_mismatch(format!(
+                "layer {} metadata says {} weights, tensor has {}",
+                layer.id,
+                layer.weight_len(),
+                w.len()
+            )));
+        }
+        match self {
+            PruneCriterion::Magnitude => {
+                let mut idx: Vec<usize> = (0..w.len()).collect();
+                let data = w.data();
+                idx.sort_by(|&a, &b| {
+                    data[a]
+                        .abs()
+                        .partial_cmp(&data[b].abs())
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.cmp(&b))
+                });
+                Ok(idx)
+            }
+            PruneCriterion::ChannelL2 => {
+                let data = w.data();
+                let ul = layer.unit_len;
+                let mut units: Vec<usize> = (0..layer.units).collect();
+                let norm = |u: usize| -> f32 {
+                    data[u * ul..(u + 1) * ul].iter().map(|x| x * x).sum::<f32>()
+                };
+                units.sort_by(|&a, &b| {
+                    norm(a)
+                        .partial_cmp(&norm(b))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.cmp(&b))
+                });
+                Ok(units
+                    .into_iter()
+                    .flat_map(|u| u * ul..(u + 1) * ul)
+                    .collect())
+            }
+            PruneCriterion::Random { seed } => {
+                // Mix the layer id into the seed so layers get distinct
+                // permutations from one experiment seed.
+                let mut rng = Prng::new(seed ^ (layer.id.0 as u64).wrapping_mul(0x9E37_79B9));
+                let mut idx: Vec<usize> = (0..w.len()).collect();
+                rng.shuffle(&mut idx);
+                Ok(idx)
+            }
+        }
+    }
+
+    /// Number of elements a prefix of the eviction order contains at a
+    /// target `sparsity`, respecting unit quantization for structured
+    /// criteria.
+    pub fn prefix_len(self, layer: &PrunableLayer, sparsity: f64) -> usize {
+        let s = sparsity.clamp(0.0, 1.0);
+        if self.is_structured() {
+            let units = (s * layer.units as f64).round() as usize;
+            units.min(layer.units) * layer.unit_len
+        } else {
+            ((s * layer.weight_len() as f64).round() as usize).min(layer.weight_len())
+        }
+    }
+}
+
+impl std::fmt::Display for PruneCriterion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PruneCriterion::Magnitude => write!(f, "magnitude"),
+            PruneCriterion::ChannelL2 => write!(f, "channel-l2"),
+            PruneCriterion::Random { seed } => write!(f, "random(seed={seed})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reprune_nn::models;
+    use reprune_tensor::Tensor;
+
+    fn net_with_known_weights() -> (Network, PrunableLayer) {
+        let mut net = models::control_mlp(3, &[2], 2, 1).unwrap();
+        let meta = net.prunable_layers()[0].clone(); // Linear 2x3
+        *net.weight_mut(meta.id).unwrap() =
+            Tensor::from_vec(vec![0.1, -3.0, 0.5, 2.0, -0.2, 0.05], &[2, 3]).unwrap();
+        (net, meta)
+    }
+
+    #[test]
+    fn magnitude_orders_by_abs_value() {
+        let (net, meta) = net_with_known_weights();
+        let order = PruneCriterion::Magnitude.eviction_order(&net, &meta).unwrap();
+        // |w| ascending: 0.05(idx5), 0.1(0), 0.2(4), 0.5(2), 2.0(3), 3.0(1)
+        assert_eq!(order, vec![5, 0, 4, 2, 3, 1]);
+    }
+
+    #[test]
+    fn magnitude_ties_break_by_index() {
+        let mut net = models::control_mlp(2, &[2], 2, 2).unwrap();
+        let meta = net.prunable_layers()[0].clone();
+        *net.weight_mut(meta.id).unwrap() =
+            Tensor::from_vec(vec![1.0, -1.0, 1.0, 1.0], &[2, 2]).unwrap();
+        let order = PruneCriterion::Magnitude.eviction_order(&net, &meta).unwrap();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn channel_l2_groups_units() {
+        let (net, meta) = net_with_known_weights();
+        let order = PruneCriterion::ChannelL2.eviction_order(&net, &meta).unwrap();
+        // Unit 0 = [0.1,-3.0,0.5] norm² ≈ 9.26; unit 1 = [2.0,-0.2,0.05] ≈ 4.04.
+        // Unit 1 evicts first.
+        assert_eq!(order, vec![3, 4, 5, 0, 1, 2]);
+    }
+
+    #[test]
+    fn random_is_permutation_and_seeded() {
+        let (net, meta) = net_with_known_weights();
+        let a = PruneCriterion::Random { seed: 1 }.eviction_order(&net, &meta).unwrap();
+        let b = PruneCriterion::Random { seed: 1 }.eviction_order(&net, &meta).unwrap();
+        let c = PruneCriterion::Random { seed: 2 }.eviction_order(&net, &meta).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let mut s = a.clone();
+        s.sort_unstable();
+        assert_eq!(s, (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn prefix_len_unstructured() {
+        let (_, meta) = net_with_known_weights();
+        let c = PruneCriterion::Magnitude;
+        assert_eq!(c.prefix_len(&meta, 0.0), 0);
+        assert_eq!(c.prefix_len(&meta, 0.5), 3);
+        assert_eq!(c.prefix_len(&meta, 1.0), 6);
+        assert_eq!(c.prefix_len(&meta, 2.0), 6, "clamped");
+        assert_eq!(c.prefix_len(&meta, -1.0), 0, "clamped");
+    }
+
+    #[test]
+    fn prefix_len_structured_quantizes_to_units() {
+        let (_, meta) = net_with_known_weights(); // 2 units × 3
+        let c = PruneCriterion::ChannelL2;
+        assert_eq!(c.prefix_len(&meta, 0.0), 0);
+        assert_eq!(c.prefix_len(&meta, 0.4), 3, "rounds to 1 unit");
+        assert_eq!(c.prefix_len(&meta, 0.9), 6, "rounds to 2 units");
+    }
+
+    #[test]
+    fn eviction_order_covers_conv_layers() {
+        let net = models::default_perception_cnn(3).unwrap();
+        for meta in net.prunable_layers() {
+            for crit in [
+                PruneCriterion::Magnitude,
+                PruneCriterion::ChannelL2,
+                PruneCriterion::Random { seed: 0 },
+            ] {
+                let order = crit.eviction_order(&net, &meta).unwrap();
+                assert_eq!(order.len(), meta.weight_len(), "{crit} on {}", meta.id);
+                let mut s = order.clone();
+                s.sort_unstable();
+                assert_eq!(s, (0..meta.weight_len()).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(PruneCriterion::Magnitude.to_string(), "magnitude");
+        assert_eq!(PruneCriterion::ChannelL2.to_string(), "channel-l2");
+        assert_eq!(PruneCriterion::Random { seed: 3 }.to_string(), "random(seed=3)");
+    }
+}

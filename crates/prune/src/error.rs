@@ -1,0 +1,126 @@
+use reprune_nn::NnError;
+use reprune_tensor::TensorError;
+use std::fmt;
+
+/// Error type for the pruning engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PruneError {
+    /// A lower-layer NN operation failed.
+    Nn(NnError),
+    /// A tensor operation failed.
+    Tensor(TensorError),
+    /// A ladder or mask referenced a level that does not exist.
+    UnknownLevel {
+        /// Requested level index.
+        level: usize,
+        /// Number of levels available.
+        available: usize,
+    },
+    /// Ladder construction parameters were invalid.
+    BadLadder {
+        /// Human-readable description.
+        message: String,
+    },
+    /// A mask did not match the network it was applied to.
+    MaskMismatch {
+        /// Human-readable description.
+        message: String,
+    },
+    /// Restoration produced weights that differ from the recorded originals.
+    IntegrityViolation {
+        /// Checksum recorded when the pruner attached.
+        expected: u64,
+        /// Checksum observed after restoration.
+        actual: u64,
+    },
+    /// An irreversible pruner was asked to restore without a stored image.
+    NotRestorable {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl PruneError {
+    /// Convenience constructor for [`PruneError::BadLadder`].
+    pub fn bad_ladder(message: impl Into<String>) -> Self {
+        PruneError::BadLadder {
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for [`PruneError::MaskMismatch`].
+    pub fn mask_mismatch(message: impl Into<String>) -> Self {
+        PruneError::MaskMismatch {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for PruneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PruneError::Nn(e) => write!(f, "nn error: {e}"),
+            PruneError::Tensor(e) => write!(f, "tensor error: {e}"),
+            PruneError::UnknownLevel { level, available } => {
+                write!(f, "ladder level {level} out of range (ladder has {available} levels)")
+            }
+            PruneError::BadLadder { message } => write!(f, "bad ladder: {message}"),
+            PruneError::MaskMismatch { message } => write!(f, "mask mismatch: {message}"),
+            PruneError::IntegrityViolation { expected, actual } => write!(
+                f,
+                "restoration integrity violation: expected checksum {expected:#018x}, got {actual:#018x}"
+            ),
+            PruneError::NotRestorable { message } => write!(f, "not restorable: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for PruneError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PruneError::Nn(e) => Some(e),
+            PruneError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for PruneError {
+    fn from(e: NnError) -> Self {
+        PruneError::Nn(e)
+    }
+}
+
+impl From<TensorError> for PruneError {
+    fn from(e: TensorError) -> Self {
+        PruneError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_unknown_level() {
+        let e = PruneError::UnknownLevel { level: 7, available: 4 };
+        assert!(e.to_string().contains("level 7"));
+        assert!(e.to_string().contains("4 levels"));
+    }
+
+    #[test]
+    fn display_integrity() {
+        let e = PruneError::IntegrityViolation { expected: 1, actual: 2 };
+        assert!(e.to_string().contains("integrity"));
+    }
+
+    #[test]
+    fn conversions_and_source() {
+        use std::error::Error;
+        let e: PruneError = TensorError::Empty { op: "max" }.into();
+        assert!(e.source().is_some());
+        let e: PruneError = NnError::UnknownLayer { index: 0 }.into();
+        assert!(e.source().is_some());
+        assert!(PruneError::bad_ladder("x").source().is_none());
+    }
+}

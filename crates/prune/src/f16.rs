@@ -1,0 +1,150 @@
+//! Minimal IEEE 754 binary16 conversion for the compressed reversal log.
+//!
+//! Only what the log needs: finite-value conversion with round-to-nearest-
+//! even, plus correct handling of the special values that could leak in.
+
+/// Converts an `f32` to binary16 bits (round-to-nearest-even).
+pub fn f32_to_f16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xFF) as i32;
+    let mant = bits & 0x007F_FFFF;
+
+    if exp == 0xFF {
+        // Inf / NaN.
+        return sign | 0x7C00 | if mant != 0 { 0x0200 } else { 0 };
+    }
+    // Unbiased exponent.
+    let unbiased = exp - 127;
+    if unbiased > 15 {
+        // Overflow → infinity.
+        return sign | 0x7C00;
+    }
+    if unbiased >= -14 {
+        // Normal half.
+        let half_exp = (unbiased + 15) as u16;
+        let mut half_mant = (mant >> 13) as u16;
+        // Round to nearest even on the 13 dropped bits.
+        let round_bits = mant & 0x1FFF;
+        if round_bits > 0x1000 || (round_bits == 0x1000 && (half_mant & 1) == 1) {
+            half_mant += 1;
+            if half_mant == 0x400 {
+                // Mantissa overflow bumps the exponent.
+                return sign | ((half_exp + 1) << 10);
+            }
+        }
+        return sign | (half_exp << 10) | half_mant;
+    }
+    if unbiased >= -24 {
+        // Subnormal half: value = half_mant × 2⁻²⁴, where
+        // half_mant = round(f × 2^(unbiased+24)) with f = 1.mant in [1,2).
+        let shift = (-1 - unbiased) as u32; // 14..=23
+        let full_mant = mant | 0x0080_0000; // f × 2²³, implicit leading 1
+        let mut half_mant = (full_mant >> shift) as u16;
+        let round_bits = full_mant & ((1u32 << shift) - 1);
+        let half_point = 1u32 << (shift - 1);
+        if round_bits > half_point || (round_bits == half_point && (half_mant & 1) == 1) {
+            half_mant += 1;
+        }
+        return sign | half_mant;
+    }
+    // Underflow → signed zero.
+    sign
+}
+
+/// Converts binary16 bits to an `f32`.
+pub fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = ((h >> 10) & 0x1F) as u32;
+    let mant = (h & 0x03FF) as u32;
+    let bits = match (exp, mant) {
+        (0, 0) => sign,
+        (0, m) => {
+            // Subnormal: value = m × 2⁻²⁴ (exactly representable in f32).
+            let v = m as f32 * 2f32.powi(-24);
+            return if sign != 0 { -v } else { v };
+        }
+        (0x1F, 0) => sign | 0x7F80_0000,
+        (0x1F, m) => sign | 0x7F80_0000 | (m << 13),
+        (e, m) => sign | ((e + 127 - 15) << 23) | (m << 13),
+    };
+    f32::from_bits(bits)
+}
+
+/// Rounds an `f32` through binary16 and back (the log's quantization).
+pub fn round_through_f16(x: f32) -> f32 {
+    f16_bits_to_f32(f32_to_f16_bits(x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_small_values_roundtrip() {
+        for x in [0.0f32, -0.0, 1.0, -1.0, 0.5, 2.0, 0.25, -1024.0, 65504.0] {
+            assert_eq!(round_through_f16(x), x, "{x} should be f16-exact");
+        }
+        assert_eq!(f32_to_f16_bits(-0.0).to_be_bytes()[0] & 0x80, 0x80);
+    }
+
+    #[test]
+    fn rounding_is_idempotent() {
+        let mut rng = reprune_tensor::rng::Prng::new(3);
+        for _ in 0..10_000 {
+            let x = rng.next_uniform(-8.0, 8.0);
+            let once = round_through_f16(x);
+            let twice = round_through_f16(once);
+            assert_eq!(once, twice, "idempotence failed for {x}");
+        }
+    }
+
+    #[test]
+    fn relative_error_bounded_for_normals() {
+        let mut rng = reprune_tensor::rng::Prng::new(4);
+        for _ in 0..10_000 {
+            // Typical weight magnitudes.
+            let x = rng.next_uniform(-2.0, 2.0);
+            if x.abs() < 1e-3 {
+                continue;
+            }
+            let r = round_through_f16(x);
+            let rel = ((r - x) / x).abs();
+            assert!(rel < 1.0 / 1024.0, "relative error {rel} for {x}");
+        }
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity() {
+        assert_eq!(round_through_f16(1e6), f32::INFINITY);
+        assert_eq!(round_through_f16(-1e6), f32::NEG_INFINITY);
+        assert_eq!(round_through_f16(f32::INFINITY), f32::INFINITY);
+    }
+
+    #[test]
+    fn nan_stays_nan() {
+        assert!(round_through_f16(f32::NAN).is_nan());
+    }
+
+    #[test]
+    fn subnormals_roundtrip() {
+        // Smallest positive subnormal half = 2^-24.
+        let tiny = 2f32.powi(-24);
+        assert_eq!(round_through_f16(tiny), tiny);
+        // Below half the smallest subnormal → zero.
+        assert_eq!(round_through_f16(2f32.powi(-26)), 0.0);
+        // A representable subnormal.
+        let sub = 3.0 * 2f32.powi(-24);
+        assert_eq!(round_through_f16(sub), sub);
+    }
+
+    #[test]
+    fn round_to_nearest_even_tie() {
+        // 1 + 2^-11 is exactly between 1.0 and 1 + 2^-10 → rounds to even (1.0).
+        let tie = 1.0 + 2f32.powi(-11);
+        assert_eq!(round_through_f16(tie), 1.0);
+        // 1 + 3·2^-11 ties between 1+2^-10 and 1+2^-9 → rounds to 1+2^-9.
+        let tie2 = 1.0 + 3.0 * 2f32.powi(-11);
+        assert_eq!(round_through_f16(tie2), 1.0 + 2.0 * 2f32.powi(-10));
+    }
+}

@@ -1,0 +1,332 @@
+//! Sparsity ladders: ordered families of nested pruning masks.
+//!
+//! The runtime does not pick arbitrary sparsities — it walks a small
+//! ladder of pre-profiled levels (e.g. `[0, 0.3, 0.6, 0.9]`). Because
+//! every level's mask is a prefix of one fixed eviction order
+//! (see [`PruneCriterion::eviction_order`]), the masks are **nested**:
+//! level `k+1` prunes a strict superset of level `k`. Nesting is the
+//! property that lets the reversal log work as a stack — moving up pushes
+//! one delta, moving down pops one.
+
+use crate::criterion::PruneCriterion;
+use crate::mask::{LayerMask, MaskSet};
+use crate::{PruneError, Result};
+use reprune_nn::Network;
+use serde::{Deserialize, Serialize};
+
+/// One rung of a [`SparsityLadder`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LadderLevel {
+    /// Nominal per-layer sparsity target of this level.
+    pub sparsity: f64,
+    /// The masks realizing this level.
+    pub masks: MaskSet,
+}
+
+/// Builder for [`SparsityLadder`].
+///
+/// # Example
+///
+/// ```
+/// use reprune_nn::models;
+/// use reprune_prune::{LadderConfig, PruneCriterion};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let net = models::default_perception_cnn(0)?;
+/// let ladder = LadderConfig::new(vec![0.0, 0.5, 0.9])
+///     .criterion(PruneCriterion::ChannelL2)
+///     .build(&net)?;
+/// assert_eq!(ladder.num_levels(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LadderConfig {
+    levels: Vec<f64>,
+    criterion: PruneCriterion,
+    protect_output: bool,
+}
+
+impl LadderConfig {
+    /// Starts a config with the given sparsity levels.
+    ///
+    /// Levels must start at `0.0` and be strictly increasing; this is
+    /// validated in [`LadderConfig::build`].
+    pub fn new(levels: Vec<f64>) -> Self {
+        LadderConfig {
+            levels,
+            criterion: PruneCriterion::Magnitude,
+            protect_output: true,
+        }
+    }
+
+    /// Builds a uniform ladder of `n` levels from 0 to `max_sparsity`.
+    pub fn uniform(n: usize, max_sparsity: f64) -> Self {
+        let levels = if n <= 1 {
+            vec![0.0]
+        } else {
+            (0..n)
+                .map(|i| max_sparsity * i as f64 / (n - 1) as f64)
+                .collect()
+        };
+        LadderConfig::new(levels)
+    }
+
+    /// Sets the pruning criterion (default: [`PruneCriterion::Magnitude`]).
+    pub fn criterion(mut self, criterion: PruneCriterion) -> Self {
+        self.criterion = criterion;
+        self
+    }
+
+    /// Whether to protect the final prunable layer (the classifier head)
+    /// from pruning. Defaults to `true`, matching deployed practice —
+    /// pruning logits destroys calibration long before it saves compute.
+    pub fn protect_output(mut self, protect: bool) -> Self {
+        self.protect_output = protect;
+        self
+    }
+
+    /// Computes the ladder's masks against the network's current weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PruneError::BadLadder`] for an empty, non-monotone, or
+    /// out-of-range level list, or if the network has no prunable layer.
+    pub fn build(self, net: &Network) -> Result<SparsityLadder> {
+        if self.levels.is_empty() {
+            return Err(PruneError::bad_ladder("ladder needs at least one level"));
+        }
+        if self.levels[0] != 0.0 {
+            return Err(PruneError::bad_ladder(format!(
+                "level 0 must be sparsity 0.0 (full capacity), got {}",
+                self.levels[0]
+            )));
+        }
+        for pair in self.levels.windows(2) {
+            if pair[1] <= pair[0] {
+                return Err(PruneError::bad_ladder(format!(
+                    "levels must be strictly increasing: {} then {}",
+                    pair[0], pair[1]
+                )));
+            }
+        }
+        if let Some(&last) = self.levels.last() {
+            if last >= 1.0 {
+                return Err(PruneError::bad_ladder(format!(
+                    "maximum sparsity must stay below 1.0, got {last}"
+                )));
+            }
+        }
+        let mut prunable = net.prunable_layers();
+        if prunable.is_empty() {
+            return Err(PruneError::bad_ladder("network has no prunable layers"));
+        }
+        if self.protect_output && prunable.len() > 1 {
+            prunable.pop();
+        }
+        // One eviction order per layer; every level is a prefix of it.
+        let orders: Vec<(reprune_nn::PrunableLayer, Vec<usize>)> = prunable
+            .into_iter()
+            .map(|meta| {
+                let order = self.criterion.eviction_order(net, &meta)?;
+                Ok((meta, order))
+            })
+            .collect::<Result<_>>()?;
+        let levels = self
+            .levels
+            .iter()
+            .map(|&s| {
+                let mut masks = MaskSet::new();
+                for (meta, order) in &orders {
+                    let k = self.criterion.prefix_len(meta, s);
+                    let mut mask = LayerMask::keep_all(meta.id, meta.weight_len());
+                    for &i in &order[..k] {
+                        mask.prune(i);
+                    }
+                    masks.insert(mask);
+                }
+                LadderLevel { sparsity: s, masks }
+            })
+            .collect();
+        Ok(SparsityLadder {
+            levels,
+            criterion: self.criterion,
+        })
+    }
+}
+
+/// An ordered family of nested pruning levels over a specific network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SparsityLadder {
+    levels: Vec<LadderLevel>,
+    criterion: PruneCriterion,
+}
+
+impl SparsityLadder {
+    /// Number of levels (level 0 is always full capacity).
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The criterion the ladder was built with.
+    pub fn criterion(&self) -> PruneCriterion {
+        self.criterion
+    }
+
+    /// Access one level.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PruneError::UnknownLevel`] for an out-of-range index.
+    pub fn level(&self, k: usize) -> Result<&LadderLevel> {
+        self.levels.get(k).ok_or(PruneError::UnknownLevel {
+            level: k,
+            available: self.levels.len(),
+        })
+    }
+
+    /// Iterates over the levels in ascending sparsity.
+    pub fn levels(&self) -> impl Iterator<Item = &LadderLevel> {
+        self.levels.iter()
+    }
+
+    /// Nominal sparsity of level `k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PruneError::UnknownLevel`] for an out-of-range index.
+    pub fn sparsity_at(&self, k: usize) -> Result<f64> {
+        Ok(self.level(k)?.sparsity)
+    }
+
+    /// Verifies the nesting invariant: each level's masks are a superset
+    /// of the previous level's.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PruneError::BadLadder`] naming the first violating pair.
+    pub fn verify_nesting(&self) -> Result<()> {
+        for (k, pair) in self.levels.windows(2).enumerate() {
+            if !pair[0].masks.is_subset_of(&pair[1].masks) {
+                return Err(PruneError::bad_ladder(format!(
+                    "masks of level {k} are not nested inside level {}",
+                    k + 1
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reprune_nn::models;
+
+    fn cnn() -> Network {
+        models::default_perception_cnn(11).unwrap()
+    }
+
+    #[test]
+    fn build_and_count_levels() {
+        let ladder = LadderConfig::new(vec![0.0, 0.25, 0.5, 0.75])
+            .build(&cnn())
+            .unwrap();
+        assert_eq!(ladder.num_levels(), 4);
+        assert_eq!(ladder.sparsity_at(2).unwrap(), 0.5);
+        assert!(ladder.sparsity_at(9).is_err());
+    }
+
+    #[test]
+    fn uniform_builder() {
+        let cfg = LadderConfig::uniform(5, 0.8);
+        let ladder = cfg.build(&cnn()).unwrap();
+        assert_eq!(ladder.num_levels(), 5);
+        assert_eq!(ladder.sparsity_at(0).unwrap(), 0.0);
+        assert!((ladder.sparsity_at(4).unwrap() - 0.8).abs() < 1e-12);
+        // Single-level uniform degenerates to [0.0].
+        assert_eq!(LadderConfig::uniform(1, 0.9).build(&cnn()).unwrap().num_levels(), 1);
+    }
+
+    #[test]
+    fn validation_rejects_bad_level_lists() {
+        let net = cnn();
+        assert!(LadderConfig::new(vec![]).build(&net).is_err());
+        assert!(LadderConfig::new(vec![0.1, 0.5]).build(&net).is_err(), "must start at 0");
+        assert!(LadderConfig::new(vec![0.0, 0.5, 0.5]).build(&net).is_err(), "not increasing");
+        assert!(LadderConfig::new(vec![0.0, 1.0]).build(&net).is_err(), "must stay < 1");
+    }
+
+    #[test]
+    fn level_zero_prunes_nothing() {
+        let ladder = LadderConfig::new(vec![0.0, 0.5]).build(&cnn()).unwrap();
+        assert_eq!(ladder.level(0).unwrap().masks.pruned_count(), 0);
+    }
+
+    #[test]
+    fn masks_are_nested_for_all_criteria() {
+        let net = cnn();
+        for crit in [
+            PruneCriterion::Magnitude,
+            PruneCriterion::ChannelL2,
+            PruneCriterion::Random { seed: 5 },
+        ] {
+            let ladder = LadderConfig::uniform(6, 0.9)
+                .criterion(crit)
+                .build(&net)
+                .unwrap();
+            ladder.verify_nesting().unwrap();
+        }
+    }
+
+    #[test]
+    fn sparsity_increases_monotonically() {
+        let ladder = LadderConfig::uniform(5, 0.8).build(&cnn()).unwrap();
+        let realized: Vec<f64> = ladder.levels().map(|l| l.masks.sparsity()).collect();
+        for pair in realized.windows(2) {
+            assert!(pair[1] > pair[0], "realized sparsities {realized:?}");
+        }
+    }
+
+    #[test]
+    fn output_layer_protected_by_default() {
+        let net = cnn();
+        let last = net.prunable_layers().last().unwrap().id;
+        let ladder = LadderConfig::new(vec![0.0, 0.9]).build(&net).unwrap();
+        assert!(ladder.level(1).unwrap().masks.get(last).is_none());
+        let unprotected = LadderConfig::new(vec![0.0, 0.9])
+            .protect_output(false)
+            .build(&net)
+            .unwrap();
+        assert!(unprotected.level(1).unwrap().masks.get(last).is_some());
+    }
+
+    #[test]
+    fn structured_levels_quantize_to_channels() {
+        let net = cnn();
+        let ladder = LadderConfig::new(vec![0.0, 0.5])
+            .criterion(PruneCriterion::ChannelL2)
+            .build(&net)
+            .unwrap();
+        // First conv layer: 16 channels of 9 weights; 0.5 → 8 channels → 72.
+        let meta = &net.prunable_layers()[0];
+        let m = ladder.level(1).unwrap().masks.get(meta.id).unwrap();
+        assert_eq!(m.pruned_count(), 8 * 9);
+    }
+
+    #[test]
+    fn rejects_network_without_prunable_layers() {
+        use reprune_nn::layer::{Flatten, Layer};
+        let net = Network::new("empty", vec![Layer::Flatten(Flatten::new())]);
+        assert!(LadderConfig::new(vec![0.0]).build(&net).is_err());
+    }
+
+    #[test]
+    fn ladder_masks_validate_against_source_network() {
+        let net = cnn();
+        let ladder = LadderConfig::uniform(4, 0.75).build(&net).unwrap();
+        for level in ladder.levels() {
+            level.masks.validate_against(&net).unwrap();
+        }
+    }
+}

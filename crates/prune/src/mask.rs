@@ -1,0 +1,353 @@
+//! Per-layer pruning masks and their set algebra.
+
+use crate::{PruneError, Result};
+use reprune_nn::{LayerId, Network};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A boolean mask over one layer's flattened weight tensor.
+///
+/// `true` means *pruned* (weight forced to zero).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerMask {
+    /// Layer this mask applies to.
+    pub layer: LayerId,
+    pruned: Vec<bool>,
+}
+
+impl LayerMask {
+    /// Creates an all-kept mask of the given weight length.
+    pub fn keep_all(layer: LayerId, len: usize) -> Self {
+        LayerMask {
+            layer,
+            pruned: vec![false; len],
+        }
+    }
+
+    /// Creates a mask from an explicit boolean vector.
+    pub fn from_vec(layer: LayerId, pruned: Vec<bool>) -> Self {
+        LayerMask { layer, pruned }
+    }
+
+    /// Number of weight elements covered.
+    pub fn len(&self) -> usize {
+        self.pruned.len()
+    }
+
+    /// Whether the mask covers zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.pruned.is_empty()
+    }
+
+    /// Whether element `i` is pruned.
+    pub fn is_pruned(&self, i: usize) -> bool {
+        self.pruned.get(i).copied().unwrap_or(false)
+    }
+
+    /// Marks element `i` as pruned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn prune(&mut self, i: usize) {
+        self.pruned[i] = true;
+    }
+
+    /// Number of pruned elements.
+    pub fn pruned_count(&self) -> usize {
+        self.pruned.iter().filter(|&&p| p).count()
+    }
+
+    /// Fraction of elements pruned (0 for an empty mask).
+    pub fn sparsity(&self) -> f64 {
+        if self.pruned.is_empty() {
+            0.0
+        } else {
+            self.pruned_count() as f64 / self.pruned.len() as f64
+        }
+    }
+
+    /// Iterates over the indices of pruned elements.
+    pub fn pruned_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.pruned
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &p)| p.then_some(i))
+    }
+
+    /// Returns `true` if every element pruned in `self` is also pruned in
+    /// `other` (i.e. `self ⊆ other`), for masks of equal length.
+    pub fn is_subset_of(&self, other: &LayerMask) -> bool {
+        self.pruned.len() == other.pruned.len()
+            && self
+                .pruned
+                .iter()
+                .zip(&other.pruned)
+                .all(|(&a, &b)| !a || b)
+    }
+
+    /// Indices pruned by `other` but not by `self` (the delta when moving
+    /// from this level to a stricter one).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PruneError::MaskMismatch`] if the lengths differ.
+    pub fn newly_pruned_in(&self, other: &LayerMask) -> Result<Vec<usize>> {
+        if self.pruned.len() != other.pruned.len() {
+            return Err(PruneError::mask_mismatch(format!(
+                "mask lengths differ: {} vs {}",
+                self.pruned.len(),
+                other.pruned.len()
+            )));
+        }
+        Ok(self
+            .pruned
+            .iter()
+            .zip(&other.pruned)
+            .enumerate()
+            .filter_map(|(i, (&a, &b))| (b && !a).then_some(i))
+            .collect())
+    }
+}
+
+/// The set of layer masks describing one sparsity level over a network.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MaskSet {
+    masks: BTreeMap<LayerId, LayerMask>,
+}
+
+impl MaskSet {
+    /// Creates an empty mask set (nothing pruned anywhere).
+    pub fn new() -> Self {
+        MaskSet::default()
+    }
+
+    /// Inserts (or replaces) a layer mask.
+    pub fn insert(&mut self, mask: LayerMask) {
+        self.masks.insert(mask.layer, mask);
+    }
+
+    /// The mask for a layer, if present.
+    pub fn get(&self, layer: LayerId) -> Option<&LayerMask> {
+        self.masks.get(&layer)
+    }
+
+    /// Iterates over the layer masks in layer order.
+    pub fn iter(&self) -> impl Iterator<Item = &LayerMask> {
+        self.masks.values()
+    }
+
+    /// Number of layers with a mask.
+    pub fn num_layers(&self) -> usize {
+        self.masks.len()
+    }
+
+    /// Total pruned elements across all layers.
+    pub fn pruned_count(&self) -> usize {
+        self.masks.values().map(|m| m.pruned_count()).sum()
+    }
+
+    /// Total covered elements across all layers.
+    pub fn total_len(&self) -> usize {
+        self.masks.values().map(|m| m.len()).sum()
+    }
+
+    /// Overall sparsity across all covered layers.
+    pub fn sparsity(&self) -> f64 {
+        let total = self.total_len();
+        if total == 0 {
+            0.0
+        } else {
+            self.pruned_count() as f64 / total as f64
+        }
+    }
+
+    /// Returns `true` if this set prunes a subset of what `other` prunes,
+    /// layer by layer (missing layers count as keep-all).
+    pub fn is_subset_of(&self, other: &MaskSet) -> bool {
+        self.masks.iter().all(|(id, m)| {
+            if m.pruned_count() == 0 {
+                return true;
+            }
+            other.get(*id).is_some_and(|o| m.is_subset_of(o))
+        })
+    }
+
+    /// Validates that every mask matches the length of its layer's weight
+    /// tensor in `net`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PruneError::MaskMismatch`] on any disagreement.
+    pub fn validate_against(&self, net: &Network) -> Result<()> {
+        for (id, mask) in &self.masks {
+            let w = net.weight(*id)?;
+            if w.len() != mask.len() {
+                return Err(PruneError::mask_mismatch(format!(
+                    "layer {id}: mask covers {} elements, weights have {}",
+                    mask.len(),
+                    w.len()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Zeroes every pruned position of `net`'s weights in place.
+    ///
+    /// Used both to apply a level directly (irreversible path) and to
+    /// re-assert masks after a fine-tuning step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PruneError::MaskMismatch`] or layer-resolution errors.
+    pub fn apply(&self, net: &mut Network) -> Result<()> {
+        self.validate_against(net)?;
+        for (id, mask) in &self.masks {
+            let w = net.weight_mut(*id)?;
+            let data = w.data_mut();
+            for i in mask.pruned_indices() {
+                data[i] = 0.0;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<LayerMask> for MaskSet {
+    fn from_iter<I: IntoIterator<Item = LayerMask>>(iter: I) -> Self {
+        let mut set = MaskSet::new();
+        for m in iter {
+            set.insert(m);
+        }
+        set
+    }
+}
+
+impl Extend<LayerMask> for MaskSet {
+    fn extend<I: IntoIterator<Item = LayerMask>>(&mut self, iter: I) {
+        for m in iter {
+            self.insert(m);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reprune_nn::models;
+
+    #[test]
+    fn layer_mask_basics() {
+        let mut m = LayerMask::keep_all(LayerId(0), 4);
+        assert_eq!(m.len(), 4);
+        assert!(!m.is_empty());
+        assert_eq!(m.pruned_count(), 0);
+        m.prune(1);
+        m.prune(3);
+        assert!(m.is_pruned(1));
+        assert!(!m.is_pruned(0));
+        assert_eq!(m.pruned_count(), 2);
+        assert_eq!(m.sparsity(), 0.5);
+        assert_eq!(m.pruned_indices().collect::<Vec<_>>(), vec![1, 3]);
+    }
+
+    #[test]
+    fn out_of_range_is_pruned_is_false() {
+        let m = LayerMask::keep_all(LayerId(0), 2);
+        assert!(!m.is_pruned(10));
+    }
+
+    #[test]
+    fn subset_relation() {
+        let a = LayerMask::from_vec(LayerId(0), vec![true, false, false]);
+        let b = LayerMask::from_vec(LayerId(0), vec![true, true, false]);
+        assert!(a.is_subset_of(&b));
+        assert!(!b.is_subset_of(&a));
+        assert!(a.is_subset_of(&a));
+        let c = LayerMask::from_vec(LayerId(0), vec![true, false]);
+        assert!(!a.is_subset_of(&c), "length mismatch is never a subset");
+    }
+
+    #[test]
+    fn newly_pruned_delta() {
+        let a = LayerMask::from_vec(LayerId(0), vec![true, false, false, false]);
+        let b = LayerMask::from_vec(LayerId(0), vec![true, true, false, true]);
+        assert_eq!(a.newly_pruned_in(&b).unwrap(), vec![1, 3]);
+        let short = LayerMask::from_vec(LayerId(0), vec![true]);
+        assert!(a.newly_pruned_in(&short).is_err());
+    }
+
+    #[test]
+    fn mask_set_aggregates() {
+        let mut s = MaskSet::new();
+        s.insert(LayerMask::from_vec(LayerId(0), vec![true, false]));
+        s.insert(LayerMask::from_vec(LayerId(2), vec![true, true, false, false]));
+        assert_eq!(s.num_layers(), 2);
+        assert_eq!(s.pruned_count(), 3);
+        assert_eq!(s.total_len(), 6);
+        assert_eq!(s.sparsity(), 0.5);
+        assert!(s.get(LayerId(0)).is_some());
+        assert!(s.get(LayerId(1)).is_none());
+    }
+
+    #[test]
+    fn mask_set_subset() {
+        let mut a = MaskSet::new();
+        a.insert(LayerMask::from_vec(LayerId(0), vec![true, false]));
+        let mut b = MaskSet::new();
+        b.insert(LayerMask::from_vec(LayerId(0), vec![true, true]));
+        assert!(a.is_subset_of(&b));
+        assert!(!b.is_subset_of(&a));
+        // Empty set is subset of anything.
+        assert!(MaskSet::new().is_subset_of(&a));
+    }
+
+    #[test]
+    fn apply_zeroes_weights() {
+        let mut net = models::control_mlp(4, &[8], 2, 1).unwrap();
+        let metas = net.prunable_layers();
+        let id = metas[0].id;
+        let len = metas[0].weight_len();
+        let mut mask = LayerMask::keep_all(id, len);
+        for i in 0..len / 2 {
+            mask.prune(i);
+        }
+        let mut set = MaskSet::new();
+        set.insert(mask);
+        set.apply(&mut net).unwrap();
+        let w = net.weight(id).unwrap();
+        assert!(w.data()[..len / 2].iter().all(|&x| x == 0.0));
+        assert!(w.data()[len / 2..].iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn validate_rejects_wrong_length() {
+        let net = models::control_mlp(4, &[8], 2, 2).unwrap();
+        let id = net.prunable_layers()[0].id;
+        let mut set = MaskSet::new();
+        set.insert(LayerMask::keep_all(id, 3)); // wrong length
+        assert!(set.validate_against(&net).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_nonprunable_layer() {
+        let net = models::control_mlp(4, &[8], 2, 3).unwrap();
+        let mut set = MaskSet::new();
+        set.insert(LayerMask::keep_all(LayerId(1), 8)); // Relu layer
+        assert!(set.validate_against(&net).is_err());
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let masks = vec![
+            LayerMask::keep_all(LayerId(0), 2),
+            LayerMask::keep_all(LayerId(1), 3),
+        ];
+        let mut s: MaskSet = masks.into_iter().collect();
+        assert_eq!(s.num_layers(), 2);
+        s.extend(vec![LayerMask::keep_all(LayerId(2), 4)]);
+        assert_eq!(s.num_layers(), 3);
+        assert_eq!(s.total_len(), 9);
+    }
+}

@@ -1,0 +1,740 @@
+//! The reversible pruner and its reversal log — the "back to the future"
+//! mechanism.
+//!
+//! [`ReversiblePruner`] attaches to a live [`Network`] with a
+//! [`SparsityLadder`] and then moves the network between ladder levels
+//! in place:
+//!
+//! * **up** (more sparsity): the weights about to be evicted are copied
+//!   into a [`LevelDelta`] (index + value pairs) pushed onto the log, then
+//!   zeroed in the live tensor;
+//! * **down** (less sparsity): deltas are popped off the log and written
+//!   back, restoring exactly the evicted values.
+//!
+//! Both directions cost O(#weights that change level), not O(model size),
+//! and need no storage I/O or retraining. A checksum captured at attach
+//! time lets callers prove a full restore is bit-exact.
+
+use crate::f16::{f16_bits_to_f32, f32_to_f16_bits, round_through_f16};
+use crate::ladder::SparsityLadder;
+use crate::{PruneError, Result};
+use reprune_nn::{LayerId, Network};
+use serde::{Deserialize, Serialize};
+
+/// Numeric precision of the reversal log's stored values.
+///
+/// [`LogPrecision::Half`] halves the value storage (6 B/entry instead of
+/// 8 B) by keeping evicted weights as IEEE binary16. To keep restoration
+/// *exact*, [`ReversiblePruner::attach_half`] quantizes every
+/// log-coverable weight through f16 once at attach time — a one-time,
+/// measurable accuracy cost — after which every prune/restore cycle is
+/// bit-exact against that quantized baseline. This is the paper-extension
+/// feature ablated by `tab4_log_precision`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LogPrecision {
+    /// Full `f32` values: restoration is bit-exact against the original
+    /// weights.
+    Exact,
+    /// Binary16 values: restoration is bit-exact against the f16-rounded
+    /// baseline established at attach time.
+    Half,
+}
+
+impl LogPrecision {
+    /// Bytes per stored value.
+    pub fn value_bytes(self) -> usize {
+        match self {
+            LogPrecision::Exact => 4,
+            LogPrecision::Half => 2,
+        }
+    }
+
+    /// Bytes per log entry (u32 index + value).
+    pub fn entry_bytes(self) -> usize {
+        std::mem::size_of::<u32>() + self.value_bytes()
+    }
+}
+
+/// Stored values of one delta, in the log's configured precision.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DeltaValues {
+    /// Full-precision values.
+    Exact(Vec<f32>),
+    /// Binary16-encoded values.
+    Half(Vec<u16>),
+}
+
+impl DeltaValues {
+    fn with_capacity(precision: LogPrecision, n: usize) -> Self {
+        match precision {
+            LogPrecision::Exact => DeltaValues::Exact(Vec::with_capacity(n)),
+            LogPrecision::Half => DeltaValues::Half(Vec::with_capacity(n)),
+        }
+    }
+
+    fn push(&mut self, v: f32) {
+        match self {
+            DeltaValues::Exact(vs) => vs.push(v),
+            DeltaValues::Half(vs) => vs.push(f32_to_f16_bits(v)),
+        }
+    }
+
+    /// Decoded value at position `i`.
+    pub fn get(&self, i: usize) -> f32 {
+        match self {
+            DeltaValues::Exact(vs) => vs[i],
+            DeltaValues::Half(vs) => f16_bits_to_f32(vs[i]),
+        }
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        match self {
+            DeltaValues::Exact(vs) => vs.len(),
+            DeltaValues::Half(vs) => vs.len(),
+        }
+    }
+
+    /// Whether there are no values.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Storage bytes of the values.
+    pub fn bytes(&self) -> usize {
+        match self {
+            DeltaValues::Exact(vs) => vs.len() * 4,
+            DeltaValues::Half(vs) => vs.len() * 2,
+        }
+    }
+}
+
+/// Evicted weights of one layer for one ladder transition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerDelta {
+    /// The layer the entries belong to.
+    pub layer: LayerId,
+    /// Flat weight indices that were zeroed.
+    pub indices: Vec<u32>,
+    /// The original values, parallel to `indices`.
+    pub values: DeltaValues,
+}
+
+impl LayerDelta {
+    /// Bytes this delta occupies (4 bytes index + value bytes per entry).
+    pub fn bytes(&self) -> usize {
+        self.indices.len() * std::mem::size_of::<u32>() + self.values.bytes()
+    }
+
+    /// Number of weight entries recorded.
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Whether the delta is empty.
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+}
+
+/// All weights evicted when stepping from ladder level `k` to `k+1`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LevelDelta {
+    /// The level this delta raised the network *to*.
+    pub to_level: usize,
+    /// Per-layer evicted weights.
+    pub layers: Vec<LayerDelta>,
+}
+
+impl LevelDelta {
+    /// Total bytes of this delta.
+    pub fn bytes(&self) -> usize {
+        self.layers.iter().map(LayerDelta::bytes).sum()
+    }
+
+    /// Total weight entries recorded.
+    pub fn len(&self) -> usize {
+        self.layers.iter().map(LayerDelta::len).sum()
+    }
+
+    /// Whether the delta records no entries.
+    pub fn is_empty(&self) -> bool {
+        self.layers.iter().all(LayerDelta::is_empty)
+    }
+}
+
+/// Outcome of one [`ReversiblePruner::set_level`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transition {
+    /// Level before the call.
+    pub from: usize,
+    /// Level after the call.
+    pub to: usize,
+    /// Weights zeroed by this transition.
+    pub weights_pruned: usize,
+    /// Weights written back by this transition.
+    pub weights_restored: usize,
+}
+
+impl Transition {
+    /// Total weight elements touched (the O() cost of the transition).
+    pub fn weights_touched(&self) -> usize {
+        self.weights_pruned + self.weights_restored
+    }
+}
+
+/// FNV-1a over the bit patterns of all prunable weights.
+fn weights_checksum(net: &Network) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for meta in net.prunable_layers() {
+        if let Ok(w) = net.weight(meta.id) {
+            for &x in w.data() {
+                for b in x.to_bits().to_le_bytes() {
+                    h ^= b as u64;
+                    h = h.wrapping_mul(0x0000_0100_0000_01B3);
+                }
+            }
+        }
+    }
+    h
+}
+
+/// A reversible runtime pruner attached to one network.
+///
+/// See the [crate-level example](crate) for typical use. The pruner
+/// assumes it is the only writer of the pruned weight positions; callers
+/// that fine-tune while pruned must re-assert the masks with
+/// [`ReversiblePruner::reapply_masks`] after each optimizer step and call
+/// [`ReversiblePruner::rebase`] after intentionally updating weights at
+/// full capacity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReversiblePruner {
+    ladder: SparsityLadder,
+    log: Vec<LevelDelta>,
+    current: usize,
+    base_checksum: u64,
+    precision: LogPrecision,
+}
+
+impl ReversiblePruner {
+    /// Attaches a pruner to a network at full capacity (ladder level 0),
+    /// with a full-precision ([`LogPrecision::Exact`]) reversal log.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PruneError::MaskMismatch`] if any ladder mask disagrees
+    /// with the network's weight shapes.
+    pub fn attach(net: &Network, ladder: SparsityLadder) -> Result<Self> {
+        for level in ladder.levels() {
+            level.masks.validate_against(net)?;
+        }
+        ladder.verify_nesting()?;
+        Ok(ReversiblePruner {
+            ladder,
+            log: Vec::new(),
+            current: 0,
+            base_checksum: weights_checksum(net),
+            precision: LogPrecision::Exact,
+        })
+    }
+
+    /// Attaches with a binary16 ([`LogPrecision::Half`]) reversal log.
+    ///
+    /// Every weight coverable by the ladder's top level is rounded through
+    /// f16 **in place, once, now** — so all later restores are bit-exact
+    /// against this quantized baseline while the log stores only 6 bytes
+    /// per entry. The accuracy cost of the quantization is incurred here
+    /// and is measurable before deployment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PruneError::MaskMismatch`] if any ladder mask disagrees
+    /// with the network's weight shapes.
+    pub fn attach_half(net: &mut Network, ladder: SparsityLadder) -> Result<Self> {
+        for level in ladder.levels() {
+            level.masks.validate_against(net)?;
+        }
+        ladder.verify_nesting()?;
+        let top = ladder.num_levels() - 1;
+        for mask in ladder.level(top)?.masks.iter() {
+            let w = net.weight_mut(mask.layer)?;
+            let data = w.data_mut();
+            for i in mask.pruned_indices() {
+                data[i] = round_through_f16(data[i]);
+            }
+        }
+        Ok(ReversiblePruner {
+            ladder,
+            log: Vec::new(),
+            current: 0,
+            base_checksum: weights_checksum(net),
+            precision: LogPrecision::Half,
+        })
+    }
+
+    /// The log's value precision.
+    pub fn precision(&self) -> LogPrecision {
+        self.precision
+    }
+
+    /// The ladder this pruner walks.
+    pub fn ladder(&self) -> &SparsityLadder {
+        &self.ladder
+    }
+
+    /// Current ladder level (0 = full capacity).
+    pub fn current_level(&self) -> usize {
+        self.current
+    }
+
+    /// Nominal sparsity of the current level.
+    pub fn current_sparsity(&self) -> f64 {
+        self.ladder
+            .sparsity_at(self.current)
+            .expect("current level always valid")
+    }
+
+    /// Bytes currently held by the reversal log.
+    pub fn log_bytes(&self) -> usize {
+        self.log.iter().map(LevelDelta::bytes).sum()
+    }
+
+    /// Weight entries currently held by the reversal log.
+    pub fn log_entries(&self) -> usize {
+        self.log.iter().map(LevelDelta::len).sum()
+    }
+
+    /// Worst-case log size in bytes: the log when parked at the top level.
+    ///
+    /// This is the number the memory-overhead experiment reports; it is
+    /// proportional to the pruned fraction, unlike a full snapshot.
+    pub fn max_log_bytes(&self) -> usize {
+        let top = self.ladder.num_levels() - 1;
+        let Ok(level) = self.ladder.level(top) else {
+            return 0;
+        };
+        level.masks.pruned_count() * self.precision.entry_bytes()
+    }
+
+    /// Moves the network to ladder level `target`, pruning or restoring
+    /// as needed, and returns what the transition touched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PruneError::UnknownLevel`] for an out-of-range target and
+    /// propagates layer-access errors.
+    pub fn set_level(&mut self, net: &mut Network, target: usize) -> Result<Transition> {
+        if target >= self.ladder.num_levels() {
+            return Err(PruneError::UnknownLevel {
+                level: target,
+                available: self.ladder.num_levels(),
+            });
+        }
+        let from = self.current;
+        let mut pruned = 0usize;
+        let mut restored = 0usize;
+        while self.current < target {
+            pruned += self.push_one_level(net)?;
+        }
+        while self.current > target {
+            restored += self.pop_one_level(net)?;
+        }
+        Ok(Transition {
+            from,
+            to: self.current,
+            weights_pruned: pruned,
+            weights_restored: restored,
+        })
+    }
+
+    /// Shortcut for `set_level(net, 0)`: full-capacity restore.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer-access errors.
+    pub fn restore_full(&mut self, net: &mut Network) -> Result<Transition> {
+        self.set_level(net, 0)
+    }
+
+    fn push_one_level(&mut self, net: &mut Network) -> Result<usize> {
+        let next = self.current + 1;
+        let cur_masks = self.ladder.level(self.current)?.masks.clone();
+        let next_masks = self.ladder.level(next)?.masks.clone();
+        let mut layers = Vec::new();
+        let mut count = 0usize;
+        for next_mask in next_masks.iter() {
+            let id = next_mask.layer;
+            let newly = match cur_masks.get(id) {
+                Some(cur) => cur.newly_pruned_in(next_mask)?,
+                None => next_mask.pruned_indices().collect(),
+            };
+            if newly.is_empty() {
+                continue;
+            }
+            let w = net.weight_mut(id)?;
+            let data = w.data_mut();
+            let mut indices = Vec::with_capacity(newly.len());
+            let mut values = DeltaValues::with_capacity(self.precision, newly.len());
+            for i in newly {
+                indices.push(i as u32);
+                values.push(data[i]);
+                data[i] = 0.0;
+            }
+            count += indices.len();
+            layers.push(LayerDelta {
+                layer: id,
+                indices,
+                values,
+            });
+        }
+        self.log.push(LevelDelta {
+            to_level: next,
+            layers,
+        });
+        self.current = next;
+        Ok(count)
+    }
+
+    fn pop_one_level(&mut self, net: &mut Network) -> Result<usize> {
+        let delta = self.log.pop().ok_or_else(|| {
+            PruneError::mask_mismatch("reversal log empty while above level 0")
+        })?;
+        let mut count = 0usize;
+        for layer_delta in &delta.layers {
+            let w = net.weight_mut(layer_delta.layer)?;
+            let data = w.data_mut();
+            for (pos, &i) in layer_delta.indices.iter().enumerate() {
+                data[i as usize] = layer_delta.values.get(pos);
+            }
+            count += layer_delta.indices.len();
+        }
+        self.current -= 1;
+        Ok(count)
+    }
+
+    /// Re-zeroes the current level's pruned positions.
+    ///
+    /// Call after each optimizer step when fine-tuning a pruned network so
+    /// gradient updates cannot resurrect evicted weights.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mask/layer errors.
+    pub fn reapply_masks(&self, net: &mut Network) -> Result<()> {
+        self.ladder.level(self.current)?.masks.apply(net)
+    }
+
+    /// Verifies that the network's prunable weights are bit-identical to
+    /// the state captured at attach time. Only meaningful at level 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PruneError::IntegrityViolation`] on any difference, or
+    /// [`PruneError::NotRestorable`] when called above level 0.
+    pub fn verify_restored(&self, net: &Network) -> Result<()> {
+        if self.current != 0 {
+            return Err(PruneError::NotRestorable {
+                message: format!(
+                    "verify_restored requires level 0, pruner is at level {}",
+                    self.current
+                ),
+            });
+        }
+        let actual = weights_checksum(net);
+        if actual != self.base_checksum {
+            return Err(PruneError::IntegrityViolation {
+                expected: self.base_checksum,
+                actual,
+            });
+        }
+        Ok(())
+    }
+
+    /// Re-captures the attach-time checksum from the network's current
+    /// weights. Call after intentionally updating weights (e.g. periodic
+    /// retraining) at full capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PruneError::NotRestorable`] when called above level 0 —
+    /// rebasing a pruned network would bless zeroed weights as ground
+    /// truth.
+    pub fn rebase(&mut self, net: &Network) -> Result<()> {
+        if self.current != 0 {
+            return Err(PruneError::NotRestorable {
+                message: "rebase requires the network at full capacity (level 0)".into(),
+            });
+        }
+        self.base_checksum = weights_checksum(net);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::criterion::PruneCriterion;
+    use crate::ladder::LadderConfig;
+    use reprune_nn::models;
+    use reprune_tensor::Tensor;
+
+    fn setup(levels: Vec<f64>) -> (Network, ReversiblePruner) {
+        let net = models::default_perception_cnn(21).unwrap();
+        let ladder = LadderConfig::new(levels).build(&net).unwrap();
+        let pruner = ReversiblePruner::attach(&net, ladder).unwrap();
+        (net, pruner)
+    }
+
+    #[test]
+    fn attach_starts_at_level_zero() {
+        let (_, p) = setup(vec![0.0, 0.5]);
+        assert_eq!(p.current_level(), 0);
+        assert_eq!(p.current_sparsity(), 0.0);
+        assert_eq!(p.log_bytes(), 0);
+    }
+
+    #[test]
+    fn prune_then_restore_is_bit_exact() {
+        let (mut net, mut p) = setup(vec![0.0, 0.3, 0.6, 0.9]);
+        let original = net.clone();
+        let t = p.set_level(&mut net, 3).unwrap();
+        assert_eq!(t.from, 0);
+        assert_eq!(t.to, 3);
+        assert!(t.weights_pruned > 0);
+        assert!(net.sparsity() > 0.4);
+        assert_ne!(net, original);
+        let t = p.restore_full(&mut net).unwrap();
+        assert!(t.weights_restored > 0);
+        p.verify_restored(&net).unwrap();
+        for meta in original.prunable_layers() {
+            assert_eq!(
+                original.weight(meta.id).unwrap(),
+                net.weight(meta.id).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn partial_restore_pops_one_level() {
+        let (mut net, mut p) = setup(vec![0.0, 0.3, 0.6]);
+        p.set_level(&mut net, 2).unwrap();
+        let bytes_at_2 = p.log_bytes();
+        let t = p.set_level(&mut net, 1).unwrap();
+        assert_eq!(t.weights_pruned, 0);
+        assert!(t.weights_restored > 0);
+        assert_eq!(p.current_level(), 1);
+        assert!(p.log_bytes() < bytes_at_2);
+        // Realized sparsity should match level 1's mask exactly.
+        let expect = p.ladder().level(1).unwrap().masks.pruned_count();
+        let zeros: usize = net
+            .prunable_layers()
+            .iter()
+            .map(|m| net.weight(m.id).unwrap().count_near_zero(0.0))
+            .sum();
+        assert!(zeros >= expect, "zeros {zeros} < masked {expect}");
+    }
+
+    #[test]
+    fn transition_cost_is_delta_sized() {
+        let (mut net, mut p) = setup(vec![0.0, 0.3, 0.6]);
+        let t1 = p.set_level(&mut net, 1).unwrap();
+        let t2 = p.set_level(&mut net, 2).unwrap();
+        // Moving one more level touches only the newly pruned weights,
+        // which is far less than the whole model.
+        assert!(t2.weights_pruned < net.num_parameters() / 2);
+        assert!(t1.weights_touched() > 0);
+        // Round trip 2 -> 1 restores exactly what 1 -> 2 pruned.
+        let t3 = p.set_level(&mut net, 1).unwrap();
+        assert_eq!(t3.weights_restored, t2.weights_pruned);
+    }
+
+    #[test]
+    fn set_level_same_level_is_noop() {
+        let (mut net, mut p) = setup(vec![0.0, 0.5]);
+        let before = net.clone();
+        let t = p.set_level(&mut net, 0).unwrap();
+        assert_eq!(t.weights_touched(), 0);
+        assert_eq!(net, before);
+    }
+
+    #[test]
+    fn set_level_rejects_out_of_range() {
+        let (mut net, mut p) = setup(vec![0.0, 0.5]);
+        assert!(matches!(
+            p.set_level(&mut net, 2),
+            Err(PruneError::UnknownLevel { level: 2, available: 2 })
+        ));
+    }
+
+    #[test]
+    fn log_bytes_proportional_to_pruned_fraction() {
+        let (mut net, mut p) = setup(vec![0.0, 0.3, 0.6, 0.9]);
+        p.set_level(&mut net, 1).unwrap();
+        let b1 = p.log_bytes();
+        p.set_level(&mut net, 3).unwrap();
+        let b3 = p.log_bytes();
+        assert!(b3 > 2 * b1, "log should grow with sparsity: {b1} vs {b3}");
+        assert_eq!(b3, p.max_log_bytes());
+        assert_eq!(p.log_entries() * 8, b3);
+    }
+
+    #[test]
+    fn verify_restored_fails_above_level_zero() {
+        let (mut net, mut p) = setup(vec![0.0, 0.5]);
+        p.set_level(&mut net, 1).unwrap();
+        assert!(matches!(
+            p.verify_restored(&net),
+            Err(PruneError::NotRestorable { .. })
+        ));
+    }
+
+    #[test]
+    fn verify_detects_tampering() {
+        let (mut net, mut p) = setup(vec![0.0, 0.5]);
+        p.set_level(&mut net, 1).unwrap();
+        p.set_level(&mut net, 0).unwrap();
+        // Tamper with one weight.
+        let id = net.prunable_layers()[0].id;
+        net.weight_mut(id).unwrap().data_mut()[0] += 1.0;
+        assert!(matches!(
+            p.verify_restored(&net),
+            Err(PruneError::IntegrityViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn rebase_accepts_new_weights_at_level_zero_only() {
+        let (mut net, mut p) = setup(vec![0.0, 0.5]);
+        let id = net.prunable_layers()[0].id;
+        net.weight_mut(id).unwrap().data_mut()[0] += 1.0;
+        assert!(p.verify_restored(&net).is_err());
+        p.rebase(&net).unwrap();
+        p.verify_restored(&net).unwrap();
+        p.set_level(&mut net, 1).unwrap();
+        assert!(p.rebase(&net).is_err());
+    }
+
+    #[test]
+    fn reapply_masks_after_fine_tune_step() {
+        let (mut net, mut p) = setup(vec![0.0, 0.5]);
+        p.set_level(&mut net, 1).unwrap();
+        // Simulate an optimizer step resurrecting pruned weights.
+        let id = net.prunable_layers()[0].id;
+        net.weight_mut(id).unwrap().map_inplace(|x| x + 0.01);
+        p.reapply_masks(&mut net).unwrap();
+        let mask = p.ladder().level(1).unwrap().masks.get(id).unwrap();
+        let w = net.weight(id).unwrap();
+        for i in mask.pruned_indices() {
+            assert_eq!(w.data()[i], 0.0);
+        }
+    }
+
+    #[test]
+    fn structured_ladder_round_trip() {
+        let net0 = models::default_perception_cnn(31).unwrap();
+        let ladder = LadderConfig::uniform(4, 0.75)
+            .criterion(PruneCriterion::ChannelL2)
+            .build(&net0)
+            .unwrap();
+        let mut net = net0.clone();
+        let mut p = ReversiblePruner::attach(&net, ladder).unwrap();
+        for level in [3, 1, 2, 0] {
+            p.set_level(&mut net, level).unwrap();
+        }
+        p.verify_restored(&net).unwrap();
+        assert_eq!(net, net0);
+    }
+
+    #[test]
+    fn attach_rejects_foreign_ladder() {
+        let cnn = models::default_perception_cnn(1).unwrap();
+        let mlp = models::control_mlp(4, &[8], 2, 1).unwrap();
+        let ladder = LadderConfig::new(vec![0.0, 0.5]).build(&cnn).unwrap();
+        assert!(ReversiblePruner::attach(&mlp, ladder).is_err());
+    }
+
+    #[test]
+    fn layer_delta_accounting() {
+        let d = LayerDelta {
+            layer: LayerId(0),
+            indices: vec![1, 2, 3],
+            values: DeltaValues::Exact(vec![0.1, 0.2, 0.3]),
+        };
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+        assert_eq!(d.bytes(), 24);
+        let ld = LevelDelta { to_level: 1, layers: vec![d] };
+        assert_eq!(ld.bytes(), 24);
+        assert_eq!(ld.len(), 3);
+        let h = LayerDelta {
+            layer: LayerId(0),
+            indices: vec![1, 2],
+            values: DeltaValues::Half(vec![
+                crate::f16::f32_to_f16_bits(0.5),
+                crate::f16::f32_to_f16_bits(-1.0),
+            ]),
+        };
+        assert_eq!(h.bytes(), 12, "half entries are 6 bytes");
+        assert_eq!(h.values.get(0), 0.5);
+        assert_eq!(h.values.get(1), -1.0);
+        assert!(!h.values.is_empty());
+    }
+
+    #[test]
+    fn half_precision_log_roundtrips_exactly_after_quantization() {
+        let mut net = models::default_perception_cnn(51).unwrap();
+        let ladder = LadderConfig::new(vec![0.0, 0.4, 0.8]).build(&net).unwrap();
+        let mut p = ReversiblePruner::attach_half(&mut net, ladder).unwrap();
+        assert_eq!(p.precision(), LogPrecision::Half);
+        let quantized_baseline = net.clone();
+        for walk in [2usize, 1, 2, 0, 1, 0] {
+            p.set_level(&mut net, walk).unwrap();
+        }
+        p.set_level(&mut net, 0).unwrap();
+        p.verify_restored(&net).unwrap();
+        assert_eq!(net, quantized_baseline);
+    }
+
+    #[test]
+    fn half_precision_log_is_three_quarters_the_size() {
+        let base = models::default_perception_cnn(52).unwrap();
+        let ladder = LadderConfig::new(vec![0.0, 0.6]).build(&base).unwrap();
+
+        let mut net_e = base.clone();
+        let mut pe = ReversiblePruner::attach(&net_e, ladder.clone()).unwrap();
+        pe.set_level(&mut net_e, 1).unwrap();
+
+        let mut net_h = base.clone();
+        let mut ph = ReversiblePruner::attach_half(&mut net_h, ladder).unwrap();
+        ph.set_level(&mut net_h, 1).unwrap();
+
+        assert_eq!(pe.log_entries(), ph.log_entries());
+        assert_eq!(ph.log_bytes() * 4, pe.log_bytes() * 3, "6B vs 8B per entry");
+        assert_eq!(ph.max_log_bytes() * 4, pe.max_log_bytes() * 3);
+    }
+
+    #[test]
+    fn half_quantization_error_is_tiny() {
+        // The one-time quantization moves coverable weights by < 0.1% rel.
+        let base = models::default_perception_cnn(53).unwrap();
+        let mut net = base.clone();
+        let ladder = LadderConfig::new(vec![0.0, 0.9]).build(&net).unwrap();
+        let _ = ReversiblePruner::attach_half(&mut net, ladder).unwrap();
+        for meta in base.prunable_layers() {
+            let a = base.weight(meta.id).unwrap();
+            let b = net.weight(meta.id).unwrap();
+            let diff = a.sub(b).unwrap().norm_l2();
+            let norm = a.norm_l2().max(1e-9);
+            assert!(diff / norm < 1e-3, "quantization moved {} by {}", meta.id, diff / norm);
+        }
+    }
+
+    #[test]
+    fn pruned_network_still_infers() {
+        let (mut net, mut p) = setup(vec![0.0, 0.9]);
+        p.set_level(&mut net, 1).unwrap();
+        let x = Tensor::ones(&[1, 16, 16]);
+        let probs = net.predict_proba(&x).unwrap();
+        assert!((probs.sum() - 1.0).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,214 @@
+//! Sparsity accounting: per-layer reports and the effective-compute view
+//! the platform model consumes.
+
+use crate::mask::MaskSet;
+use crate::Result;
+use reprune_nn::{LayerId, Network, PrunableKind};
+use serde::{Deserialize, Serialize};
+
+/// Per-layer sparsity and structure report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerReport {
+    /// Layer identity.
+    pub layer: LayerId,
+    /// Layer kind.
+    pub kind: PrunableKind,
+    /// Total weight elements.
+    pub weights: usize,
+    /// Weight elements that are exactly zero.
+    pub zero_weights: usize,
+    /// Structured units (rows/channels) in the layer.
+    pub units: usize,
+    /// Units whose entire weight slice is zero (dead channels) — the
+    /// quantity that turns into skipped MACs on dense hardware.
+    pub dead_units: usize,
+}
+
+impl LayerReport {
+    /// Element-level sparsity of the layer.
+    pub fn sparsity(&self) -> f64 {
+        if self.weights == 0 {
+            0.0
+        } else {
+            self.zero_weights as f64 / self.weights as f64
+        }
+    }
+
+    /// Fraction of structured units that are dead.
+    pub fn unit_sparsity(&self) -> f64 {
+        if self.units == 0 {
+            0.0
+        } else {
+            self.dead_units as f64 / self.units as f64
+        }
+    }
+}
+
+/// Whole-network sparsity report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SparsityReport {
+    /// Per-layer breakdown, in layer order.
+    pub layers: Vec<LayerReport>,
+}
+
+impl SparsityReport {
+    /// Overall element-level sparsity.
+    pub fn overall_sparsity(&self) -> f64 {
+        let total: usize = self.layers.iter().map(|l| l.weights).sum();
+        let zeros: usize = self.layers.iter().map(|l| l.zero_weights).sum();
+        if total == 0 {
+            0.0
+        } else {
+            zeros as f64 / total as f64
+        }
+    }
+
+    /// Total weights that remain live (non-zero).
+    pub fn live_weights(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.weights - l.zero_weights)
+            .sum()
+    }
+}
+
+/// Measures the realized sparsity structure of a network's weights.
+///
+/// # Errors
+///
+/// Propagates layer-access errors.
+pub fn sparsity_report(net: &Network) -> Result<SparsityReport> {
+    let mut layers = Vec::new();
+    for meta in net.prunable_layers() {
+        let w = net.weight(meta.id)?;
+        let data = w.data();
+        let zero_weights = w.count_near_zero(0.0);
+        let dead_units = (0..meta.units)
+            .filter(|&u| {
+                data[u * meta.unit_len..(u + 1) * meta.unit_len]
+                    .iter()
+                    .all(|&x| x == 0.0)
+            })
+            .count();
+        layers.push(LayerReport {
+            layer: meta.id,
+            kind: meta.kind,
+            weights: meta.weight_len(),
+            zero_weights,
+            units: meta.units,
+            dead_units,
+        });
+    }
+    Ok(SparsityReport { layers })
+}
+
+/// Fraction of structured units kept per layer under `masks` (1.0 for
+/// layers the mask set does not cover). Used by the platform model to
+/// scale per-layer MAC counts.
+pub fn kept_unit_fraction(net: &Network, masks: &MaskSet) -> Vec<(LayerId, f64)> {
+    net.prunable_layers()
+        .into_iter()
+        .map(|meta| {
+            let frac = match masks.get(meta.id) {
+                Some(mask) => {
+                    let dead = (0..meta.units)
+                        .filter(|&u| {
+                            (u * meta.unit_len..(u + 1) * meta.unit_len)
+                                .all(|i| mask.is_pruned(i))
+                        })
+                        .count();
+                    1.0 - dead as f64 / meta.units.max(1) as f64
+                }
+                None => 1.0,
+            };
+            (meta.id, frac)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::criterion::PruneCriterion;
+    use crate::ladder::LadderConfig;
+    use reprune_nn::models;
+
+    #[test]
+    fn report_on_dense_network() {
+        let net = models::default_perception_cnn(1).unwrap();
+        let r = sparsity_report(&net).unwrap();
+        assert_eq!(r.layers.len(), 4);
+        assert!(r.overall_sparsity() < 0.01);
+        assert_eq!(r.live_weights(), r.layers.iter().map(|l| l.weights - l.zero_weights).sum());
+        for l in &r.layers {
+            assert_eq!(l.dead_units, 0);
+        }
+    }
+
+    #[test]
+    fn structured_pruning_creates_dead_units() {
+        let mut net = models::default_perception_cnn(2).unwrap();
+        let ladder = LadderConfig::new(vec![0.0, 0.5])
+            .criterion(PruneCriterion::ChannelL2)
+            .build(&net)
+            .unwrap();
+        ladder.level(1).unwrap().masks.apply(&mut net).unwrap();
+        let r = sparsity_report(&net).unwrap();
+        let conv1 = &r.layers[0];
+        assert_eq!(conv1.dead_units, 8, "half of 16 channels dead");
+        assert!((conv1.unit_sparsity() - 0.5).abs() < 1e-12);
+        assert!(conv1.sparsity() >= 0.5);
+    }
+
+    #[test]
+    fn unstructured_pruning_rarely_kills_units() {
+        let mut net = models::default_perception_cnn(3).unwrap();
+        let ladder = LadderConfig::new(vec![0.0, 0.5])
+            .criterion(PruneCriterion::Magnitude)
+            .build(&net)
+            .unwrap();
+        ladder.level(1).unwrap().masks.apply(&mut net).unwrap();
+        let r = sparsity_report(&net).unwrap();
+        let dead: usize = r.layers.iter().map(|l| l.dead_units).sum();
+        let units: usize = r.layers.iter().map(|l| l.units).sum();
+        assert!(
+            (dead as f64) < 0.2 * units as f64,
+            "magnitude pruning at 50% should not kill many whole channels: {dead}/{units}"
+        );
+    }
+
+    #[test]
+    fn kept_unit_fraction_matches_masks() {
+        let net = models::default_perception_cnn(4).unwrap();
+        let ladder = LadderConfig::new(vec![0.0, 0.5])
+            .criterion(PruneCriterion::ChannelL2)
+            .build(&net)
+            .unwrap();
+        let fracs = kept_unit_fraction(&net, &ladder.level(1).unwrap().masks);
+        assert_eq!(fracs.len(), 4);
+        // First conv: half the channels kept.
+        assert!((fracs[0].1 - 0.5).abs() < 1e-12);
+        // Protected output layer: fully kept.
+        assert_eq!(fracs[3].1, 1.0);
+        // Level 0 masks keep everything.
+        let f0 = kept_unit_fraction(&net, &ladder.level(0).unwrap().masks);
+        assert!(f0.iter().all(|&(_, f)| f == 1.0));
+    }
+
+    #[test]
+    fn empty_report_edges() {
+        let r = SparsityReport { layers: vec![] };
+        assert_eq!(r.overall_sparsity(), 0.0);
+        assert_eq!(r.live_weights(), 0);
+        let l = LayerReport {
+            layer: LayerId(0),
+            kind: PrunableKind::Linear,
+            weights: 0,
+            zero_weights: 0,
+            units: 0,
+            dead_units: 0,
+        };
+        assert_eq!(l.sparsity(), 0.0);
+        assert_eq!(l.unit_sparsity(), 0.0);
+    }
+}

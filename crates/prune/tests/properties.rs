@@ -1,0 +1,223 @@
+//! Property-based tests for the reversible-pruning invariants.
+//!
+//! These encode the paper's core claims as machine-checked properties:
+//! any walk over any ladder, under any criterion, restores the original
+//! weights bit-exactly when it returns to level 0, and the reversal log
+//! never exceeds the pruned fraction of the model.
+
+use proptest::prelude::*;
+use reprune_nn::{models, Network};
+use reprune_prune::compact::{compact_network, zero_dead_unit_biases};
+use reprune_prune::{LadderConfig, PruneCriterion, ReversiblePruner, SnapshotRestore};
+use reprune_tensor::rng::Prng;
+use reprune_tensor::Tensor;
+
+fn criterion_strategy() -> impl Strategy<Value = PruneCriterion> {
+    prop_oneof![
+        Just(PruneCriterion::Magnitude),
+        Just(PruneCriterion::ChannelL2),
+        any::<u64>().prop_map(|seed| PruneCriterion::Random { seed }),
+    ]
+}
+
+fn ladder_levels_strategy() -> impl Strategy<Value = Vec<f64>> {
+    // 2..=6 strictly increasing levels starting at 0, capped below 0.95.
+    prop::collection::vec(0.01f64..0.9, 1..6).prop_map(|mut raw| {
+        raw.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        raw.dedup_by(|a, b| (*a - *b).abs() < 0.02);
+        let mut levels = vec![0.0];
+        levels.extend(raw);
+        levels
+    })
+}
+
+fn small_net(seed: u64) -> Network {
+    models::control_mlp(6, &[12, 8], 4, seed).expect("valid dims")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn any_walk_restores_bit_exact(
+        net_seed in 0u64..1000,
+        crit in criterion_strategy(),
+        levels in ladder_levels_strategy(),
+        walk in prop::collection::vec(0usize..6, 1..12),
+    ) {
+        let original = small_net(net_seed);
+        let mut net = original.clone();
+        let ladder = LadderConfig::new(levels.clone()).criterion(crit).build(&net).unwrap();
+        let n = ladder.num_levels();
+        let mut pruner = ReversiblePruner::attach(&net, ladder).unwrap();
+        for &step in &walk {
+            pruner.set_level(&mut net, step % n).unwrap();
+        }
+        pruner.set_level(&mut net, 0).unwrap();
+        pruner.verify_restored(&net).unwrap();
+        prop_assert_eq!(net, original);
+    }
+
+    #[test]
+    fn realized_sparsity_matches_masks(
+        net_seed in 0u64..1000,
+        crit in criterion_strategy(),
+        levels in ladder_levels_strategy(),
+    ) {
+        let mut net = small_net(net_seed);
+        let ladder = LadderConfig::new(levels).criterion(crit).build(&net).unwrap();
+        let n = ladder.num_levels();
+        let mut pruner = ReversiblePruner::attach(&net, ladder).unwrap();
+        for level in (0..n).chain((0..n).rev()) {
+            pruner.set_level(&mut net, level).unwrap();
+            let masked = pruner.ladder().level(level).unwrap().masks.pruned_count();
+            let zeros: usize = net
+                .prunable_layers()
+                .iter()
+                .map(|m| net.weight(m.id).unwrap().count_near_zero(0.0))
+                .sum();
+            // Every masked weight is zero (pre-existing zeros may add more).
+            prop_assert!(zeros >= masked);
+        }
+    }
+
+    #[test]
+    fn log_never_exceeds_snapshot(
+        net_seed in 0u64..1000,
+        crit in criterion_strategy(),
+        levels in ladder_levels_strategy(),
+        walk in prop::collection::vec(0usize..6, 1..8),
+    ) {
+        let mut net = small_net(net_seed);
+        let snapshot_bytes = SnapshotRestore::capture(&net).bytes();
+        let ladder = LadderConfig::new(levels).criterion(crit).build(&net).unwrap();
+        let n = ladder.num_levels();
+        let mut pruner = ReversiblePruner::attach(&net, ladder).unwrap();
+        for &step in &walk {
+            pruner.set_level(&mut net, step % n).unwrap();
+            // The reversal log stores (index, value) pairs only for pruned
+            // weights: 8 bytes per pruned weight vs 4 bytes per weight for
+            // the snapshot, so it wins whenever sparsity < 50%, and at the
+            // ladder tops used in practice it is far smaller. It must never
+            // exceed twice the snapshot (the 100%-sparsity bound).
+            prop_assert!(pruner.log_bytes() <= 2 * snapshot_bytes);
+            // Log entries equal exactly the pruned count of the current mask.
+            let masked = pruner
+                .ladder()
+                .level(pruner.current_level())
+                .unwrap()
+                .masks
+                .pruned_count();
+            prop_assert_eq!(pruner.log_entries(), masked);
+        }
+    }
+
+    #[test]
+    fn transitions_report_conservation(
+        net_seed in 0u64..200,
+        levels in ladder_levels_strategy(),
+    ) {
+        // Weights pruned going up equal weights restored coming back down.
+        let mut net = small_net(net_seed);
+        let ladder = LadderConfig::new(levels).build(&net).unwrap();
+        let top = ladder.num_levels() - 1;
+        let mut pruner = ReversiblePruner::attach(&net, ladder).unwrap();
+        let up = pruner.set_level(&mut net, top).unwrap();
+        let down = pruner.set_level(&mut net, 0).unwrap();
+        prop_assert_eq!(up.weights_pruned, down.weights_restored);
+        prop_assert_eq!(up.weights_restored, 0);
+        prop_assert_eq!(down.weights_pruned, 0);
+    }
+
+    #[test]
+    fn snapshot_and_reversal_agree(
+        net_seed in 0u64..200,
+        crit in criterion_strategy(),
+    ) {
+        // Two restoration mechanisms, one truth.
+        let original = small_net(net_seed);
+        let mut via_log = original.clone();
+        let mut via_snap = original.clone();
+        let ladder = LadderConfig::new(vec![0.0, 0.6]).criterion(crit).build(&original).unwrap();
+        let snap = SnapshotRestore::capture(&via_snap);
+
+        let mut pruner = ReversiblePruner::attach(&via_log, ladder.clone()).unwrap();
+        pruner.set_level(&mut via_log, 1).unwrap();
+        pruner.set_level(&mut via_log, 0).unwrap();
+
+        ladder.level(1).unwrap().masks.apply(&mut via_snap).unwrap();
+        snap.restore(&mut via_snap).unwrap();
+
+        prop_assert_eq!(&via_log, &original);
+        prop_assert_eq!(&via_snap, &original);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn half_precision_walks_restore_the_quantized_baseline(
+        net_seed in 0u64..500,
+        levels in ladder_levels_strategy(),
+        walk in prop::collection::vec(0usize..6, 1..8),
+    ) {
+        let mut net = small_net(net_seed);
+        let ladder = LadderConfig::new(levels).build(&net).unwrap();
+        let n = ladder.num_levels();
+        let mut pruner = ReversiblePruner::attach_half(&mut net, ladder).unwrap();
+        let baseline = net.clone(); // post-quantization baseline
+        for &step in &walk {
+            pruner.set_level(&mut net, step % n).unwrap();
+        }
+        pruner.set_level(&mut net, 0).unwrap();
+        pruner.verify_restored(&net).unwrap();
+        prop_assert_eq!(net, baseline);
+    }
+
+    #[test]
+    fn half_log_is_exactly_three_quarters(
+        net_seed in 0u64..500,
+        sparsity in 0.1f64..0.9,
+    ) {
+        let base = small_net(net_seed);
+        let ladder = LadderConfig::new(vec![0.0, sparsity]).build(&base).unwrap();
+        let mut exact_net = base.clone();
+        let mut exact = ReversiblePruner::attach(&exact_net, ladder.clone()).unwrap();
+        exact.set_level(&mut exact_net, 1).unwrap();
+        let mut half_net = base.clone();
+        let mut half = ReversiblePruner::attach_half(&mut half_net, ladder).unwrap();
+        half.set_level(&mut half_net, 1).unwrap();
+        prop_assert_eq!(half.log_bytes() * 4, exact.log_bytes() * 3);
+    }
+
+    #[test]
+    fn compaction_preserves_function_on_random_mlps(
+        net_seed in 0u64..500,
+        sparsity in 0.1f64..0.9,
+        input_seed in any::<u64>(),
+    ) {
+        let mut net = small_net(net_seed);
+        let ladder = LadderConfig::new(vec![0.0, sparsity])
+            .criterion(PruneCriterion::ChannelL2)
+            .build(&net)
+            .unwrap();
+        let masks = ladder.level(1).unwrap().masks.clone();
+        masks.apply(&mut net).unwrap();
+        zero_dead_unit_biases(&mut net, &masks).unwrap();
+        let (mut compacted, report) = compact_network(&net).unwrap();
+        prop_assert!(report.params_after <= report.params_before);
+        let mut rng = Prng::new(input_seed);
+        for _ in 0..3 {
+            let x = Tensor::rand_normal(&[6], 0.0, 1.5, &mut rng);
+            let a = net.forward(&x).unwrap();
+            let b = compacted.forward(&x).unwrap();
+            prop_assert!(
+                a.approx_eq(&b, 1e-3),
+                "compaction changed outputs: {:?} vs {:?}",
+                a.data(),
+                b.data()
+            );
+        }
+    }
+}

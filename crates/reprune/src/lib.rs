@@ -1,0 +1,61 @@
+//! # reprune — Reversible Runtime Neural-Network Pruning for Safe Autonomous Systems
+//!
+//! A from-scratch Rust reproduction of the DATE 2024 (ASD initiative)
+//! paper *"Back to the Future: Reversible Runtime Neural Network Pruning
+//! for Safe Autonomous Systems"* (Abraham, Maity, Donyanavard, Dutt).
+//!
+//! The idea in one paragraph: runtime pruning saves energy on embedded
+//! perception workloads, but conventional pruning is irreversible — when
+//! the driving context suddenly turns risky, recovering full model
+//! capacity means a slow storage reload or retraining. This stack makes
+//! pruning a **two-way door**: evicted weights go into a compact reversal
+//! log, so the runtime can walk a nested *sparsity ladder* up (save
+//! energy) and down (restore capacity, bit-exact, in microseconds) as a
+//! MAPE-K loop tracks context risk.
+//!
+//! ## Layer map
+//!
+//! | Crate | Role |
+//! |-------|------|
+//! | [`tensor`] | dense f32 tensors, conv/matmul kernels, seeded PRNG |
+//! | [`nn`] | layers, backprop training, synthetic perception datasets |
+//! | [`prune`] | criteria, nested ladders, the reversal log, baselines |
+//! | [`platform`] | embedded SoC cost model, restore-path pricing |
+//! | [`scenario`] | seeded driving scenarios with ground-truth risk |
+//! | [`runtime`] | MAPE-K manager, safety envelope, policies, accounting |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use reprune::nn::models;
+//! use reprune::prune::{LadderConfig, PruneCriterion, ReversiblePruner};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // 1. A perception network (train it with reprune::nn::train).
+//! let mut net = models::default_perception_cnn(42)?;
+//!
+//! // 2. A nested sparsity ladder over its channels.
+//! let ladder = LadderConfig::new(vec![0.0, 0.3, 0.6, 0.9])
+//!     .criterion(PruneCriterion::ChannelL2)
+//!     .build(&net)?;
+//!
+//! // 3. Reversible pruning: down is as cheap as up.
+//! let mut pruner = ReversiblePruner::attach(&net, ladder)?;
+//! pruner.set_level(&mut net, 3)?;   // benign context: prune hard
+//! pruner.set_level(&mut net, 0)?;   // risk spike: instant full restore
+//! pruner.verify_restored(&net)?;    // bit-exact
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! For the full closed loop see [`runtime::manager::RuntimeManager`] and
+//! the `examples/` directory.
+
+#![deny(missing_docs)]
+
+pub use reprune_nn as nn;
+pub use reprune_platform as platform;
+pub use reprune_prune as prune;
+pub use reprune_runtime as runtime;
+pub use reprune_scenario as scenario;
+pub use reprune_tensor as tensor;

@@ -1,0 +1,180 @@
+//! End-to-end integration tests spanning the full stack: train a
+//! perception network, prune it reversibly, and drive it through
+//! scenarios under every policy.
+
+use reprune::nn::dataset::{SceneContext, SceneDataset};
+use reprune::nn::train::{train_classifier, TrainConfig};
+use reprune::nn::{metrics, models, Network};
+use reprune::prune::{LadderConfig, PruneCriterion, ReversiblePruner};
+use reprune::runtime::envelope::SafetyEnvelope;
+use reprune::runtime::manager::{RestoreMechanism, RuntimeManager, RuntimeManagerConfig};
+use reprune::runtime::policy::{AdaptiveConfig, Policy};
+use reprune::scenario::ScenarioConfig;
+
+/// Trains the reference CNN once for the whole test binary.
+fn trained_cnn() -> (Network, SceneDataset) {
+    let data = SceneDataset::builder()
+        .samples(360)
+        .seed(100)
+        .context_mix(&[
+            (SceneContext::Clear, 0.55),
+            (SceneContext::Rain, 0.15),
+            (SceneContext::Night, 0.15),
+            (SceneContext::Fog, 0.15),
+        ])
+        .build();
+    let (train, test) = data.split(0.8);
+    let mut net = models::default_perception_cnn(7).expect("valid architecture");
+    train_classifier(
+        &mut net,
+        train.samples(),
+        &TrainConfig {
+            epochs: 8,
+            batch_size: 16,
+            lr: 0.04,
+            ..TrainConfig::default()
+        },
+    )
+    .expect("training succeeds");
+    (net, test)
+}
+
+#[test]
+fn trained_model_beats_chance_and_prunes_gracefully() {
+    let (mut net, test) = trained_cnn();
+    let dense = metrics::evaluate(&mut net, test.samples()).unwrap();
+    assert!(
+        dense.accuracy > 0.55,
+        "dense accuracy {} must beat 6-class chance by a wide margin",
+        dense.accuracy
+    );
+
+    // F1 shape: accuracy decreases (weakly) as sparsity rises, and
+    // moderate magnitude pruning costs little.
+    let ladder = LadderConfig::new(vec![0.0, 0.3, 0.5, 0.7, 0.9])
+        .criterion(PruneCriterion::Magnitude)
+        .build(&net)
+        .unwrap();
+    let mut pruner = ReversiblePruner::attach(&net, ladder).unwrap();
+    let mut accs = Vec::new();
+    for level in 0..5 {
+        pruner.set_level(&mut net, level).unwrap();
+        accs.push(metrics::evaluate(&mut net, test.samples()).unwrap().accuracy);
+    }
+    pruner.set_level(&mut net, 0).unwrap();
+    pruner.verify_restored(&net).unwrap();
+    assert!(
+        accs[1] > dense.accuracy - 0.1,
+        "30% magnitude pruning should be nearly free: {accs:?}"
+    );
+    assert!(
+        *accs.last().unwrap() < dense.accuracy,
+        "90% pruning must cost accuracy: {accs:?}"
+    );
+}
+
+#[test]
+fn restore_recovers_accuracy_exactly() {
+    let (mut net, test) = trained_cnn();
+    let before = metrics::evaluate(&mut net, test.samples()).unwrap().accuracy;
+    let ladder = LadderConfig::new(vec![0.0, 0.6, 0.9])
+        .criterion(PruneCriterion::ChannelL2)
+        .build(&net)
+        .unwrap();
+    let mut pruner = ReversiblePruner::attach(&net, ladder).unwrap();
+    pruner.set_level(&mut net, 2).unwrap();
+    let degraded = metrics::evaluate(&mut net, test.samples()).unwrap().accuracy;
+    pruner.set_level(&mut net, 0).unwrap();
+    let restored = metrics::evaluate(&mut net, test.samples()).unwrap().accuracy;
+    assert!(degraded < before, "90% channel pruning must hurt: {degraded} vs {before}");
+    assert_eq!(restored, before, "restore must be accuracy-exact, not just close");
+}
+
+#[test]
+fn adverse_context_reduces_accuracy_and_confidence() {
+    // The self-awareness signal the Monitor relies on must exist.
+    let (mut net, _) = trained_cnn();
+    let clear = SceneDataset::builder().samples(120).seed(500).context(SceneContext::Clear).build();
+    let fog = SceneDataset::builder().samples(120).seed(500).context(SceneContext::Fog).build();
+    let ec = metrics::evaluate(&mut net, clear.samples()).unwrap();
+    let ef = metrics::evaluate(&mut net, fog.samples()).unwrap();
+    assert!(
+        ef.accuracy < ec.accuracy,
+        "fog accuracy {} should trail clear {}",
+        ef.accuracy,
+        ec.accuracy
+    );
+    assert!(
+        ef.mean_confidence < ec.mean_confidence,
+        "fog confidence {} should trail clear {}",
+        ef.mean_confidence,
+        ec.mean_confidence
+    );
+}
+
+fn run_policy(net: &Network, policy: Policy, mech: RestoreMechanism, seed: u64) -> reprune::runtime::RunResult {
+    let ladder = LadderConfig::new(vec![0.0, 0.3, 0.6, 0.9])
+        .criterion(PruneCriterion::ChannelL2)
+        .build(net)
+        .unwrap();
+    let envelope = SafetyEnvelope::new(vec![0.6, 0.4, 0.2]).unwrap();
+    let mut mgr = RuntimeManager::attach(
+        net.clone(),
+        ladder,
+        RuntimeManagerConfig::new(policy, envelope)
+            .mechanism(mech)
+            .frame_seed(seed),
+    )
+    .unwrap();
+    let scenario = ScenarioConfig::new()
+        .duration_s(180.0)
+        .seed(seed)
+        .event_rate_scale(1.5)
+        .generate();
+    mgr.run(&scenario).unwrap()
+}
+
+#[test]
+fn policy_comparison_matches_t3_shape() {
+    let (net, _) = trained_cnn();
+    let adaptive = run_policy(
+        &net,
+        Policy::adaptive(AdaptiveConfig::default()),
+        RestoreMechanism::DeltaLog,
+        42,
+    );
+    let no_prune = run_policy(&net, Policy::NoPruning, RestoreMechanism::DeltaLog, 42);
+    let aggressive = run_policy(&net, Policy::Static { level: 3 }, RestoreMechanism::DeltaLog, 42);
+    let oracle = run_policy(&net, Policy::Oracle, RestoreMechanism::DeltaLog, 42);
+
+    // Energy: aggressive ≤ oracle ≤ adaptive < no-pruning (with real savings).
+    assert!(adaptive.total_energy.0 < no_prune.total_energy.0 * 0.9);
+    assert!(aggressive.total_energy.0 <= adaptive.total_energy.0);
+
+    // Safety: no-pruning and oracle are violation-free; adaptive is close;
+    // aggressive is the worst.
+    assert_eq!(no_prune.violations, 0);
+    assert_eq!(oracle.violations, 0);
+    assert!(aggressive.violations > adaptive.violations);
+    assert!(
+        adaptive.violation_fraction() < 0.05,
+        "adaptive violation fraction {}",
+        adaptive.violation_fraction()
+    );
+}
+
+#[test]
+fn delta_log_recovers_faster_than_reload() {
+    let (net, _) = trained_cnn();
+    let fast = run_policy(&net, Policy::Oracle, RestoreMechanism::DeltaLog, 9);
+    let slow = run_policy(&net, Policy::Oracle, RestoreMechanism::StorageReload, 9);
+    assert!(
+        slow.violations > fast.violations,
+        "reload restore must cause violation ticks: {} vs {}",
+        slow.violations,
+        fast.violations
+    );
+    if let (Some(f), Some(s)) = (fast.mean_recovery_latency(), slow.mean_recovery_latency()) {
+        assert!(s >= f, "reload recovery {s} should not beat delta {f}");
+    }
+}

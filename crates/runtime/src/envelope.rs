@@ -1,0 +1,160 @@
+//! The safety envelope: how much capacity each risk level demands.
+
+use crate::{Result, RuntimeError};
+use serde::{Deserialize, Serialize};
+
+/// Maps context risk to the maximum ladder level (sparsity) safety allows.
+///
+/// For a ladder with `L` levels the envelope stores `L-1` strictly
+/// decreasing risk thresholds: level `k ≥ 1` is permitted only while risk
+/// is *below* `thresholds[k-1]`. Level 0 (full capacity) is always
+/// permitted. A risk at or above `thresholds[0]` therefore demands full
+/// capacity — that is the *critical* threshold used for violation
+/// accounting.
+///
+/// # Example
+///
+/// ```
+/// use reprune_runtime::SafetyEnvelope;
+///
+/// # fn main() -> Result<(), reprune_runtime::RuntimeError> {
+/// // 4-level ladder: prune to level 3 only below risk 0.2, level 2 below
+/// // 0.4, level 1 below 0.6; at ≥ 0.6 full capacity is mandatory.
+/// let env = SafetyEnvelope::new(vec![0.6, 0.4, 0.2])?;
+/// assert_eq!(env.max_level(0.7), 0);
+/// assert_eq!(env.max_level(0.5), 1);
+/// assert_eq!(env.max_level(0.1), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SafetyEnvelope {
+    thresholds: Vec<f64>,
+}
+
+impl SafetyEnvelope {
+    /// Creates an envelope from strictly decreasing risk thresholds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::BadConfig`] if the list is empty, not
+    /// strictly decreasing, or leaves `(0, 1)`.
+    pub fn new(thresholds: Vec<f64>) -> Result<Self> {
+        if thresholds.is_empty() {
+            return Err(RuntimeError::bad_config("envelope needs ≥1 threshold"));
+        }
+        for pair in thresholds.windows(2) {
+            if pair[1] >= pair[0] {
+                return Err(RuntimeError::bad_config(format!(
+                    "thresholds must strictly decrease: {} then {}",
+                    pair[0], pair[1]
+                )));
+            }
+        }
+        if thresholds.iter().any(|&t| !(0.0..1.0).contains(&t) || t <= 0.0) {
+            return Err(RuntimeError::bad_config(
+                "thresholds must lie strictly inside (0, 1)",
+            ));
+        }
+        Ok(SafetyEnvelope { thresholds })
+    }
+
+    /// Builds an evenly spaced envelope for a ladder with `levels` levels,
+    /// with the critical threshold at `critical_risk`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::BadConfig`] for fewer than 2 levels or an
+    /// out-of-range critical risk.
+    pub fn evenly_spaced(levels: usize, critical_risk: f64) -> Result<Self> {
+        if levels < 2 {
+            return Err(RuntimeError::bad_config(
+                "an envelope needs a ladder with ≥2 levels",
+            ));
+        }
+        if !(0.0..1.0).contains(&critical_risk) || critical_risk <= 0.0 {
+            return Err(RuntimeError::bad_config(
+                "critical risk must lie strictly inside (0, 1)",
+            ));
+        }
+        let n = levels - 1;
+        let thresholds = (0..n)
+            .map(|k| critical_risk * (n - k) as f64 / n as f64)
+            .collect();
+        SafetyEnvelope::new(thresholds)
+    }
+
+    /// Number of ladder levels this envelope governs.
+    pub fn levels(&self) -> usize {
+        self.thresholds.len() + 1
+    }
+
+    /// The risk at or above which full capacity is mandatory.
+    pub fn critical_risk(&self) -> f64 {
+        self.thresholds[0]
+    }
+
+    /// Maximum ladder level permitted at `risk`.
+    pub fn max_level(&self, risk: f64) -> usize {
+        self.thresholds
+            .iter()
+            .take_while(|&&t| risk < t)
+            .count()
+    }
+
+    /// The thresholds, level-1-first.
+    pub fn thresholds(&self) -> &[f64] {
+        &self.thresholds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_level_boundaries() {
+        let env = SafetyEnvelope::new(vec![0.6, 0.4, 0.2]).unwrap();
+        assert_eq!(env.levels(), 4);
+        assert_eq!(env.critical_risk(), 0.6);
+        assert_eq!(env.max_level(0.0), 3);
+        assert_eq!(env.max_level(0.19), 3);
+        assert_eq!(env.max_level(0.2), 2, "boundary is exclusive");
+        assert_eq!(env.max_level(0.39), 2);
+        assert_eq!(env.max_level(0.4), 1);
+        assert_eq!(env.max_level(0.6), 0);
+        assert_eq!(env.max_level(1.0), 0);
+    }
+
+    #[test]
+    fn max_level_is_monotone_nonincreasing_in_risk() {
+        let env = SafetyEnvelope::evenly_spaced(5, 0.7).unwrap();
+        let mut prev = usize::MAX;
+        for i in 0..=100 {
+            let lvl = env.max_level(i as f64 / 100.0);
+            assert!(lvl <= prev);
+            prev = lvl;
+        }
+    }
+
+    #[test]
+    fn evenly_spaced_spacing() {
+        let env = SafetyEnvelope::evenly_spaced(4, 0.6).unwrap();
+        let t = env.thresholds();
+        assert_eq!(t.len(), 3);
+        assert!((t[0] - 0.6).abs() < 1e-12);
+        assert!((t[1] - 0.4).abs() < 1e-12);
+        assert!((t[2] - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(SafetyEnvelope::new(vec![]).is_err());
+        assert!(SafetyEnvelope::new(vec![0.4, 0.6]).is_err(), "not decreasing");
+        assert!(SafetyEnvelope::new(vec![0.5, 0.5]).is_err(), "not strict");
+        assert!(SafetyEnvelope::new(vec![1.0]).is_err(), "out of range");
+        assert!(SafetyEnvelope::new(vec![0.0]).is_err(), "zero threshold");
+        assert!(SafetyEnvelope::evenly_spaced(1, 0.5).is_err());
+        assert!(SafetyEnvelope::evenly_spaced(4, 1.5).is_err());
+    }
+}

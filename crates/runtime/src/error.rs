@@ -1,0 +1,75 @@
+use reprune_nn::NnError;
+use reprune_prune::PruneError;
+use std::fmt;
+
+/// Error type for the runtime layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// A pruning operation failed.
+    Prune(PruneError),
+    /// A network operation failed.
+    Nn(NnError),
+    /// Runtime configuration was inconsistent.
+    BadConfig {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl RuntimeError {
+    /// Convenience constructor for [`RuntimeError::BadConfig`].
+    pub fn bad_config(message: impl Into<String>) -> Self {
+        RuntimeError::BadConfig {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Prune(e) => write!(f, "prune error: {e}"),
+            RuntimeError::Nn(e) => write!(f, "nn error: {e}"),
+            RuntimeError::BadConfig { message } => write!(f, "bad runtime config: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::Prune(e) => Some(e),
+            RuntimeError::Nn(e) => Some(e),
+            RuntimeError::BadConfig { .. } => None,
+        }
+    }
+}
+
+impl From<PruneError> for RuntimeError {
+    fn from(e: PruneError) -> Self {
+        RuntimeError::Prune(e)
+    }
+}
+
+impl From<NnError> for RuntimeError {
+    fn from(e: NnError) -> Self {
+        RuntimeError::Nn(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = RuntimeError::bad_config("no levels");
+        assert!(e.to_string().contains("no levels"));
+        assert!(e.source().is_none());
+        let e: RuntimeError = PruneError::bad_ladder("x").into();
+        assert!(e.source().is_some());
+        let e: RuntimeError = NnError::UnknownLayer { index: 1 }.into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,299 @@
+//! Multi-model budget planning: several reversibly-pruned networks
+//! sharing one energy budget.
+//!
+//! Real autonomy stacks run a *fleet* of networks (perception, prediction,
+//! control). Reversible pruning makes each of them a dial; this module
+//! turns the dials together: given each member's safety envelope, its
+//! per-level energy profile, and a per-tick energy budget,
+//! [`plan_budget`] picks per-member ladder levels that
+//!
+//! 1. **never** violate any member's safety envelope at the current risk
+//!    (hard constraint, not traded), and
+//! 2. subject to that, keep as much utility (profiled accuracy) as the
+//!    budget allows, shedding capacity where it is cheapest first —
+//!    a greedy marginal utility-per-joule allocation.
+
+use crate::envelope::SafetyEnvelope;
+use crate::{Result, RuntimeError};
+use reprune_platform::Joules;
+use serde::{Deserialize, Serialize};
+
+/// One budget-managed model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetMember {
+    /// Human-readable name.
+    pub name: String,
+    /// The member's safety envelope (levels must match the profiles).
+    pub envelope: SafetyEnvelope,
+    /// Per-tick inference energy at each ladder level (strictly
+    /// decreasing in level).
+    pub energy_per_level: Vec<Joules>,
+    /// Utility (e.g. profiled accuracy in `[0,1]`) at each level
+    /// (non-increasing in level).
+    pub utility_per_level: Vec<f64>,
+}
+
+impl FleetMember {
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::BadConfig`] if lengths disagree with the
+    /// envelope or the profiles are not monotone.
+    pub fn validate(&self) -> Result<()> {
+        let n = self.envelope.levels();
+        if self.energy_per_level.len() != n || self.utility_per_level.len() != n {
+            return Err(RuntimeError::bad_config(format!(
+                "{}: envelope has {n} levels, profiles have {}/{}",
+                self.name,
+                self.energy_per_level.len(),
+                self.utility_per_level.len()
+            )));
+        }
+        for pair in self.energy_per_level.windows(2) {
+            if pair[1].0 >= pair[0].0 {
+                return Err(RuntimeError::bad_config(format!(
+                    "{}: energy must strictly decrease with level",
+                    self.name
+                )));
+            }
+        }
+        for pair in self.utility_per_level.windows(2) {
+            if pair[1] > pair[0] {
+                return Err(RuntimeError::bad_config(format!(
+                    "{}: utility must not increase with level",
+                    self.name
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Result of one budget-planning pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BudgetPlan {
+    /// Chosen ladder level per member, same order as the input.
+    pub levels: Vec<usize>,
+    /// Total per-tick energy of the allocation.
+    pub total_energy: Joules,
+    /// Total utility of the allocation.
+    pub total_utility: f64,
+    /// `false` if even the most-pruned safe allocation exceeds the budget
+    /// (the allocation returned is then that maximally pruned one).
+    pub feasible: bool,
+}
+
+/// Plans per-member ladder levels under a shared energy budget.
+///
+/// Starts every member at full capacity (level 0) and greedily raises the
+/// level of whichever member sheds the most energy per unit utility lost,
+/// never beyond that member's envelope at its current risk, until the
+/// budget is met or no safe moves remain.
+///
+/// # Errors
+///
+/// Returns [`RuntimeError::BadConfig`] if `members` and `risks` disagree
+/// in length, the member list is empty, or any member is inconsistent.
+pub fn plan_budget(
+    members: &[FleetMember],
+    risks: &[f64],
+    budget: Option<Joules>,
+) -> Result<BudgetPlan> {
+    if members.is_empty() {
+        return Err(RuntimeError::bad_config("fleet is empty"));
+    }
+    if members.len() != risks.len() {
+        return Err(RuntimeError::bad_config(format!(
+            "{} members but {} risks",
+            members.len(),
+            risks.len()
+        )));
+    }
+    for m in members {
+        m.validate()?;
+    }
+    let allowed: Vec<usize> = members
+        .iter()
+        .zip(risks)
+        .map(|(m, &r)| m.envelope.max_level(r))
+        .collect();
+    let mut levels = vec![0usize; members.len()];
+    let total = |levels: &[usize]| -> (Joules, f64) {
+        let e: Joules = members
+            .iter()
+            .zip(levels)
+            .map(|(m, &l)| m.energy_per_level[l])
+            .sum();
+        let u: f64 = members
+            .iter()
+            .zip(levels)
+            .map(|(m, &l)| m.utility_per_level[l])
+            .sum();
+        (e, u)
+    };
+    if let Some(budget) = budget {
+        loop {
+            let (energy, _) = total(&levels);
+            if energy.0 <= budget.0 {
+                break;
+            }
+            // Best next move: max energy saved per utility lost.
+            let mut best: Option<(usize, f64)> = None;
+            for (i, m) in members.iter().enumerate() {
+                if levels[i] >= allowed[i] {
+                    continue;
+                }
+                let l = levels[i];
+                let saved = m.energy_per_level[l].0 - m.energy_per_level[l + 1].0;
+                let lost = (m.utility_per_level[l] - m.utility_per_level[l + 1]).max(1e-12);
+                let score = saved / lost;
+                if best.is_none_or(|(_, s)| score > s) {
+                    best = Some((i, score));
+                }
+            }
+            match best {
+                Some((i, _)) => levels[i] += 1,
+                None => {
+                    // No safe moves left: report infeasible.
+                    let (energy, utility) = total(&levels);
+                    return Ok(BudgetPlan {
+                        levels,
+                        total_energy: energy,
+                        total_utility: utility,
+                        feasible: energy.0 <= budget.0,
+                    });
+                }
+            }
+        }
+    }
+    let (energy, utility) = total(&levels);
+    Ok(BudgetPlan {
+        levels,
+        total_energy: energy,
+        total_utility: utility,
+        feasible: budget.is_none_or(|b| energy.0 <= b.0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn member(name: &str, energies: &[f64], utilities: &[f64]) -> FleetMember {
+        FleetMember {
+            name: name.into(),
+            envelope: SafetyEnvelope::evenly_spaced(energies.len(), 0.6).unwrap(),
+            energy_per_level: energies.iter().map(|&e| Joules(e)).collect(),
+            utility_per_level: utilities.to_vec(),
+        }
+    }
+
+    fn perception() -> FleetMember {
+        member("perception", &[10.0, 7.0, 4.0, 2.0], &[0.95, 0.93, 0.88, 0.60])
+    }
+
+    fn control() -> FleetMember {
+        member("control", &[4.0, 3.0, 2.0, 1.0], &[0.99, 0.98, 0.97, 0.90])
+    }
+
+    #[test]
+    fn validation_catches_inconsistencies() {
+        let mut m = perception();
+        m.energy_per_level.pop();
+        assert!(m.validate().is_err());
+        let mut m = perception();
+        m.energy_per_level[1] = Joules(11.0); // not decreasing
+        assert!(m.validate().is_err());
+        let mut m = perception();
+        m.utility_per_level[2] = 0.99; // utility increases
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn unlimited_budget_keeps_full_capacity() {
+        let plan = plan_budget(&[perception(), control()], &[0.1, 0.1], None).unwrap();
+        assert_eq!(plan.levels, vec![0, 0]);
+        assert_eq!(plan.total_energy, Joules(14.0));
+        assert!(plan.feasible);
+    }
+
+    #[test]
+    fn safety_envelope_is_a_hard_constraint() {
+        // Perception at high risk may not be pruned at all, no matter how
+        // tight the budget; control at low risk takes the whole cut.
+        let plan = plan_budget(
+            &[perception(), control()],
+            &[0.9, 0.05],
+            Some(Joules(11.5)),
+        )
+        .unwrap();
+        assert_eq!(plan.levels[0], 0, "high-risk member stays dense");
+        assert!(plan.levels[1] > 0, "low-risk member absorbs the cut");
+        assert!(plan.feasible);
+        assert!(plan.total_energy.0 <= 11.5);
+    }
+
+    #[test]
+    fn infeasible_budget_reports_honestly() {
+        let plan = plan_budget(
+            &[perception(), control()],
+            &[0.9, 0.9], // both must stay dense
+            Some(Joules(5.0)),
+        )
+        .unwrap();
+        assert_eq!(plan.levels, vec![0, 0]);
+        assert!(!plan.feasible, "cannot meet 5 J with 14 J mandatory");
+        assert_eq!(plan.total_energy, Joules(14.0));
+    }
+
+    #[test]
+    fn greedy_sheds_cheapest_utility_first() {
+        // Control loses only 0.01 utility/level for 1 J; perception loses
+        // 0.02 for 3 J (level 0→1): perception's J-per-utility is better
+        // (150 vs 100), so it gets pruned first under a mild cut.
+        let plan = plan_budget(
+            &[perception(), control()],
+            &[0.0, 0.0],
+            Some(Joules(11.0)),
+        )
+        .unwrap();
+        assert!(plan.feasible);
+        assert_eq!(plan.levels[0], 1, "perception 0→1 is the best J/utility move");
+        assert_eq!(plan.levels[1], 0);
+    }
+
+    #[test]
+    fn tight_budget_prunes_everyone_within_safety() {
+        let plan = plan_budget(
+            &[perception(), control()],
+            &[0.0, 0.0],
+            Some(Joules(3.0)),
+        )
+        .unwrap();
+        assert!(plan.feasible);
+        assert_eq!(plan.levels, vec![3, 3], "only the floor fits 3 J");
+        assert_eq!(plan.total_energy, Joules(3.0));
+    }
+
+    #[test]
+    fn utility_monotone_in_budget() {
+        let members = [perception(), control()];
+        let risks = [0.0, 0.0];
+        let mut prev_utility = -1.0;
+        for budget in [3.0, 6.0, 9.0, 12.0, 14.0] {
+            let plan = plan_budget(&members, &risks, Some(Joules(budget))).unwrap();
+            assert!(
+                plan.total_utility >= prev_utility,
+                "utility must not drop as the budget grows"
+            );
+            prev_utility = plan.total_utility;
+        }
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(plan_budget(&[], &[], None).is_err());
+        assert!(plan_budget(&[perception()], &[0.1, 0.2], None).is_err());
+    }
+}

@@ -1,0 +1,46 @@
+//! MAPE-K runtime for reversible neural-network pruning.
+//!
+//! This crate closes the loop the paper's title promises: a self-aware
+//! runtime that prunes the perception network when the driving context is
+//! benign and snaps it back to full capacity — through the reversal log —
+//! the moment risk rises.
+//!
+//! The classic MAPE-K stages map onto the modules:
+//!
+//! * **Monitor** — [`monitor::RiskEstimator`] fuses a noisy context-risk
+//!   sensor with the model's own confidence signal,
+//! * **Analyze** — [`envelope::SafetyEnvelope`] turns estimated risk into
+//!   the maximum ladder level safety permits,
+//! * **Plan** — [`policy::Policy`] chooses the target level (with
+//!   hysteresis and dwell so the system does not oscillate),
+//! * **Execute** — [`manager::RuntimeManager`] applies the transition via
+//!   the chosen restore mechanism and charges its platform cost,
+//! * **Knowledge** — per-level inference costs and restore prices are
+//!   profiled once at attach time ([`manager::LevelKnowledge`]).
+//!
+//! [`manager::RuntimeManager::run`] drives a full
+//! [`reprune_scenario::Scenario`] and returns per-tick records plus the
+//! violation / energy / recovery aggregates every end-to-end experiment
+//! reports.
+
+#![deny(missing_docs)]
+
+mod error;
+
+pub mod envelope;
+pub mod fleet;
+pub mod manager;
+pub mod monitor;
+pub mod policy;
+pub mod record;
+
+pub use envelope::SafetyEnvelope;
+pub use fleet::{plan_budget, BudgetPlan, FleetMember};
+pub use error::RuntimeError;
+pub use manager::{DeploymentScale, RestoreMechanism, RuntimeManager, RuntimeManagerConfig};
+pub use monitor::RiskEstimator;
+pub use policy::Policy;
+pub use record::{RunResult, TickRecord};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, RuntimeError>;

@@ -1,0 +1,762 @@
+//! The Execute stage and the full MAPE-K loop.
+
+use crate::envelope::SafetyEnvelope;
+use crate::monitor::{RiskEstimator, RiskEstimatorConfig};
+use crate::policy::Policy;
+use crate::record::{RunResult, TickRecord};
+use crate::{Result, RuntimeError};
+use reprune_nn::dataset::{render_scene, SceneContext, SCENE_CLASSES};
+use reprune_nn::Network;
+use reprune_platform::profile::NetworkProfile;
+use reprune_platform::{Bytes, InferenceCost, Joules, Seconds, SocModel};
+use reprune_prune::{ReversiblePruner, SparsityLadder};
+use reprune_scenario::{OddSpec, Scenario, Tick, Weather};
+use reprune_tensor::rng::Prng;
+use serde::{Deserialize, Serialize};
+
+/// How the runtime restores capacity when it lowers the ladder level.
+///
+/// All three mechanisms end in the same weights (the simulator uses the
+/// reversal log for state in every case); they differ in the *platform
+/// cost* charged and therefore in how long the network stays degraded —
+/// which is exactly what experiment F4 measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RestoreMechanism {
+    /// The paper's reversal log: O(#evicted) scattered writes.
+    DeltaLog,
+    /// Full in-RAM snapshot copy.
+    Snapshot,
+    /// Reload the model image from storage (the conventional baseline for
+    /// irreversible pruning).
+    StorageReload,
+}
+
+impl std::fmt::Display for RestoreMechanism {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            RestoreMechanism::DeltaLog => "delta-log",
+            RestoreMechanism::Snapshot => "snapshot",
+            RestoreMechanism::StorageReload => "storage-reload",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Scale factor mapping the tiny trainable reference model to a
+/// deployment-scale perception network (DESIGN.md §5): MACs, weight
+/// bytes, and log entries are all multiplied by `factor` when charging
+/// platform costs. Accuracy is always measured on the real (small) model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeploymentScale {
+    /// Multiplier on MACs / bytes / log entries.
+    pub factor: f64,
+}
+
+impl Default for DeploymentScale {
+    fn default() -> Self {
+        // ~54k-param reference CNN × 150 ≈ an 8M-param (33 MB) perception
+        // network — ResNet-18 class, the size automotive stacks deploy.
+        DeploymentScale { factor: 150.0 }
+    }
+}
+
+/// Pre-profiled cost of running at one ladder level (the MAPE-K Knowledge
+/// base).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LevelKnowledge {
+    /// Ladder level.
+    pub level: usize,
+    /// Nominal sparsity.
+    pub sparsity: f64,
+    /// Deployment-scale inference cost at this level.
+    pub inference: InferenceCost,
+    /// Reversal-log entries held when parked at this level (scaled).
+    pub log_entries: usize,
+}
+
+/// Configuration of the runtime manager.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeManagerConfig {
+    /// Adaptation policy.
+    pub policy: Policy,
+    /// Safety envelope over the ladder.
+    pub envelope: SafetyEnvelope,
+    /// Risk-estimator (Monitor) configuration.
+    pub estimator: RiskEstimatorConfig,
+    /// Restore mechanism to charge.
+    pub mechanism: RestoreMechanism,
+    /// Deployment scaling of platform costs.
+    pub scale: DeploymentScale,
+    /// Platform model.
+    pub soc: SocModel,
+    /// Seed for per-tick frame rendering.
+    pub frame_seed: u64,
+    /// Operational Design Domain: outside it the runtime forces full
+    /// capacity regardless of the policy (minimal-risk response).
+    pub odd: OddSpec,
+}
+
+impl RuntimeManagerConfig {
+    /// A reasonable default configuration for a given envelope.
+    pub fn new(policy: Policy, envelope: SafetyEnvelope) -> Self {
+        RuntimeManagerConfig {
+            policy,
+            envelope,
+            estimator: RiskEstimatorConfig::default(),
+            mechanism: RestoreMechanism::DeltaLog,
+            scale: DeploymentScale::default(),
+            soc: SocModel::jetson_class(),
+            frame_seed: 0,
+            odd: OddSpec::permissive(),
+        }
+    }
+
+    /// Sets the restore mechanism.
+    pub fn mechanism(mut self, mechanism: RestoreMechanism) -> Self {
+        self.mechanism = mechanism;
+        self
+    }
+
+    /// Sets the frame-rendering seed.
+    pub fn frame_seed(mut self, seed: u64) -> Self {
+        self.frame_seed = seed;
+        self
+    }
+
+    /// Sets the estimator configuration.
+    pub fn estimator(mut self, estimator: RiskEstimatorConfig) -> Self {
+        self.estimator = estimator;
+        self
+    }
+
+    /// Sets the platform model.
+    pub fn soc(mut self, soc: SocModel) -> Self {
+        self.soc = soc;
+        self
+    }
+
+    /// Sets the deployment scale factor.
+    pub fn scale(mut self, factor: f64) -> Self {
+        self.scale = DeploymentScale { factor };
+        self
+    }
+
+    /// Sets the Operational Design Domain.
+    pub fn odd(mut self, odd: OddSpec) -> Self {
+        self.odd = odd;
+        self
+    }
+}
+
+/// Maps scenario weather to the dataset rendering context.
+pub fn weather_to_context(weather: Weather) -> SceneContext {
+    match weather {
+        Weather::Clear => SceneContext::Clear,
+        Weather::Rain => SceneContext::Rain,
+        Weather::Night => SceneContext::Night,
+        Weather::Fog => SceneContext::Fog,
+    }
+}
+
+struct PendingRestore {
+    target: usize,
+    ready_at: f64,
+}
+
+/// The MAPE-K runtime manager: owns the network, the reversible pruner,
+/// and the control loop that drives them through a scenario.
+pub struct RuntimeManager {
+    net: Network,
+    pruner: ReversiblePruner,
+    config: RuntimeManagerConfig,
+    knowledge: Vec<LevelKnowledge>,
+    estimator: RiskEstimator,
+    frame_rng: Prng,
+    pending: Option<PendingRestore>,
+    last_confidence: f64,
+    model_bytes: Bytes,
+    transitions: usize,
+}
+
+impl RuntimeManager {
+    /// Attaches the runtime to a trained network with a pre-built ladder.
+    ///
+    /// Profiles every ladder level once (the Knowledge base).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::BadConfig`] if the envelope's level count
+    /// disagrees with the ladder, or propagates profiling errors.
+    pub fn attach(
+        net: Network,
+        ladder: SparsityLadder,
+        config: RuntimeManagerConfig,
+    ) -> Result<Self> {
+        if config.envelope.levels() != ladder.num_levels() {
+            return Err(RuntimeError::bad_config(format!(
+                "envelope governs {} levels but ladder has {}",
+                config.envelope.levels(),
+                ladder.num_levels()
+            )));
+        }
+        let input_dims = [1, reprune_nn::dataset::SCENE_SIZE, reprune_nn::dataset::SCENE_SIZE];
+        let mut knowledge = Vec::with_capacity(ladder.num_levels());
+        for k in 0..ladder.num_levels() {
+            let level = ladder.level(k)?;
+            let profile = NetworkProfile::of_masked(&net, &input_dims, Some(&level.masks))?
+                .scaled(config.scale.factor);
+            knowledge.push(LevelKnowledge {
+                level: k,
+                sparsity: level.sparsity,
+                inference: config.soc.inference_cost(&profile),
+                log_entries: (level.masks.pruned_count() as f64 * config.scale.factor) as usize,
+            });
+        }
+        let model_bytes = Bytes(
+            (net.prunable_layers()
+                .iter()
+                .map(|m| m.weight_len() * 4)
+                .sum::<usize>() as f64
+                * config.scale.factor) as u64,
+        );
+        let pruner = ReversiblePruner::attach(&net, ladder)?;
+        Ok(RuntimeManager {
+            estimator: RiskEstimator::new(config.estimator),
+            frame_rng: Prng::new(config.frame_seed),
+            net,
+            pruner,
+            knowledge,
+            pending: None,
+            last_confidence: 1.0,
+            model_bytes,
+            transitions: 0,
+            config,
+        })
+    }
+
+    /// The per-level Knowledge base.
+    pub fn knowledge(&self) -> &[LevelKnowledge] {
+        &self.knowledge
+    }
+
+    /// Current effective ladder level.
+    pub fn current_level(&self) -> usize {
+        self.pruner.current_level()
+    }
+
+    /// Shared access to the managed network.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Number of ladder transitions executed so far.
+    pub fn transitions(&self) -> usize {
+        self.transitions
+    }
+
+    /// Injects or clears a risk-sensor failure (failure injection for
+    /// resilience testing). While failed, the Monitor drives the estimate
+    /// toward the configured fail-safe risk, which makes the adaptive
+    /// policy restore capacity.
+    pub fn set_sensor_failed(&mut self, failed: bool) {
+        self.estimator.set_sensor_failed(failed);
+    }
+
+    fn restore_latency(&self, entries_restored: usize) -> Seconds {
+        match self.config.mechanism {
+            RestoreMechanism::DeltaLog => self
+                .config
+                .soc
+                .delta_restore_latency((entries_restored as f64 * self.config.scale.factor) as usize),
+            RestoreMechanism::Snapshot => {
+                self.config.soc.snapshot_restore_latency(self.model_bytes)
+            }
+            RestoreMechanism::StorageReload => {
+                self.config.soc.storage_reload_latency(self.model_bytes)
+            }
+        }
+    }
+
+    fn restore_energy(&self, entries_restored: usize) -> Joules {
+        match self.config.mechanism {
+            RestoreMechanism::DeltaLog => self
+                .config
+                .soc
+                .delta_restore_energy((entries_restored as f64 * self.config.scale.factor) as usize),
+            RestoreMechanism::Snapshot => {
+                let lat = self.config.soc.snapshot_restore_latency(self.model_bytes);
+                Joules(
+                    2.0 * self.model_bytes.as_f64() * self.config.soc.energy_per_dram_byte
+                        + lat.0 * self.config.soc.idle_power_watts,
+                )
+            }
+            RestoreMechanism::StorageReload => {
+                self.config.soc.storage_reload_energy(self.model_bytes)
+            }
+        }
+    }
+
+    /// Runs one MAPE-K iteration for a scenario tick, returning the
+    /// record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pruning/inference errors.
+    pub fn step(&mut self, tick: &Tick, dt: f64) -> Result<TickRecord> {
+        // Complete a pending (multi-tick) restore first.
+        let mut transition_latency = Seconds::ZERO;
+        let mut transition_energy = Joules::ZERO;
+        if let Some(p) = &self.pending {
+            if tick.t + 1e-9 >= p.ready_at {
+                let target = p.target;
+                let t = self.pruner.set_level(&mut self.net, target)?;
+                if t.from != t.to {
+                    self.transitions += 1;
+                }
+                self.pending = None;
+            }
+        }
+
+        // Monitor: fuse risk sensor + last confidence.
+        let estimated = self.estimator.observe(tick.risk, self.last_confidence);
+
+        // Analyze + Plan.
+        let current = self.effective_level();
+        let inside_odd = self.config.odd.contains(tick);
+        let target = if inside_odd {
+            self.config.policy.decide(&self.config.envelope, estimated, tick.risk, current)
+        } else {
+            // Outside the ODD the safety case does not cover degraded
+            // perception: minimal-risk response is full capacity.
+            0
+        };
+
+        // Execute.
+        if self.pending.is_none() && target != self.pruner.current_level() {
+            if target > self.pruner.current_level() {
+                // Pruning deeper: in-place mask application, sub-tick cost.
+                let before = self.pruner.log_entries();
+                let t = self.pruner.set_level(&mut self.net, target)?;
+                if t.from != t.to {
+                    self.transitions += 1;
+                }
+                let pushed = self.pruner.log_entries() - before;
+                transition_latency = self
+                    .config
+                    .soc
+                    .delta_restore_latency((pushed as f64 * self.config.scale.factor) as usize);
+                transition_energy = self.restore_energy(pushed);
+            } else {
+                // Restoring capacity: charge the configured mechanism.
+                let entries = self.entries_between(target, self.pruner.current_level());
+                let latency = self.restore_latency(entries);
+                transition_latency = latency;
+                transition_energy = self.restore_energy(entries);
+                if latency.0 <= dt {
+                    let t = self.pruner.set_level(&mut self.net, target)?;
+                    if t.from != t.to {
+                        self.transitions += 1;
+                    }
+                } else {
+                    self.pending = Some(PendingRestore {
+                        target,
+                        ready_at: tick.t + latency.0,
+                    });
+                }
+            }
+        } else if let Some(p) = &mut self.pending {
+            // A deeper emergency while already restoring: retarget lower.
+            if target < p.target {
+                p.target = target;
+            }
+        }
+
+        // Perception: render a frame for the current context and classify.
+        let context = weather_to_context(tick.weather);
+        let label = self.frame_rng.next_below(SCENE_CLASSES);
+        let sample = render_scene(label, context, &mut self.frame_rng);
+        let (pred, confidence) = self.net.predict(&sample.input)?;
+        self.last_confidence = confidence as f64;
+
+        let effective = self.effective_level();
+        let k = &self.knowledge[effective];
+        let max_allowed = self.config.envelope.max_level(tick.risk);
+        Ok(TickRecord {
+            t: tick.t,
+            true_risk: tick.risk,
+            estimated_risk: estimated,
+            level: effective,
+            sparsity: k.sparsity,
+            max_allowed_level: max_allowed,
+            odd_exit: !inside_odd,
+            violation: effective > max_allowed || (!inside_odd && effective > 0),
+            correct: pred == label,
+            confidence: confidence as f64,
+            inference_energy: k.inference.energy,
+            inference_latency: k.inference.latency,
+            transition_energy,
+            transition_latency,
+            segment: tick.segment,
+            weather: tick.weather,
+        })
+    }
+
+    /// Level currently *effective* for safety purposes: while a restore is
+    /// pending the network still runs degraded.
+    fn effective_level(&self) -> usize {
+        self.pruner.current_level()
+    }
+
+    fn entries_between(&self, low: usize, high: usize) -> usize {
+        let a = self
+            .pruner
+            .ladder()
+            .level(low)
+            .map(|l| l.masks.pruned_count())
+            .unwrap_or(0);
+        let b = self
+            .pruner
+            .ladder()
+            .level(high)
+            .map(|l| l.masks.pruned_count())
+            .unwrap_or(0);
+        b.saturating_sub(a)
+    }
+
+    /// Drives a whole scenario, returning per-tick records and aggregates.
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-tick errors.
+    pub fn run(&mut self, scenario: &Scenario) -> Result<RunResult> {
+        let dt = scenario.config().dt_s;
+        let mut records = Vec::with_capacity(scenario.ticks().len());
+        let mut total_energy = Joules::ZERO;
+        let mut violations = 0usize;
+        let mut recovery_latencies = Vec::new();
+        let mut recovery_start: Option<f64> = None;
+        let dense = self.knowledge[0].inference.energy;
+        for tick in scenario.ticks() {
+            let rec = self.step(tick, dt)?;
+            total_energy += rec.inference_energy + rec.transition_energy;
+            if rec.violation {
+                violations += 1;
+                if recovery_start.is_none() {
+                    recovery_start = Some(rec.t);
+                }
+            } else if let Some(start) = recovery_start.take() {
+                recovery_latencies.push(rec.t - start);
+            }
+            records.push(rec);
+        }
+        Ok(RunResult {
+            policy: self.config.policy.name(),
+            mechanism: self.config.mechanism.to_string(),
+            dense_energy: dense * records.len() as f64,
+            total_energy,
+            violations,
+            recovery_latencies,
+            transitions: self.transitions,
+            records,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::AdaptiveConfig;
+    use reprune_nn::models;
+    use reprune_prune::{LadderConfig, PruneCriterion};
+    use reprune_scenario::{ScenarioConfig, SegmentKind};
+
+    fn ladder_net() -> (Network, SparsityLadder) {
+        let net = models::default_perception_cnn(1).unwrap();
+        let ladder = LadderConfig::new(vec![0.0, 0.3, 0.6, 0.9])
+            .criterion(PruneCriterion::ChannelL2)
+            .build(&net)
+            .unwrap();
+        (net, ladder)
+    }
+
+    fn env() -> SafetyEnvelope {
+        SafetyEnvelope::new(vec![0.6, 0.4, 0.2]).unwrap()
+    }
+
+    fn manager(policy: Policy, mech: RestoreMechanism) -> RuntimeManager {
+        let (net, ladder) = ladder_net();
+        RuntimeManager::attach(
+            net,
+            ladder,
+            RuntimeManagerConfig::new(policy, env()).mechanism(mech),
+        )
+        .unwrap()
+    }
+
+    fn calm_scenario(seed: u64) -> Scenario {
+        ScenarioConfig::new()
+            .duration_s(30.0)
+            .seed(seed)
+            .start_segment(SegmentKind::Highway)
+            .event_rate_scale(0.0)
+            .fixed_weather(Weather::Clear)
+            .generate()
+    }
+
+    #[test]
+    fn attach_validates_envelope_size() {
+        let (net, ladder) = ladder_net();
+        let bad_env = SafetyEnvelope::new(vec![0.5]).unwrap(); // 2 levels vs 4
+        assert!(RuntimeManager::attach(
+            net,
+            ladder,
+            RuntimeManagerConfig::new(Policy::NoPruning, bad_env)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn knowledge_costs_decrease_with_level() {
+        let m = manager(Policy::NoPruning, RestoreMechanism::DeltaLog);
+        let k = m.knowledge();
+        assert_eq!(k.len(), 4);
+        for pair in k.windows(2) {
+            assert!(pair[1].inference.energy.0 < pair[0].inference.energy.0);
+            assert!(pair[1].log_entries > pair[0].log_entries);
+        }
+        assert_eq!(k[0].log_entries, 0);
+    }
+
+    #[test]
+    fn no_pruning_never_violates_and_saves_nothing() {
+        let mut m = manager(Policy::NoPruning, RestoreMechanism::DeltaLog);
+        let r = m.run(&calm_scenario(1)).unwrap();
+        assert_eq!(r.violations, 0);
+        assert!(r.energy_saved_fraction().abs() < 1e-9);
+        assert!(r.records.iter().all(|rec| rec.level == 0));
+    }
+
+    #[test]
+    fn adaptive_prunes_on_calm_highway() {
+        let mut m = manager(
+            Policy::adaptive(AdaptiveConfig {
+                hysteresis: 0.05,
+                dwell_ticks: 5,
+            }),
+            RestoreMechanism::DeltaLog,
+        );
+        let r = m.run(&calm_scenario(2)).unwrap();
+        // Highway clear risk = 0.10 → deepest level permitted is 3.
+        assert!(r.mean_sparsity() > 0.3, "mean sparsity {}", r.mean_sparsity());
+        assert!(r.energy_saved_fraction() > 0.2, "saved {}", r.energy_saved_fraction());
+        assert!(r.transitions >= 3);
+    }
+
+    #[test]
+    fn static_aggressive_violates_in_urban_risk() {
+        let mut m = manager(Policy::Static { level: 3 }, RestoreMechanism::DeltaLog);
+        let busy = ScenarioConfig::new()
+            .duration_s(60.0)
+            .seed(3)
+            .start_segment(SegmentKind::Intersection)
+            .event_rate_scale(2.0)
+            .generate();
+        let r = m.run(&busy).unwrap();
+        assert!(r.violations > 0, "static-aggressive must violate in traffic");
+    }
+
+    #[test]
+    fn oracle_never_violates_with_delta_restore() {
+        let mut m = manager(Policy::Oracle, RestoreMechanism::DeltaLog);
+        let busy = ScenarioConfig::new()
+            .duration_s(120.0)
+            .seed(4)
+            .event_rate_scale(2.0)
+            .generate();
+        let r = m.run(&busy).unwrap();
+        assert_eq!(
+            r.violations, 0,
+            "oracle + instant restore is violation-free by construction"
+        );
+    }
+
+    #[test]
+    fn reload_mechanism_delays_recovery() {
+        // Same oracle policy; reload restoration takes >1 tick at
+        // deployment scale, so demand spikes produce violation ticks.
+        let busy = ScenarioConfig::new()
+            .duration_s(300.0)
+            .seed(5)
+            .event_rate_scale(3.0)
+            .generate();
+        let mut fast = manager(Policy::Oracle, RestoreMechanism::DeltaLog);
+        let mut slow = manager(Policy::Oracle, RestoreMechanism::StorageReload);
+        let rf = fast.run(&busy).unwrap();
+        let rs = slow.run(&busy).unwrap();
+        assert!(
+            rs.violations > rf.violations,
+            "reload {} must out-violate delta {}",
+            rs.violations,
+            rf.violations
+        );
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let s = calm_scenario(7);
+        let run = |seed| {
+            let (net, ladder) = ladder_net();
+            let mut m = RuntimeManager::attach(
+                net,
+                ladder,
+                RuntimeManagerConfig::new(
+                    Policy::adaptive(AdaptiveConfig::default()),
+                    env(),
+                )
+                .frame_seed(seed),
+            )
+            .unwrap();
+            m.run(&s).unwrap()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9).records, run(10).records);
+    }
+
+    #[test]
+    fn pending_restore_retargets_on_deeper_emergency() {
+        // With the slow reload mechanism, a restore spans multiple ticks;
+        // if a deeper emergency arrives mid-restore, the pending target
+        // must drop further instead of being ignored.
+        let mut m = manager(Policy::Oracle, RestoreMechanism::StorageReload);
+        let mk = |t: f64, risk: f64| reprune_scenario::Tick {
+            t,
+            segment: SegmentKind::Highway,
+            weather: Weather::Clear,
+            risk,
+            active_events: 0,
+        };
+        let dt = 0.1;
+        // Calm: oracle walks to the deepest level immediately.
+        for i in 0..3 {
+            m.step(&mk(i as f64 * dt, 0.05), dt).unwrap();
+        }
+        assert_eq!(m.current_level(), 3);
+        // Moderate risk demands level 1 → slow restore begins (200 ms).
+        m.step(&mk(0.3, 0.45), dt).unwrap();
+        assert_eq!(m.current_level(), 3, "restore still in flight");
+        // Mid-restore the risk spikes to critical: pending target must
+        // retarget to level 0.
+        m.step(&mk(0.4, 0.9), dt).unwrap();
+        // Let the (retargeted) restore complete.
+        for i in 5..12 {
+            m.step(&mk(i as f64 * dt, 0.9), dt).unwrap();
+        }
+        assert_eq!(
+            m.current_level(),
+            0,
+            "the completed restore must honor the deeper emergency target"
+        );
+    }
+
+    #[test]
+    fn odd_exit_forces_full_capacity() {
+        // Night weather is outside the conservative ODD: even on a calm
+        // highway the runtime must refuse to prune.
+        let (net, ladder) = ladder_net();
+        let mut m = RuntimeManager::attach(
+            net,
+            ladder,
+            RuntimeManagerConfig::new(
+                Policy::adaptive(AdaptiveConfig {
+                    hysteresis: 0.0,
+                    dwell_ticks: 1,
+                }),
+                env(),
+            )
+            .odd(reprune_scenario::OddSpec::conservative()),
+        )
+        .unwrap();
+        let night = ScenarioConfig::new()
+            .duration_s(30.0)
+            .seed(13)
+            .start_segment(SegmentKind::Highway)
+            .event_rate_scale(0.0)
+            .fixed_weather(Weather::Night)
+            .generate();
+        let r = m.run(&night).unwrap();
+        assert_eq!(r.odd_exit_ticks(), r.records.len(), "whole drive is out of ODD");
+        assert!(r.records.iter().all(|rec| rec.level == 0));
+        assert_eq!(r.violations, 0, "full capacity outside the ODD is compliant");
+        // Same drive in clear weather is inside the ODD and prunes freely.
+        let clear = ScenarioConfig::new()
+            .duration_s(30.0)
+            .seed(13)
+            .start_segment(SegmentKind::Highway)
+            .event_rate_scale(0.0)
+            .fixed_weather(Weather::Clear)
+            .generate();
+        let (net2, ladder2) = ladder_net();
+        let mut m2 = RuntimeManager::attach(
+            net2,
+            ladder2,
+            RuntimeManagerConfig::new(
+                Policy::adaptive(AdaptiveConfig {
+                    hysteresis: 0.0,
+                    dwell_ticks: 1,
+                }),
+                env(),
+            )
+            .odd(reprune_scenario::OddSpec::conservative()),
+        )
+        .unwrap();
+        let rc = m2.run(&clear).unwrap();
+        assert_eq!(rc.odd_exit_ticks(), 0);
+        assert!(rc.mean_sparsity() > 0.0, "inside the ODD pruning proceeds");
+    }
+
+    #[test]
+    fn sensor_blackout_restores_capacity() {
+        let mut m = manager(
+            Policy::adaptive(AdaptiveConfig {
+                hysteresis: 0.05,
+                dwell_ticks: 5,
+            }),
+            RestoreMechanism::DeltaLog,
+        );
+        let calm = calm_scenario(11);
+        let dt = calm.config().dt_s;
+        // Let it prune on the calm highway.
+        for tick in calm.ticks().iter().take(150) {
+            m.step(tick, dt).unwrap();
+        }
+        assert!(m.current_level() > 0, "should have pruned when calm");
+        // Sensor blackout: the fail-safe estimate must drive a restore
+        // within a few ticks even though the true risk stays low.
+        m.set_sensor_failed(true);
+        for tick in calm.ticks().iter().skip(150).take(30) {
+            m.step(tick, dt).unwrap();
+        }
+        assert_eq!(m.current_level(), 0, "blackout must restore full capacity");
+        // Recovery: pruning resumes after the sensor returns.
+        m.set_sensor_failed(false);
+        for tick in calm.ticks().iter().skip(180).take(120) {
+            m.step(tick, dt).unwrap();
+        }
+        assert!(m.current_level() > 0, "pruning should resume after recovery");
+    }
+
+    #[test]
+    fn weather_mapping_total() {
+        assert_eq!(weather_to_context(Weather::Clear), SceneContext::Clear);
+        assert_eq!(weather_to_context(Weather::Rain), SceneContext::Rain);
+        assert_eq!(weather_to_context(Weather::Night), SceneContext::Night);
+        assert_eq!(weather_to_context(Weather::Fog), SceneContext::Fog);
+    }
+
+    #[test]
+    fn mechanism_display() {
+        assert_eq!(RestoreMechanism::DeltaLog.to_string(), "delta-log");
+        assert_eq!(RestoreMechanism::Snapshot.to_string(), "snapshot");
+        assert_eq!(RestoreMechanism::StorageReload.to_string(), "storage-reload");
+    }
+}

@@ -1,0 +1,232 @@
+//! The Monitor stage: fusing a noisy risk sensor with model confidence.
+
+use reprune_tensor::rng::Prng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the risk estimator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RiskEstimatorConfig {
+    /// EWMA smoothing factor in `(0, 1]`; 1 = no smoothing.
+    pub alpha: f64,
+    /// Standard deviation of the simulated risk-sensor noise.
+    pub sensor_noise_std: f64,
+    /// Weight of the model-confidence deficit term: low softmax confidence
+    /// raises estimated risk (the self-awareness signal).
+    pub confidence_weight: f64,
+    /// Seed for the sensor-noise stream.
+    pub seed: u64,
+    /// Risk level the estimate relaxes toward while the risk sensor is
+    /// failed: fail-*safe*, so it is high (capacity gets restored, not
+    /// shed, when the system is blind).
+    pub fail_safe_risk: f64,
+}
+
+impl Default for RiskEstimatorConfig {
+    fn default() -> Self {
+        RiskEstimatorConfig {
+            alpha: 0.35,
+            sensor_noise_std: 0.04,
+            confidence_weight: 0.15,
+            seed: 0,
+            fail_safe_risk: 0.85,
+        }
+    }
+}
+
+/// Online risk estimator (the MAPE-K Monitor).
+///
+/// Each tick it observes the (noisy) context-risk sensor and the
+/// perception model's softmax confidence, and maintains an exponentially
+/// weighted moving average:
+///
+/// `obs = clamp(true_risk + noise) + w·(1 − confidence)`
+/// `est ← α·obs + (1−α)·est`
+#[derive(Debug, Clone, PartialEq)]
+pub struct RiskEstimator {
+    config: RiskEstimatorConfig,
+    rng: Prng,
+    estimate: f64,
+    initialized: bool,
+    sensor_failed: bool,
+}
+
+impl RiskEstimator {
+    /// Creates an estimator from a config.
+    pub fn new(config: RiskEstimatorConfig) -> Self {
+        RiskEstimator {
+            rng: Prng::new(config.seed),
+            config,
+            estimate: 0.0,
+            initialized: false,
+            sensor_failed: false,
+        }
+    }
+
+    /// Marks the risk sensor as failed/recovered (failure injection).
+    ///
+    /// While failed, [`RiskEstimator::observe`] ignores the sensed risk
+    /// and relaxes the estimate toward
+    /// [`RiskEstimatorConfig::fail_safe_risk`], so downstream policies
+    /// restore capacity rather than keep trusting a blind sensor.
+    pub fn set_sensor_failed(&mut self, failed: bool) {
+        self.sensor_failed = failed;
+    }
+
+    /// Whether the sensor is currently marked failed.
+    pub fn sensor_failed(&self) -> bool {
+        self.sensor_failed
+    }
+
+    /// Observes one tick; returns the updated estimate in `[0, 1]`.
+    pub fn observe(&mut self, true_risk: f64, model_confidence: f64) -> f64 {
+        let obs = if self.sensor_failed {
+            self.config.fail_safe_risk.clamp(0.0, 1.0)
+        } else {
+            let noise = self.config.sensor_noise_std * self.rng.next_normal() as f64;
+            let sensed = (true_risk + noise).clamp(0.0, 1.0);
+            let deficit =
+                self.config.confidence_weight * (1.0 - model_confidence.clamp(0.0, 1.0));
+            (sensed + deficit).clamp(0.0, 1.0)
+        };
+        if self.initialized {
+            self.estimate = self.config.alpha * obs + (1.0 - self.config.alpha) * self.estimate;
+        } else {
+            self.estimate = obs;
+            self.initialized = true;
+        }
+        self.estimate
+    }
+
+    /// The current estimate (0 before the first observation).
+    pub fn estimate(&self) -> f64 {
+        self.estimate
+    }
+}
+
+impl Default for RiskEstimator {
+    fn default() -> Self {
+        RiskEstimator::new(RiskEstimatorConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noiseless(alpha: f64) -> RiskEstimator {
+        RiskEstimator::new(RiskEstimatorConfig {
+            alpha,
+            sensor_noise_std: 0.0,
+            confidence_weight: 0.0,
+            seed: 0,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn sensor_blackout_fails_safe() {
+        let mut e = noiseless(0.5);
+        // Settle at a calm estimate.
+        for _ in 0..50 {
+            e.observe(0.1, 1.0);
+        }
+        assert!(e.estimate() < 0.15);
+        assert!(!e.sensor_failed());
+        // Sensor dies: the estimate must climb toward the fail-safe risk
+        // even though true risk stays low.
+        e.set_sensor_failed(true);
+        assert!(e.sensor_failed());
+        for _ in 0..50 {
+            e.observe(0.1, 1.0);
+        }
+        assert!(
+            e.estimate() > 0.8,
+            "blind estimator must assume danger: {}",
+            e.estimate()
+        );
+        // Recovery: estimate relaxes back down.
+        e.set_sensor_failed(false);
+        for _ in 0..50 {
+            e.observe(0.1, 1.0);
+        }
+        assert!(e.estimate() < 0.15);
+    }
+
+    #[test]
+    fn first_observation_initializes() {
+        let mut e = noiseless(0.1);
+        assert_eq!(e.estimate(), 0.0);
+        let est = e.observe(0.8, 1.0);
+        assert!((est - 0.8).abs() < 1e-12, "no lag on first sample");
+    }
+
+    #[test]
+    fn ewma_converges_to_constant_input() {
+        let mut e = noiseless(0.3);
+        let mut est = 0.0;
+        for _ in 0..100 {
+            est = e.observe(0.5, 1.0);
+        }
+        assert!((est - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn smoothing_lags_step_changes() {
+        let mut e = noiseless(0.2);
+        e.observe(0.0, 1.0);
+        let after_one = e.observe(1.0, 1.0);
+        assert!(after_one < 0.5, "α=0.2 must lag a 0→1 step: {after_one}");
+        assert!(after_one > 0.1);
+    }
+
+    #[test]
+    fn alpha_one_tracks_instantly() {
+        let mut e = noiseless(1.0);
+        e.observe(0.1, 1.0);
+        assert_eq!(e.observe(0.9, 1.0), 0.9);
+    }
+
+    #[test]
+    fn low_confidence_raises_estimate() {
+        let mut confident = RiskEstimator::new(RiskEstimatorConfig {
+            alpha: 1.0,
+            sensor_noise_std: 0.0,
+            confidence_weight: 0.2,
+            seed: 0,
+            ..Default::default()
+        });
+        let mut shaky = confident.clone();
+        let a = confident.observe(0.3, 1.0);
+        let b = shaky.observe(0.3, 0.4);
+        assert!(b > a, "confidence deficit must add risk: {a} vs {b}");
+        assert!((b - (0.3 + 0.2 * 0.6)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn estimate_stays_in_unit_interval_under_noise() {
+        let mut e = RiskEstimator::new(RiskEstimatorConfig {
+            alpha: 0.8,
+            sensor_noise_std: 0.5,
+            confidence_weight: 0.3,
+            seed: 3,
+            ..Default::default()
+        });
+        for i in 0..500 {
+            let est = e.observe((i % 10) as f64 / 10.0, 0.5);
+            assert!((0.0..=1.0).contains(&est));
+        }
+    }
+
+    #[test]
+    fn noise_is_deterministic_by_seed() {
+        let cfg = RiskEstimatorConfig {
+            sensor_noise_std: 0.1,
+            ..Default::default()
+        };
+        let mut a = RiskEstimator::new(cfg);
+        let mut b = RiskEstimator::new(cfg);
+        for _ in 0..20 {
+            assert_eq!(a.observe(0.4, 0.9), b.observe(0.4, 0.9));
+        }
+    }
+}

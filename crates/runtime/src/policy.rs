@@ -1,0 +1,221 @@
+//! The Plan stage: adaptation policies.
+
+use crate::envelope::SafetyEnvelope;
+use serde::{Deserialize, Serialize};
+
+/// Hyperparameters of the reversible-adaptive policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveConfig {
+    /// Extra risk margin required before *increasing* sparsity: the level
+    /// is only raised if it would still be permitted at
+    /// `risk + hysteresis`. Prevents prune/restore oscillation around
+    /// thresholds (ablated in experiment F5).
+    pub hysteresis: f64,
+    /// Consecutive ticks the raise condition must hold before pruning one
+    /// level deeper.
+    pub dwell_ticks: usize,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            hysteresis: 0.08,
+            dwell_ticks: 10,
+        }
+    }
+}
+
+/// An adaptation policy: decides the target ladder level each tick.
+///
+/// Restoration (lowering the level) is always immediate and driven by the
+/// safety envelope; policies only differ in when they *prune*.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Policy {
+    /// Never prune: the safety-maximal, energy-maximal baseline.
+    NoPruning,
+    /// Park at a fixed ladder level forever (conventional static pruning).
+    Static {
+        /// The fixed level.
+        level: usize,
+    },
+    /// The paper's policy: walk the ladder under the safety envelope with
+    /// hysteresis and dwell, restoring instantly on demand.
+    ReversibleAdaptive {
+        /// Policy hyperparameters.
+        config: AdaptiveConfig,
+        /// Consecutive ticks the raise condition has held (internal).
+        #[serde(skip)]
+        raise_streak: usize,
+    },
+    /// Clairvoyant upper bound: tracks the envelope of the *true* risk
+    /// exactly, with no sensor noise, lag, or hysteresis.
+    Oracle,
+}
+
+impl Policy {
+    /// Creates the adaptive policy with the given hyperparameters.
+    pub fn adaptive(config: AdaptiveConfig) -> Self {
+        Policy::ReversibleAdaptive {
+            config,
+            raise_streak: 0,
+        }
+    }
+
+    /// Short name for reports.
+    pub fn name(&self) -> String {
+        match self {
+            Policy::NoPruning => "no-pruning".into(),
+            Policy::Static { level } => format!("static-L{level}"),
+            Policy::ReversibleAdaptive { .. } => "reversible-adaptive".into(),
+            Policy::Oracle => "oracle".into(),
+        }
+    }
+
+    /// Decides the target level for this tick.
+    ///
+    /// * `estimated_risk` — the Monitor's fused estimate,
+    /// * `true_risk` — ground truth (used only by [`Policy::Oracle`]),
+    /// * `current_level` — the level currently in effect,
+    /// * `envelope` — the safety envelope over the ladder.
+    pub fn decide(
+        &mut self,
+        envelope: &SafetyEnvelope,
+        estimated_risk: f64,
+        true_risk: f64,
+        current_level: usize,
+    ) -> usize {
+        match self {
+            Policy::NoPruning => 0,
+            Policy::Static { level } => (*level).min(envelope.levels() - 1),
+            Policy::Oracle => envelope.max_level(true_risk),
+            Policy::ReversibleAdaptive {
+                config,
+                raise_streak,
+            } => {
+                let allowed_now = envelope.max_level(estimated_risk);
+                if allowed_now < current_level {
+                    // Safety demands capacity: restore immediately, no dwell.
+                    *raise_streak = 0;
+                    return allowed_now;
+                }
+                // Consider pruning deeper only with hysteresis margin.
+                let allowed_with_margin =
+                    envelope.max_level(estimated_risk + config.hysteresis);
+                if allowed_with_margin > current_level {
+                    *raise_streak += 1;
+                    if *raise_streak >= config.dwell_ticks {
+                        *raise_streak = 0;
+                        return current_level + 1; // one rung at a time
+                    }
+                } else {
+                    *raise_streak = 0;
+                }
+                current_level
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env4() -> SafetyEnvelope {
+        SafetyEnvelope::new(vec![0.6, 0.4, 0.2]).unwrap()
+    }
+
+    #[test]
+    fn no_pruning_always_zero() {
+        let mut p = Policy::NoPruning;
+        assert_eq!(p.decide(&env4(), 0.0, 0.0, 3), 0);
+        assert_eq!(p.name(), "no-pruning");
+    }
+
+    #[test]
+    fn static_clamps_to_ladder() {
+        let mut p = Policy::Static { level: 9 };
+        assert_eq!(p.decide(&env4(), 0.9, 0.9, 0), 3);
+        let mut p = Policy::Static { level: 2 };
+        assert_eq!(p.decide(&env4(), 0.9, 0.9, 0), 2);
+        assert_eq!(p.name(), "static-L2");
+    }
+
+    #[test]
+    fn oracle_tracks_true_risk_exactly() {
+        let mut p = Policy::Oracle;
+        assert_eq!(p.decide(&env4(), 0.9, 0.1, 0), 3, "ignores estimate");
+        assert_eq!(p.decide(&env4(), 0.1, 0.9, 3), 0);
+    }
+
+    #[test]
+    fn adaptive_restores_immediately() {
+        let mut p = Policy::adaptive(AdaptiveConfig {
+            hysteresis: 0.05,
+            dwell_ticks: 5,
+        });
+        // At level 3, risk spikes to 0.7 → full capacity this very tick.
+        assert_eq!(p.decide(&env4(), 0.7, 0.7, 3), 0);
+    }
+
+    #[test]
+    fn adaptive_waits_for_dwell_before_pruning() {
+        let mut p = Policy::adaptive(AdaptiveConfig {
+            hysteresis: 0.0,
+            dwell_ticks: 3,
+        });
+        // Risk 0.1 permits level 3, but raising takes 3 ticks per rung.
+        assert_eq!(p.decide(&env4(), 0.1, 0.1, 0), 0);
+        assert_eq!(p.decide(&env4(), 0.1, 0.1, 0), 0);
+        assert_eq!(p.decide(&env4(), 0.1, 0.1, 0), 1, "third tick raises");
+    }
+
+    #[test]
+    fn adaptive_raises_one_rung_at_a_time() {
+        let mut p = Policy::adaptive(AdaptiveConfig {
+            hysteresis: 0.0,
+            dwell_ticks: 1,
+        });
+        assert_eq!(p.decide(&env4(), 0.05, 0.05, 0), 1);
+        assert_eq!(p.decide(&env4(), 0.05, 0.05, 1), 2);
+        assert_eq!(p.decide(&env4(), 0.05, 0.05, 2), 3);
+        assert_eq!(p.decide(&env4(), 0.05, 0.05, 3), 3, "stays at top");
+    }
+
+    #[test]
+    fn hysteresis_blocks_marginal_pruning() {
+        let mut p = Policy::adaptive(AdaptiveConfig {
+            hysteresis: 0.1,
+            dwell_ticks: 1,
+        });
+        // Risk 0.35 permits level 2 outright, but 0.35+0.1=0.45 only
+        // permits level 1 → from level 1, no deeper pruning.
+        assert_eq!(p.decide(&env4(), 0.35, 0.35, 1), 1);
+        // Risk 0.25: 0.25+0.1=0.35 permits level 2 → raise.
+        assert_eq!(p.decide(&env4(), 0.25, 0.25, 1), 2);
+    }
+
+    #[test]
+    fn interrupted_dwell_resets_streak() {
+        let mut p = Policy::adaptive(AdaptiveConfig {
+            hysteresis: 0.0,
+            dwell_ticks: 3,
+        });
+        assert_eq!(p.decide(&env4(), 0.1, 0.1, 0), 0);
+        assert_eq!(p.decide(&env4(), 0.1, 0.1, 0), 0);
+        // A risky tick interrupts the streak…
+        assert_eq!(p.decide(&env4(), 0.7, 0.7, 0), 0);
+        // …so the count restarts.
+        assert_eq!(p.decide(&env4(), 0.1, 0.1, 0), 0);
+        assert_eq!(p.decide(&env4(), 0.1, 0.1, 0), 0);
+        assert_eq!(p.decide(&env4(), 0.1, 0.1, 0), 1);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Policy::Oracle.name(), "oracle");
+        assert_eq!(
+            Policy::adaptive(AdaptiveConfig::default()).name(),
+            "reversible-adaptive"
+        );
+    }
+}

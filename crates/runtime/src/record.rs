@@ -1,0 +1,319 @@
+//! Per-tick records and whole-run aggregates.
+
+use reprune_platform::{Joules, Seconds};
+use reprune_scenario::{SegmentKind, Weather};
+use serde::{Deserialize, Serialize};
+
+/// Everything the runtime observed and decided in one tick.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TickRecord {
+    /// Tick time (seconds from scenario start).
+    pub t: f64,
+    /// Ground-truth context risk.
+    pub true_risk: f64,
+    /// The Monitor's fused risk estimate.
+    pub estimated_risk: f64,
+    /// Ladder level in effect during this tick.
+    pub level: usize,
+    /// Nominal sparsity of that level.
+    pub sparsity: f64,
+    /// Maximum level the safety envelope permitted at the true risk.
+    pub max_allowed_level: usize,
+    /// Whether this tick was outside the Operational Design Domain.
+    pub odd_exit: bool,
+    /// Whether this tick violated the safety envelope (including running
+    /// pruned outside the ODD).
+    pub violation: bool,
+    /// Whether the perception prediction was correct.
+    pub correct: bool,
+    /// Softmax confidence of the prediction.
+    pub confidence: f64,
+    /// Inference energy charged this tick.
+    pub inference_energy: Joules,
+    /// Inference latency this tick.
+    pub inference_latency: Seconds,
+    /// Energy spent on a level transition this tick (0 if none).
+    pub transition_energy: Joules,
+    /// Latency of the level transition started this tick (0 if none).
+    pub transition_latency: Seconds,
+    /// Road segment at this tick.
+    pub segment: SegmentKind,
+    /// Weather at this tick.
+    pub weather: Weather,
+}
+
+/// Aggregated result of driving one scenario under one policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Policy name.
+    pub policy: String,
+    /// Restore-mechanism name.
+    pub mechanism: String,
+    /// Per-tick records.
+    pub records: Vec<TickRecord>,
+    /// Total energy (inference + transitions).
+    pub total_energy: Joules,
+    /// Energy the dense (never-pruned) model would have used.
+    pub dense_energy: Joules,
+    /// Safety-envelope violation tick count.
+    pub violations: usize,
+    /// Completed recovery episodes (demand-spike → compliant), seconds.
+    pub recovery_latencies: Vec<f64>,
+    /// Number of ladder transitions executed.
+    pub transitions: usize,
+}
+
+impl RunResult {
+    /// Fraction of energy saved relative to the dense baseline.
+    pub fn energy_saved_fraction(&self) -> f64 {
+        if self.dense_energy.0 <= 0.0 {
+            0.0
+        } else {
+            (1.0 - self.total_energy.0 / self.dense_energy.0).max(-1.0)
+        }
+    }
+
+    /// Fraction of ticks in violation.
+    pub fn violation_fraction(&self) -> f64 {
+        if self.records.is_empty() {
+            0.0
+        } else {
+            self.violations as f64 / self.records.len() as f64
+        }
+    }
+
+    /// Mean perception accuracy over the run.
+    pub fn mean_accuracy(&self) -> f64 {
+        if self.records.is_empty() {
+            0.0
+        } else {
+            self.records.iter().filter(|r| r.correct).count() as f64
+                / self.records.len() as f64
+        }
+    }
+
+    /// Perception accuracy over critical ticks only (true risk at or above
+    /// `threshold`) — the number safety cases care about. `None` if the
+    /// run had no critical ticks.
+    pub fn critical_accuracy(&self, threshold: f64) -> Option<f64> {
+        let critical: Vec<_> = self
+            .records
+            .iter()
+            .filter(|r| r.true_risk >= threshold)
+            .collect();
+        if critical.is_empty() {
+            None
+        } else {
+            Some(
+                critical.iter().filter(|r| r.correct).count() as f64
+                    / critical.len() as f64,
+            )
+        }
+    }
+
+    /// Mean of the completed recovery latencies, or `None`.
+    pub fn mean_recovery_latency(&self) -> Option<f64> {
+        if self.recovery_latencies.is_empty() {
+            None
+        } else {
+            Some(self.recovery_latencies.iter().sum::<f64>() / self.recovery_latencies.len() as f64)
+        }
+    }
+
+    /// `q`-quantile (0..=1) of recovery latencies, or `None`.
+    pub fn recovery_latency_quantile(&self, q: f64) -> Option<f64> {
+        if self.recovery_latencies.is_empty() {
+            return None;
+        }
+        let mut v = self.recovery_latencies.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let idx = ((v.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        Some(v[idx])
+    }
+
+    /// Mean nominal sparsity over the run (how pruned the model was on
+    /// average — the energy story in one number).
+    pub fn mean_sparsity(&self) -> f64 {
+        if self.records.is_empty() {
+            0.0
+        } else {
+            self.records.iter().map(|r| r.sparsity).sum::<f64>() / self.records.len() as f64
+        }
+    }
+
+    /// Number of ticks spent outside the Operational Design Domain.
+    pub fn odd_exit_ticks(&self) -> usize {
+        self.records.iter().filter(|r| r.odd_exit).count()
+    }
+
+    /// Number of ticks whose inference latency exceeded `deadline`
+    /// seconds — the real-time view of the same data (a perception stack
+    /// must finish within its control period).
+    pub fn deadline_misses(&self, deadline: f64) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.inference_latency.0 > deadline)
+            .count()
+    }
+
+    /// Serializes the per-tick records as CSV (with header), for external
+    /// plotting of the timeline figures.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "t,true_risk,estimated_risk,level,sparsity,max_allowed_level,odd_exit,violation,\
+             correct,confidence,inference_energy_j,inference_latency_s,\
+             transition_energy_j,transition_latency_s,segment,weather\n",
+        );
+        for r in &self.records {
+            out.push_str(&format!(
+                "{:.3},{:.4},{:.4},{},{:.3},{},{},{},{},{:.4},{:.6e},{:.6e},{:.6e},{:.6e},{},{}\n",
+                r.t,
+                r.true_risk,
+                r.estimated_risk,
+                r.level,
+                r.sparsity,
+                r.max_allowed_level,
+                r.odd_exit as u8,
+                r.violation as u8,
+                r.correct as u8,
+                r.confidence,
+                r.inference_energy.0,
+                r.inference_latency.0,
+                r.transition_energy.0,
+                r.transition_latency.0,
+                r.segment,
+                r.weather,
+            ));
+        }
+        out
+    }
+
+    /// Histogram of ticks per ladder level.
+    pub fn level_histogram(&self) -> Vec<(usize, usize)> {
+        let max = self.records.iter().map(|r| r.level).max().unwrap_or(0);
+        let mut hist = vec![0usize; max + 1];
+        for r in &self.records {
+            hist[r.level] += 1;
+        }
+        hist.into_iter().enumerate().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(level: usize, correct: bool, risk: f64, violation: bool) -> TickRecord {
+        TickRecord {
+            t: 0.0,
+            true_risk: risk,
+            estimated_risk: risk,
+            level,
+            sparsity: level as f64 * 0.3,
+            max_allowed_level: 3,
+            odd_exit: false,
+            violation,
+            correct,
+            confidence: 0.9,
+            inference_energy: Joules(1.0),
+            inference_latency: Seconds(0.001),
+            transition_energy: Joules::ZERO,
+            transition_latency: Seconds::ZERO,
+            segment: SegmentKind::Urban,
+            weather: Weather::Clear,
+        }
+    }
+
+    fn result(records: Vec<TickRecord>) -> RunResult {
+        let violations = records.iter().filter(|r| r.violation).count();
+        RunResult {
+            policy: "test".into(),
+            mechanism: "delta-log".into(),
+            total_energy: Joules(records.len() as f64),
+            dense_energy: Joules(2.0 * records.len() as f64),
+            violations,
+            recovery_latencies: vec![0.1, 0.3, 0.2],
+            transitions: 2,
+            records,
+        }
+    }
+
+    #[test]
+    fn energy_saved_fraction() {
+        let r = result(vec![record(0, true, 0.1, false); 10]);
+        assert!((r.energy_saved_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_and_violations() {
+        let r = result(vec![
+            record(0, true, 0.1, false),
+            record(1, false, 0.8, true),
+            record(0, true, 0.9, false),
+            record(2, false, 0.2, false),
+        ]);
+        assert_eq!(r.mean_accuracy(), 0.5);
+        assert_eq!(r.violations, 1);
+        assert_eq!(r.violation_fraction(), 0.25);
+        assert_eq!(r.critical_accuracy(0.7), Some(0.5));
+        assert_eq!(r.critical_accuracy(0.95), None);
+    }
+
+    #[test]
+    fn recovery_stats() {
+        let r = result(vec![record(0, true, 0.1, false)]);
+        assert!((r.mean_recovery_latency().unwrap() - 0.2).abs() < 1e-12);
+        assert_eq!(r.recovery_latency_quantile(0.0), Some(0.1));
+        assert_eq!(r.recovery_latency_quantile(1.0), Some(0.3));
+        let mut empty = r.clone();
+        empty.recovery_latencies.clear();
+        assert_eq!(empty.mean_recovery_latency(), None);
+        assert_eq!(empty.recovery_latency_quantile(0.5), None);
+    }
+
+    #[test]
+    fn histogram_and_mean_sparsity() {
+        let r = result(vec![
+            record(0, true, 0.1, false),
+            record(0, true, 0.1, false),
+            record(2, true, 0.1, false),
+        ]);
+        assert_eq!(r.level_histogram(), vec![(0, 2), (1, 0), (2, 1)]);
+        assert!((r.mean_sparsity() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deadline_misses_counts_slow_ticks() {
+        let mut slow = record(0, true, 0.1, false);
+        slow.inference_latency = Seconds(0.2);
+        let r = result(vec![record(0, true, 0.1, false), slow]);
+        assert_eq!(r.deadline_misses(0.1), 1);
+        assert_eq!(r.deadline_misses(0.5), 0);
+        assert_eq!(r.deadline_misses(0.0001), 2);
+    }
+
+    #[test]
+    fn csv_export_shape() {
+        let r = result(vec![
+            record(0, true, 0.1, false),
+            record(2, false, 0.8, true),
+        ]);
+        let csv = r.to_csv();
+        let lines: Vec<&str> = csv.trim_end().lines().collect();
+        assert_eq!(lines.len(), 3, "header + 2 rows");
+        assert!(lines[0].starts_with("t,true_risk"));
+        assert_eq!(lines[0].split(',').count(), 16);
+        assert_eq!(lines[1].split(',').count(), 16);
+        assert!(lines[2].contains(",1,"), "violation flag serialized");
+        assert!(lines[1].ends_with("urban,clear"));
+    }
+
+    #[test]
+    fn empty_run_edges() {
+        let r = result(vec![]);
+        assert_eq!(r.mean_accuracy(), 0.0);
+        assert_eq!(r.violation_fraction(), 0.0);
+        assert_eq!(r.mean_sparsity(), 0.0);
+        assert_eq!(r.level_histogram(), vec![(0, 0)]);
+    }
+}

@@ -1,0 +1,164 @@
+//! Property-based tests of the runtime's safety invariants.
+//!
+//! These encode the end-to-end safety claims as properties over random
+//! scenarios and policies, on a small untrained model (the invariants are
+//! about control, not perception accuracy).
+
+use proptest::prelude::*;
+use reprune_nn::models;
+use reprune_prune::{LadderConfig, PruneCriterion, SparsityLadder};
+use reprune_runtime::envelope::SafetyEnvelope;
+use reprune_runtime::manager::{RestoreMechanism, RuntimeManager, RuntimeManagerConfig};
+use reprune_runtime::policy::{AdaptiveConfig, Policy};
+use reprune_scenario::ScenarioConfig;
+
+fn ladder(net: &reprune_nn::Network) -> SparsityLadder {
+    LadderConfig::new(vec![0.0, 0.3, 0.6, 0.9])
+        .criterion(PruneCriterion::ChannelL2)
+        .build(net)
+        .expect("ladder builds")
+}
+
+fn envelope() -> SafetyEnvelope {
+    SafetyEnvelope::new(vec![0.6, 0.4, 0.2]).expect("valid")
+}
+
+fn policy_strategy() -> impl Strategy<Value = Policy> {
+    prop_oneof![
+        Just(Policy::NoPruning),
+        (0usize..4).prop_map(|level| Policy::Static { level }),
+        Just(Policy::Oracle),
+        (0.0f64..0.2, 1usize..20).prop_map(|(hysteresis, dwell_ticks)| {
+            Policy::adaptive(AdaptiveConfig {
+                hysteresis,
+                dwell_ticks,
+            })
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn oracle_with_delta_restore_never_violates(
+        scenario_seed in any::<u64>(),
+        rate in 0.5f64..4.0,
+    ) {
+        let net = models::default_perception_cnn(1).expect("model");
+        let scenario = ScenarioConfig::new()
+            .duration_s(60.0)
+            .seed(scenario_seed)
+            .event_rate_scale(rate)
+            .generate();
+        let mut mgr = RuntimeManager::attach(
+            net.clone(),
+            ladder(&net),
+            RuntimeManagerConfig::new(Policy::Oracle, envelope())
+                .mechanism(RestoreMechanism::DeltaLog)
+                .frame_seed(scenario_seed),
+        )
+        .expect("attach");
+        let r = mgr.run(&scenario).expect("run");
+        prop_assert_eq!(r.violations, 0);
+    }
+
+    #[test]
+    fn any_policy_accounting_is_consistent(
+        scenario_seed in any::<u64>(),
+        policy in policy_strategy(),
+    ) {
+        let net = models::default_perception_cnn(2).expect("model");
+        let scenario = ScenarioConfig::new()
+            .duration_s(45.0)
+            .seed(scenario_seed)
+            .generate();
+        let mut mgr = RuntimeManager::attach(
+            net.clone(),
+            ladder(&net),
+            RuntimeManagerConfig::new(policy, envelope()).frame_seed(scenario_seed),
+        )
+        .expect("attach");
+        let r = mgr.run(&scenario).expect("run");
+        // Bookkeeping invariants.
+        prop_assert_eq!(r.records.len(), scenario.ticks().len());
+        prop_assert_eq!(
+            r.violations,
+            r.records.iter().filter(|rec| rec.violation).count()
+        );
+        prop_assert!(r.total_energy.0 > 0.0);
+        prop_assert!(r.dense_energy.0 > 0.0);
+        prop_assert!(r.total_energy.0 <= r.dense_energy.0 * 1.5, "energy blow-up");
+        // A violation tick is exactly level > allowed.
+        for rec in &r.records {
+            prop_assert_eq!(rec.violation, rec.level > rec.max_allowed_level);
+            prop_assert!((0.0..=1.0).contains(&rec.estimated_risk));
+        }
+        // Recovery latencies are positive and bounded by the drive length.
+        for &lat in &r.recovery_latencies {
+            prop_assert!(lat >= 0.0 && lat <= scenario.duration_s());
+        }
+    }
+
+    #[test]
+    fn no_pruning_is_always_safe_and_dense(
+        scenario_seed in any::<u64>(),
+    ) {
+        let net = models::default_perception_cnn(3).expect("model");
+        let scenario = ScenarioConfig::new()
+            .duration_s(30.0)
+            .seed(scenario_seed)
+            .event_rate_scale(3.0)
+            .generate();
+        let mut mgr = RuntimeManager::attach(
+            net.clone(),
+            ladder(&net),
+            RuntimeManagerConfig::new(Policy::NoPruning, envelope())
+                .frame_seed(scenario_seed),
+        )
+        .expect("attach");
+        let r = mgr.run(&scenario).expect("run");
+        prop_assert_eq!(r.violations, 0);
+        prop_assert!(r.records.iter().all(|rec| rec.level == 0));
+        prop_assert!(r.energy_saved_fraction().abs() < 1e-9);
+    }
+
+    #[test]
+    fn adaptive_restores_are_risk_driven(
+        scenario_seed in any::<u64>(),
+    ) {
+        // Whenever the level drops between consecutive ticks under the
+        // adaptive policy with delta restore, either estimated risk rose
+        // into a stricter band — there is no other reason to restore.
+        let net = models::default_perception_cnn(4).expect("model");
+        let scenario = ScenarioConfig::new()
+            .duration_s(60.0)
+            .seed(scenario_seed)
+            .event_rate_scale(2.0)
+            .generate();
+        let env = envelope();
+        let mut mgr = RuntimeManager::attach(
+            net.clone(),
+            ladder(&net),
+            RuntimeManagerConfig::new(
+                Policy::adaptive(AdaptiveConfig::default()),
+                env.clone(),
+            )
+            .frame_seed(scenario_seed),
+        )
+        .expect("attach");
+        let r = mgr.run(&scenario).expect("run");
+        for pair in r.records.windows(2) {
+            if pair[1].level < pair[0].level {
+                let allowed = env.max_level(pair[1].estimated_risk);
+                prop_assert!(
+                    allowed <= pair[1].level,
+                    "restore to {} though {} was allowed at est {:.2}",
+                    pair[1].level,
+                    allowed,
+                    pair[1].estimated_risk
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Safety-critical events and their risk envelopes.
+
+use serde::{Deserialize, Serialize};
+
+/// Kind of injected safety-critical event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A pedestrian steps into the drivable corridor.
+    PedestrianCrossing,
+    /// Another vehicle cuts into the ego lane.
+    CutIn,
+    /// The lead vehicle brakes hard.
+    EmergencyBrake,
+    /// A construction zone narrows the lane.
+    Construction,
+}
+
+impl EventKind {
+    /// All event kinds.
+    pub const ALL: [EventKind; 4] = [
+        EventKind::PedestrianCrossing,
+        EventKind::CutIn,
+        EventKind::EmergencyBrake,
+        EventKind::Construction,
+    ];
+
+    /// Peak risk contribution of the event.
+    pub fn peak_risk(self) -> f64 {
+        match self {
+            EventKind::PedestrianCrossing => 0.50,
+            EventKind::CutIn => 0.35,
+            EventKind::EmergencyBrake => 0.45,
+            EventKind::Construction => 0.20,
+        }
+    }
+
+    /// Rise time to peak (seconds) — how abruptly the hazard appears.
+    pub fn rise_s(self) -> f64 {
+        match self {
+            EventKind::PedestrianCrossing => 0.3,
+            EventKind::CutIn => 0.5,
+            EventKind::EmergencyBrake => 0.2,
+            EventKind::Construction => 3.0,
+        }
+    }
+
+    /// Hold time at peak (seconds).
+    pub fn hold_s(self) -> f64 {
+        match self {
+            EventKind::PedestrianCrossing => 2.5,
+            EventKind::CutIn => 2.0,
+            EventKind::EmergencyBrake => 1.5,
+            EventKind::Construction => 15.0,
+        }
+    }
+
+    /// Decay time back to zero (seconds).
+    pub fn decay_s(self) -> f64 {
+        match self {
+            EventKind::PedestrianCrossing => 2.0,
+            EventKind::CutIn => 1.5,
+            EventKind::EmergencyBrake => 2.0,
+            EventKind::Construction => 5.0,
+        }
+    }
+
+    /// Base arrival rate (events per second) before segment multipliers.
+    pub fn base_rate_hz(self) -> f64 {
+        match self {
+            EventKind::PedestrianCrossing => 1.0 / 120.0,
+            EventKind::CutIn => 1.0 / 90.0,
+            EventKind::EmergencyBrake => 1.0 / 180.0,
+            EventKind::Construction => 1.0 / 300.0,
+        }
+    }
+}
+
+impl std::fmt::Display for EventKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            EventKind::PedestrianCrossing => "pedestrian-crossing",
+            EventKind::CutIn => "cut-in",
+            EventKind::EmergencyBrake => "emergency-brake",
+            EventKind::Construction => "construction",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One injected event instance on a scenario timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RiskEvent {
+    /// What happened.
+    pub kind: EventKind,
+    /// Onset time (seconds from scenario start).
+    pub start_s: f64,
+}
+
+impl RiskEvent {
+    /// Total duration of the event's risk envelope.
+    pub fn duration_s(&self) -> f64 {
+        self.kind.rise_s() + self.kind.hold_s() + self.kind.decay_s()
+    }
+
+    /// End time of the event.
+    pub fn end_s(&self) -> f64 {
+        self.start_s + self.duration_s()
+    }
+
+    /// Risk contribution at absolute time `t` (trapezoidal envelope).
+    pub fn risk_at(&self, t: f64) -> f64 {
+        let dt = t - self.start_s;
+        if dt < 0.0 {
+            return 0.0;
+        }
+        let (rise, hold, decay) = (self.kind.rise_s(), self.kind.hold_s(), self.kind.decay_s());
+        let peak = self.kind.peak_risk();
+        if dt < rise {
+            peak * dt / rise
+        } else if dt < rise + hold {
+            peak
+        } else if dt < rise + hold + decay {
+            peak * (1.0 - (dt - rise - hold) / decay)
+        } else {
+            0.0
+        }
+    }
+
+    /// Whether the event contributes risk at time `t`.
+    pub fn is_active_at(&self, t: f64) -> bool {
+        t >= self.start_s && t < self.end_s()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ped(start: f64) -> RiskEvent {
+        RiskEvent {
+            kind: EventKind::PedestrianCrossing,
+            start_s: start,
+        }
+    }
+
+    #[test]
+    fn envelope_shape() {
+        let e = ped(10.0);
+        assert_eq!(e.risk_at(9.9), 0.0);
+        assert_eq!(e.risk_at(10.0), 0.0);
+        // Mid-rise.
+        let mid = e.risk_at(10.0 + e.kind.rise_s() / 2.0);
+        assert!((mid - e.kind.peak_risk() / 2.0).abs() < 1e-9);
+        // Peak during hold.
+        assert_eq!(e.risk_at(10.0 + e.kind.rise_s() + 0.1), e.kind.peak_risk());
+        // Zero after the end.
+        assert_eq!(e.risk_at(e.end_s() + 0.1), 0.0);
+    }
+
+    #[test]
+    fn envelope_is_continuous_at_boundaries() {
+        let e = ped(0.0);
+        let eps = 1e-6;
+        for boundary in [
+            e.kind.rise_s(),
+            e.kind.rise_s() + e.kind.hold_s(),
+            e.duration_s(),
+        ] {
+            let before = e.risk_at(boundary - eps);
+            let after = e.risk_at(boundary + eps);
+            assert!((before - after).abs() < 1e-3, "jump at {boundary}");
+        }
+    }
+
+    #[test]
+    fn activity_window() {
+        let e = ped(5.0);
+        assert!(!e.is_active_at(4.9));
+        assert!(e.is_active_at(5.0));
+        assert!(e.is_active_at(e.end_s() - 0.01));
+        assert!(!e.is_active_at(e.end_s()));
+    }
+
+    #[test]
+    fn all_kinds_have_positive_parameters() {
+        for k in EventKind::ALL {
+            assert!(k.peak_risk() > 0.0 && k.peak_risk() <= 1.0);
+            assert!(k.rise_s() > 0.0);
+            assert!(k.hold_s() > 0.0);
+            assert!(k.decay_s() > 0.0);
+            assert!(k.base_rate_hz() > 0.0);
+        }
+    }
+
+    #[test]
+    fn abrupt_events_rise_faster_than_gradual() {
+        assert!(EventKind::EmergencyBrake.rise_s() < EventKind::Construction.rise_s());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(EventKind::CutIn.to_string(), "cut-in");
+    }
+}

@@ -1,0 +1,354 @@
+//! Scenario generation: segments + weather + events → a risk timeline.
+
+use crate::events::{EventKind, RiskEvent};
+use crate::risk::{SegmentKind, Weather};
+use reprune_tensor::rng::Prng;
+use serde::{Deserialize, Serialize};
+
+/// One time step of a generated drive.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Tick {
+    /// Time since scenario start (seconds).
+    pub t: f64,
+    /// Current road segment.
+    pub segment: SegmentKind,
+    /// Current weather.
+    pub weather: Weather,
+    /// Ground-truth risk in `[0, 1]`.
+    pub risk: f64,
+    /// Number of events contributing risk at this tick.
+    pub active_events: usize,
+}
+
+/// Configuration for scenario generation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioConfig {
+    /// Drive duration in seconds.
+    pub duration_s: f64,
+    /// Tick period in seconds (control-loop rate).
+    pub dt_s: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Global multiplier on event arrival rates.
+    pub event_rate_scale: f64,
+    /// Initial segment.
+    pub start_segment: SegmentKind,
+    /// Fixed weather for the whole drive, or `None` to evolve randomly.
+    pub fixed_weather: Option<Weather>,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            duration_s: 600.0,
+            dt_s: 0.1,
+            seed: 0,
+            event_rate_scale: 1.0,
+            start_segment: SegmentKind::Highway,
+            fixed_weather: None,
+        }
+    }
+}
+
+impl ScenarioConfig {
+    /// Starts from the defaults (600 s drive at 10 Hz).
+    pub fn new() -> Self {
+        ScenarioConfig::default()
+    }
+
+    /// Sets the drive duration in seconds.
+    pub fn duration_s(mut self, s: f64) -> Self {
+        self.duration_s = s;
+        self
+    }
+
+    /// Sets the tick period in seconds.
+    pub fn dt_s(mut self, dt: f64) -> Self {
+        self.dt_s = dt;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Scales all event arrival rates.
+    pub fn event_rate_scale(mut self, scale: f64) -> Self {
+        self.event_rate_scale = scale;
+        self
+    }
+
+    /// Sets the initial road segment.
+    pub fn start_segment(mut self, segment: SegmentKind) -> Self {
+        self.start_segment = segment;
+        self
+    }
+
+    /// Pins the weather for the whole drive.
+    pub fn fixed_weather(mut self, weather: Weather) -> Self {
+        self.fixed_weather = Some(weather);
+        self
+    }
+
+    /// Generates the scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration_s <= 0`, `dt_s <= 0`, or `event_rate_scale < 0`.
+    pub fn generate(self) -> Scenario {
+        assert!(self.duration_s > 0.0, "duration must be positive");
+        assert!(self.dt_s > 0.0, "dt must be positive");
+        assert!(self.event_rate_scale >= 0.0, "event rate scale must be ≥ 0");
+        let mut rng = Prng::new(self.seed);
+        let n = (self.duration_s / self.dt_s).round() as usize;
+
+        // 1. Segment timeline: exponential dwell times, Markov successors.
+        let mut segments = Vec::with_capacity(n);
+        let mut seg = self.start_segment;
+        let mut seg_left = sample_exp(&mut rng, seg.mean_dwell_s());
+        // 2. Weather timeline.
+        let mut weather = self
+            .fixed_weather
+            .unwrap_or_else(|| Weather::ALL[rng.next_below(Weather::ALL.len())]);
+        let mut wx_left = sample_exp(&mut rng, weather.mean_dwell_s());
+        // 3. Event arrivals: thinned Poisson per tick.
+        let mut events: Vec<RiskEvent> = Vec::new();
+
+        for i in 0..n {
+            let t = i as f64 * self.dt_s;
+            seg_left -= self.dt_s;
+            if seg_left <= 0.0 {
+                seg = pick_weighted(&mut rng, seg.successors());
+                seg_left = sample_exp(&mut rng, seg.mean_dwell_s());
+            }
+            if self.fixed_weather.is_none() {
+                wx_left -= self.dt_s;
+                if wx_left <= 0.0 {
+                    weather = Weather::ALL[rng.next_below(Weather::ALL.len())];
+                    wx_left = sample_exp(&mut rng, weather.mean_dwell_s());
+                }
+            }
+            for kind in EventKind::ALL {
+                let rate = kind.base_rate_hz()
+                    * seg.event_rate_multiplier()
+                    * self.event_rate_scale;
+                if rng.next_bool((rate * self.dt_s) as f32) {
+                    events.push(RiskEvent { kind, start_s: t });
+                }
+            }
+            segments.push((seg, weather));
+        }
+
+        // 4. Risk assembly.
+        let ticks = segments
+            .into_iter()
+            .enumerate()
+            .map(|(i, (segment, weather))| {
+                let t = i as f64 * self.dt_s;
+                let event_risk: f64 = events.iter().map(|e| e.risk_at(t)).sum();
+                let active = events.iter().filter(|e| e.is_active_at(t)).count();
+                let risk =
+                    (segment.base_risk() + weather.risk_offset() + event_risk).clamp(0.0, 1.0);
+                Tick {
+                    t,
+                    segment,
+                    weather,
+                    risk,
+                    active_events: active,
+                }
+            })
+            .collect();
+
+        Scenario {
+            config: self,
+            ticks,
+            events,
+        }
+    }
+}
+
+fn sample_exp(rng: &mut Prng, mean: f64) -> f64 {
+    let u = (rng.next_f32() as f64).max(1e-9);
+    -mean * u.ln()
+}
+
+fn pick_weighted(rng: &mut Prng, options: &[(SegmentKind, f64)]) -> SegmentKind {
+    let total: f64 = options.iter().map(|&(_, w)| w).sum();
+    let mut pick = rng.next_f32() as f64 * total;
+    for &(k, w) in options {
+        if pick < w {
+            return k;
+        }
+        pick -= w;
+    }
+    options.last().expect("non-empty successors").0
+}
+
+/// A fully generated drive: the tick timeline plus the injected events.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    config: ScenarioConfig,
+    ticks: Vec<Tick>,
+    events: Vec<RiskEvent>,
+}
+
+impl Scenario {
+    /// The generation config.
+    pub fn config(&self) -> &ScenarioConfig {
+        &self.config
+    }
+
+    /// The tick timeline at the configured rate.
+    pub fn ticks(&self) -> &[Tick] {
+        &self.ticks
+    }
+
+    /// The injected events, in onset order.
+    pub fn events(&self) -> &[RiskEvent] {
+        &self.events
+    }
+
+    /// Drive duration in seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.config.duration_s
+    }
+
+    /// Mean ground-truth risk over the drive.
+    pub fn mean_risk(&self) -> f64 {
+        if self.ticks.is_empty() {
+            0.0
+        } else {
+            self.ticks.iter().map(|t| t.risk).sum::<f64>() / self.ticks.len() as f64
+        }
+    }
+
+    /// Fraction of ticks with risk at or above `threshold`.
+    pub fn critical_fraction(&self, threshold: f64) -> f64 {
+        if self.ticks.is_empty() {
+            0.0
+        } else {
+            self.ticks.iter().filter(|t| t.risk >= threshold).count() as f64
+                / self.ticks.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_expected_tick_count() {
+        let s = ScenarioConfig::new().duration_s(30.0).dt_s(0.1).seed(1).generate();
+        assert_eq!(s.ticks().len(), 300);
+        assert_eq!(s.duration_s(), 30.0);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = ScenarioConfig::new().duration_s(120.0).seed(9).generate();
+        let b = ScenarioConfig::new().duration_s(120.0).seed(9).generate();
+        let c = ScenarioConfig::new().duration_s(120.0).seed(10).generate();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn risk_bounded() {
+        let s = ScenarioConfig::new().duration_s(300.0).seed(2).event_rate_scale(5.0).generate();
+        assert!(s.ticks().iter().all(|t| (0.0..=1.0).contains(&t.risk)));
+    }
+
+    #[test]
+    fn time_axis_is_uniform() {
+        let s = ScenarioConfig::new().duration_s(10.0).dt_s(0.5).seed(3).generate();
+        for (i, tick) in s.ticks().iter().enumerate() {
+            assert!((tick.t - i as f64 * 0.5).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn segments_change_over_long_drives() {
+        let s = ScenarioConfig::new().duration_s(1200.0).seed(4).generate();
+        let kinds: std::collections::HashSet<_> =
+            s.ticks().iter().map(|t| t.segment).collect();
+        assert!(kinds.len() >= 3, "only saw {kinds:?}");
+    }
+
+    #[test]
+    fn fixed_weather_is_respected() {
+        let s = ScenarioConfig::new()
+            .duration_s(600.0)
+            .seed(5)
+            .fixed_weather(Weather::Rain)
+            .generate();
+        assert!(s.ticks().iter().all(|t| t.weather == Weather::Rain));
+    }
+
+    #[test]
+    fn events_raise_risk_above_base() {
+        let s = ScenarioConfig::new()
+            .duration_s(900.0)
+            .seed(6)
+            .event_rate_scale(3.0)
+            .generate();
+        assert!(!s.events().is_empty(), "long busy drive must have events");
+        // At some tick during an event, risk exceeds segment+weather floor.
+        let spiked = s.ticks().iter().any(|t| {
+            t.active_events > 0
+                && t.risk > t.segment.base_risk() + t.weather.risk_offset() + 0.05
+        });
+        assert!(spiked);
+    }
+
+    #[test]
+    fn zero_event_rate_keeps_risk_at_floor() {
+        let s = ScenarioConfig::new()
+            .duration_s(120.0)
+            .seed(7)
+            .event_rate_scale(0.0)
+            .fixed_weather(Weather::Clear)
+            .generate();
+        assert!(s.events().is_empty());
+        for t in s.ticks() {
+            assert!((t.risk - t.segment.base_risk()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn mean_risk_and_critical_fraction() {
+        let s = ScenarioConfig::new().duration_s(300.0).seed(8).generate();
+        let m = s.mean_risk();
+        assert!((0.0..=1.0).contains(&m));
+        assert!(s.critical_fraction(0.0) >= s.critical_fraction(0.5));
+        assert_eq!(s.critical_fraction(1.1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duration must be positive")]
+    fn rejects_nonpositive_duration() {
+        ScenarioConfig::new().duration_s(0.0).generate();
+    }
+
+    #[test]
+    #[should_panic(expected = "dt must be positive")]
+    fn rejects_nonpositive_dt() {
+        ScenarioConfig::new().dt_s(0.0).generate();
+    }
+
+    #[test]
+    fn intersections_carry_more_risk_on_average() {
+        let hw = ScenarioConfig::new()
+            .duration_s(200.0)
+            .seed(11)
+            .start_segment(SegmentKind::Highway)
+            .event_rate_scale(0.0)
+            .fixed_weather(Weather::Clear)
+            .generate();
+        // First ticks are highway; their risk equals the highway floor,
+        // which is lower than any urban/intersection floor.
+        assert!(hw.ticks()[0].risk < SegmentKind::Urban.base_risk());
+    }
+}

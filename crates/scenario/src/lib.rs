@@ -1,0 +1,41 @@
+//! Driving-scenario substrate.
+//!
+//! The paper's runtime decisions are driven by how risky the current
+//! operating context is. We cannot ship drive logs or a CARLA-class
+//! simulator, so — per DESIGN.md §5 — this crate generates seeded
+//! synthetic drives with the temporal structure the runtime actually
+//! consumes:
+//!
+//! * a drive is a sequence of **segments** (highway, suburban, urban,
+//!   intersection) with realistic dwell times,
+//! * **weather** persists over long spans and shifts the risk floor,
+//! * **events** (pedestrian crossing, cut-in, emergency braking,
+//!   construction) arrive stochastically at segment-dependent rates and
+//!   inject risk spikes with rise/hold/decay envelopes,
+//! * every tick carries a ground-truth risk in `[0, 1]` that the safety
+//!   monitor uses for violation accounting.
+//!
+//! # Example
+//!
+//! ```
+//! use reprune_scenario::{ScenarioConfig, Weather};
+//!
+//! let scenario = ScenarioConfig::new()
+//!     .duration_s(60.0)
+//!     .seed(7)
+//!     .generate();
+//! assert_eq!(scenario.ticks().len(), 600); // 10 Hz default
+//! assert!(scenario.ticks().iter().all(|t| (0.0..=1.0).contains(&t.risk)));
+//! ```
+
+#![deny(missing_docs)]
+
+mod events;
+mod generator;
+mod odd;
+mod risk;
+
+pub use events::{EventKind, RiskEvent};
+pub use generator::{Scenario, ScenarioConfig, Tick};
+pub use odd::OddSpec;
+pub use risk::{SegmentKind, Weather};

@@ -1,0 +1,207 @@
+//! Operational Design Domain (ODD) specifications.
+//!
+//! Safety standards for automated driving (ISO 34503-style) define the
+//! conditions a function is designed for; outside them the system must
+//! take a minimal-risk response. For the pruning runtime that response is
+//! concrete: **full model capacity, immediately, and no pruning until the
+//! vehicle is back inside the ODD** — degraded perception is only ever
+//! acceptable inside the envelope the safety case argued over.
+
+use crate::generator::Tick;
+use crate::risk::{SegmentKind, Weather};
+use serde::{Deserialize, Serialize};
+
+/// Declarative ODD: the conditions under which runtime pruning is
+/// permitted at all.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OddSpec {
+    /// Maximum ground-truth risk inside the ODD.
+    pub max_risk: f64,
+    /// Segment kinds inside the ODD (empty = all).
+    pub allowed_segments: Vec<SegmentKind>,
+    /// Weather conditions inside the ODD (empty = all).
+    pub allowed_weather: Vec<Weather>,
+    /// Maximum simultaneously active risk events inside the ODD.
+    pub max_active_events: usize,
+}
+
+impl OddSpec {
+    /// An ODD that admits everything (pruning decisions are left entirely
+    /// to the risk envelope).
+    pub fn permissive() -> Self {
+        OddSpec {
+            max_risk: 1.0,
+            allowed_segments: Vec::new(),
+            allowed_weather: Vec::new(),
+            max_active_events: usize::MAX,
+        }
+    }
+
+    /// A conservative automotive ODD: daylight-or-rain only (no night or
+    /// fog), any segment, risk below 0.8, at most two simultaneous
+    /// events.
+    pub fn conservative() -> Self {
+        OddSpec {
+            max_risk: 0.8,
+            allowed_segments: Vec::new(),
+            allowed_weather: vec![Weather::Clear, Weather::Rain],
+            max_active_events: 2,
+        }
+    }
+
+    /// Whether a tick lies inside the ODD.
+    pub fn contains(&self, tick: &Tick) -> bool {
+        tick.risk <= self.max_risk
+            && (self.allowed_segments.is_empty()
+                || self.allowed_segments.contains(&tick.segment))
+            && (self.allowed_weather.is_empty()
+                || self.allowed_weather.contains(&tick.weather))
+            && tick.active_events <= self.max_active_events
+    }
+
+    /// Merged `[start, end)` time spans of consecutive out-of-ODD ticks.
+    ///
+    /// The final span is closed at the last tick's time plus one nominal
+    /// step (inferred from the first two ticks; a single-tick input uses
+    /// a zero-length step).
+    pub fn exit_spans(&self, ticks: &[Tick]) -> Vec<(f64, f64)> {
+        let dt = if ticks.len() >= 2 {
+            ticks[1].t - ticks[0].t
+        } else {
+            0.0
+        };
+        let mut spans = Vec::new();
+        let mut open: Option<f64> = None;
+        for tick in ticks {
+            if !self.contains(tick) {
+                open.get_or_insert(tick.t);
+            } else if let Some(start) = open.take() {
+                spans.push((start, tick.t));
+            }
+        }
+        if let (Some(start), Some(last)) = (open, ticks.last()) {
+            spans.push((start, last.t + dt));
+        }
+        spans
+    }
+
+    /// Fraction of ticks outside the ODD.
+    pub fn exit_fraction(&self, ticks: &[Tick]) -> f64 {
+        if ticks.is_empty() {
+            0.0
+        } else {
+            ticks.iter().filter(|t| !self.contains(t)).count() as f64 / ticks.len() as f64
+        }
+    }
+}
+
+impl Default for OddSpec {
+    fn default() -> Self {
+        OddSpec::permissive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::ScenarioConfig;
+
+    fn tick(risk: f64, segment: SegmentKind, weather: Weather, events: usize) -> Tick {
+        Tick {
+            t: 0.0,
+            segment,
+            weather,
+            risk,
+            active_events: events,
+        }
+    }
+
+    #[test]
+    fn permissive_contains_everything() {
+        let odd = OddSpec::permissive();
+        assert!(odd.contains(&tick(1.0, SegmentKind::Intersection, Weather::Fog, 10)));
+    }
+
+    #[test]
+    fn conservative_rejects_night_and_fog() {
+        let odd = OddSpec::conservative();
+        assert!(odd.contains(&tick(0.3, SegmentKind::Urban, Weather::Clear, 0)));
+        assert!(odd.contains(&tick(0.3, SegmentKind::Urban, Weather::Rain, 0)));
+        assert!(!odd.contains(&tick(0.3, SegmentKind::Urban, Weather::Night, 0)));
+        assert!(!odd.contains(&tick(0.3, SegmentKind::Urban, Weather::Fog, 0)));
+    }
+
+    #[test]
+    fn risk_and_event_bounds() {
+        let odd = OddSpec::conservative();
+        assert!(!odd.contains(&tick(0.9, SegmentKind::Highway, Weather::Clear, 0)));
+        assert!(!odd.contains(&tick(0.1, SegmentKind::Highway, Weather::Clear, 3)));
+        assert!(odd.contains(&tick(0.1, SegmentKind::Highway, Weather::Clear, 2)));
+    }
+
+    #[test]
+    fn segment_restriction() {
+        let odd = OddSpec {
+            allowed_segments: vec![SegmentKind::Highway],
+            ..OddSpec::permissive()
+        };
+        assert!(odd.contains(&tick(0.5, SegmentKind::Highway, Weather::Fog, 0)));
+        assert!(!odd.contains(&tick(0.5, SegmentKind::Urban, Weather::Fog, 0)));
+    }
+
+    #[test]
+    fn exit_spans_merge_consecutive_ticks() {
+        let odd = OddSpec {
+            max_risk: 0.5,
+            ..OddSpec::permissive()
+        };
+        let mk = |t: f64, r: f64| Tick {
+            t,
+            segment: SegmentKind::Highway,
+            weather: Weather::Clear,
+            risk: r,
+            active_events: 0,
+        };
+        let ticks = vec![
+            mk(0.0, 0.1),
+            mk(1.0, 0.9), // exit
+            mk(2.0, 0.9), // still out
+            mk(3.0, 0.1), // back in
+            mk(4.0, 0.9), // exit to the end
+        ];
+        let spans = odd.exit_spans(&ticks);
+        assert_eq!(spans, vec![(1.0, 3.0), (4.0, 5.0)]);
+        assert!((odd.exit_fraction(&ticks) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exit_spans_empty_and_single() {
+        let odd = OddSpec::permissive();
+        assert!(odd.exit_spans(&[]).is_empty());
+        assert_eq!(odd.exit_fraction(&[]), 0.0);
+        let strict = OddSpec {
+            max_risk: 0.0,
+            ..OddSpec::permissive()
+        };
+        let one = vec![tick(0.5, SegmentKind::Highway, Weather::Clear, 0)];
+        assert_eq!(strict.exit_spans(&one), vec![(0.0, 0.0)]);
+    }
+
+    #[test]
+    fn realistic_scenario_has_exits_under_conservative_odd() {
+        let s = ScenarioConfig::new()
+            .duration_s(900.0)
+            .seed(3)
+            .event_rate_scale(2.0)
+            .generate();
+        let odd = OddSpec::conservative();
+        let frac = odd.exit_fraction(s.ticks());
+        assert!(frac > 0.0, "a long mixed drive should leave a conservative ODD");
+        assert!(frac < 1.0);
+        // Spans are ordered and non-overlapping.
+        let spans = odd.exit_spans(s.ticks());
+        for pair in spans.windows(2) {
+            assert!(pair[0].1 <= pair[1].0);
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Road segments and weather: the slow-moving components of risk.
+
+use serde::{Deserialize, Serialize};
+
+/// Kind of road segment the vehicle is currently driving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SegmentKind {
+    /// Divided highway, light interaction.
+    Highway,
+    /// Residential / suburban streets.
+    Suburban,
+    /// Dense urban traffic.
+    Urban,
+    /// Signalized or uncontrolled intersection approach.
+    Intersection,
+}
+
+impl SegmentKind {
+    /// All segment kinds.
+    pub const ALL: [SegmentKind; 4] = [
+        SegmentKind::Highway,
+        SegmentKind::Suburban,
+        SegmentKind::Urban,
+        SegmentKind::Intersection,
+    ];
+
+    /// Baseline risk contribution of the segment.
+    pub fn base_risk(self) -> f64 {
+        match self {
+            SegmentKind::Highway => 0.10,
+            SegmentKind::Suburban => 0.25,
+            SegmentKind::Urban => 0.45,
+            SegmentKind::Intersection => 0.65,
+        }
+    }
+
+    /// Mean dwell time in seconds before transitioning to another segment.
+    pub fn mean_dwell_s(self) -> f64 {
+        match self {
+            SegmentKind::Highway => 90.0,
+            SegmentKind::Suburban => 45.0,
+            SegmentKind::Urban => 40.0,
+            SegmentKind::Intersection => 12.0,
+        }
+    }
+
+    /// Relative event arrival rate multiplier for this segment.
+    pub fn event_rate_multiplier(self) -> f64 {
+        match self {
+            SegmentKind::Highway => 0.4,
+            SegmentKind::Suburban => 0.8,
+            SegmentKind::Urban => 1.6,
+            SegmentKind::Intersection => 2.5,
+        }
+    }
+
+    /// Plausible successors with transition weights (drives alternate
+    /// between flowing segments and intersections).
+    pub fn successors(self) -> &'static [(SegmentKind, f64)] {
+        match self {
+            SegmentKind::Highway => &[
+                (SegmentKind::Highway, 0.4),
+                (SegmentKind::Suburban, 0.4),
+                (SegmentKind::Urban, 0.2),
+            ],
+            SegmentKind::Suburban => &[
+                (SegmentKind::Urban, 0.35),
+                (SegmentKind::Intersection, 0.3),
+                (SegmentKind::Highway, 0.25),
+                (SegmentKind::Suburban, 0.1),
+            ],
+            SegmentKind::Urban => &[
+                (SegmentKind::Intersection, 0.5),
+                (SegmentKind::Urban, 0.2),
+                (SegmentKind::Suburban, 0.3),
+            ],
+            SegmentKind::Intersection => &[
+                (SegmentKind::Urban, 0.5),
+                (SegmentKind::Suburban, 0.35),
+                (SegmentKind::Highway, 0.15),
+            ],
+        }
+    }
+}
+
+impl std::fmt::Display for SegmentKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SegmentKind::Highway => "highway",
+            SegmentKind::Suburban => "suburban",
+            SegmentKind::Urban => "urban",
+            SegmentKind::Intersection => "intersection",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Weather / lighting condition; persists for long spans of a drive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Weather {
+    /// Clear daylight.
+    Clear,
+    /// Rain.
+    Rain,
+    /// Night driving.
+    Night,
+    /// Fog.
+    Fog,
+}
+
+impl Weather {
+    /// All weather conditions.
+    pub const ALL: [Weather; 4] = [Weather::Clear, Weather::Rain, Weather::Night, Weather::Fog];
+
+    /// Additive risk contribution of the weather.
+    pub fn risk_offset(self) -> f64 {
+        match self {
+            Weather::Clear => 0.0,
+            Weather::Rain => 0.12,
+            Weather::Night => 0.10,
+            Weather::Fog => 0.18,
+        }
+    }
+
+    /// Mean dwell time in seconds before the weather changes.
+    pub fn mean_dwell_s(self) -> f64 {
+        300.0
+    }
+}
+
+impl std::fmt::Display for Weather {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Weather::Clear => "clear",
+            Weather::Rain => "rain",
+            Weather::Night => "night",
+            Weather::Fog => "fog",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_risks_order_by_interaction_density() {
+        assert!(SegmentKind::Highway.base_risk() < SegmentKind::Suburban.base_risk());
+        assert!(SegmentKind::Suburban.base_risk() < SegmentKind::Urban.base_risk());
+        assert!(SegmentKind::Urban.base_risk() < SegmentKind::Intersection.base_risk());
+    }
+
+    #[test]
+    fn successors_are_normalized_enough_and_nonempty() {
+        for k in SegmentKind::ALL {
+            let total: f64 = k.successors().iter().map(|&(_, w)| w).sum();
+            assert!((total - 1.0).abs() < 1e-9, "{k} weights sum to {total}");
+            assert!(!k.successors().is_empty());
+        }
+    }
+
+    #[test]
+    fn event_rates_scale_with_risk() {
+        assert!(
+            SegmentKind::Intersection.event_rate_multiplier()
+                > SegmentKind::Highway.event_rate_multiplier()
+        );
+    }
+
+    #[test]
+    fn weather_offsets_bounded() {
+        for w in Weather::ALL {
+            assert!((0.0..0.3).contains(&w.risk_offset()));
+            assert!(w.mean_dwell_s() > 0.0);
+        }
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(SegmentKind::Urban.to_string(), "urban");
+        assert_eq!(Weather::Fog.to_string(), "fog");
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests of the scenario substrate's invariants.
+
+use proptest::prelude::*;
+use reprune_scenario::{ScenarioConfig, SegmentKind, Weather};
+
+fn segment_strategy() -> impl Strategy<Value = SegmentKind> {
+    prop_oneof![
+        Just(SegmentKind::Highway),
+        Just(SegmentKind::Suburban),
+        Just(SegmentKind::Urban),
+        Just(SegmentKind::Intersection),
+    ]
+}
+
+fn weather_strategy() -> impl Strategy<Value = Weather> {
+    prop_oneof![
+        Just(Weather::Clear),
+        Just(Weather::Rain),
+        Just(Weather::Night),
+        Just(Weather::Fog),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn risk_always_in_unit_interval(
+        seed in any::<u64>(),
+        duration in 10.0f64..120.0,
+        rate in 0.0f64..5.0,
+        start in segment_strategy(),
+    ) {
+        let s = ScenarioConfig::new()
+            .duration_s(duration)
+            .seed(seed)
+            .event_rate_scale(rate)
+            .start_segment(start)
+            .generate();
+        prop_assert!(!s.ticks().is_empty());
+        for t in s.ticks() {
+            prop_assert!((0.0..=1.0).contains(&t.risk), "risk {} at t={}", t.risk, t.t);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic(seed in any::<u64>()) {
+        let a = ScenarioConfig::new().duration_s(60.0).seed(seed).generate();
+        let b = ScenarioConfig::new().duration_s(60.0).seed(seed).generate();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tick_count_matches_duration(
+        duration in 1.0f64..300.0,
+        dt in 0.05f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let s = ScenarioConfig::new().duration_s(duration).dt_s(dt).seed(seed).generate();
+        let expected = (duration / dt).round() as usize;
+        prop_assert_eq!(s.ticks().len(), expected);
+    }
+
+    #[test]
+    fn events_are_within_the_drive(seed in any::<u64>()) {
+        let s = ScenarioConfig::new()
+            .duration_s(300.0)
+            .seed(seed)
+            .event_rate_scale(3.0)
+            .generate();
+        for e in s.events() {
+            prop_assert!(e.start_s >= 0.0);
+            prop_assert!(e.start_s < 300.0);
+            prop_assert!(e.end_s() > e.start_s);
+        }
+    }
+
+    #[test]
+    fn fixed_weather_pins_every_tick(seed in any::<u64>(), wx in weather_strategy()) {
+        let s = ScenarioConfig::new()
+            .duration_s(120.0)
+            .seed(seed)
+            .fixed_weather(wx)
+            .generate();
+        prop_assert!(s.ticks().iter().all(|t| t.weather == wx));
+    }
+
+    #[test]
+    fn risk_floor_respects_segment_and_weather(seed in any::<u64>()) {
+        // With zero events, risk equals exactly segment base + weather offset.
+        let s = ScenarioConfig::new()
+            .duration_s(120.0)
+            .seed(seed)
+            .event_rate_scale(0.0)
+            .generate();
+        for t in s.ticks() {
+            let floor = t.segment.base_risk() + t.weather.risk_offset();
+            prop_assert!((t.risk - floor.clamp(0.0, 1.0)).abs() < 1e-9);
+            prop_assert_eq!(t.active_events, 0);
+        }
+    }
+
+    #[test]
+    fn critical_fraction_is_monotone_in_threshold(seed in any::<u64>()) {
+        let s = ScenarioConfig::new().duration_s(120.0).seed(seed).generate();
+        let mut prev = 1.0f64;
+        for i in 0..=10 {
+            let f = s.critical_fraction(i as f64 / 10.0);
+            prop_assert!(f <= prev + 1e-12);
+            prev = f;
+        }
+    }
+}

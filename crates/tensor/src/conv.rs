@@ -1,0 +1,421 @@
+//! Convolution and pooling primitives (single-image, CHW layout).
+//!
+//! Convolutions are lowered to matrix multiplication through [`im2col`],
+//! the classic strategy used by embedded inference engines; the reverse
+//! scatter [`col2im`] supports backpropagation in `reprune-nn`.
+
+use crate::{linalg, Result, Tensor, TensorError};
+
+/// Geometry of a 2-D convolution or pooling window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Conv2dSpec {
+    /// Kernel height.
+    pub kernel_h: usize,
+    /// Kernel width.
+    pub kernel_w: usize,
+    /// Stride (same in both spatial dimensions).
+    pub stride: usize,
+    /// Zero padding (same on all four sides).
+    pub padding: usize,
+}
+
+impl Conv2dSpec {
+    /// Creates a square-kernel spec.
+    pub fn square(kernel: usize, stride: usize, padding: usize) -> Self {
+        Conv2dSpec {
+            kernel_h: kernel,
+            kernel_w: kernel,
+            stride,
+            padding,
+        }
+    }
+
+    /// Computes the output spatial size for an `(h, w)` input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] if the stride is zero or the
+    /// window does not fit into the padded input.
+    pub fn output_hw(&self, h: usize, w: usize) -> Result<(usize, usize)> {
+        if self.stride == 0 {
+            return Err(TensorError::invalid("conv stride must be nonzero"));
+        }
+        let ph = h + 2 * self.padding;
+        let pw = w + 2 * self.padding;
+        if ph < self.kernel_h || pw < self.kernel_w {
+            return Err(TensorError::invalid(format!(
+                "kernel {}x{} larger than padded input {}x{}",
+                self.kernel_h, self.kernel_w, ph, pw
+            )));
+        }
+        Ok((
+            (ph - self.kernel_h) / self.stride + 1,
+            (pw - self.kernel_w) / self.stride + 1,
+        ))
+    }
+}
+
+fn require_chw<'t>(t: &'t Tensor, op: &'static str) -> Result<(&'t Tensor, usize, usize, usize)> {
+    if t.shape().rank() != 3 {
+        return Err(TensorError::RankMismatch {
+            expected: 3,
+            actual: t.shape().rank(),
+            op,
+        });
+    }
+    Ok((t, t.shape().dim(0), t.shape().dim(1), t.shape().dim(2)))
+}
+
+/// Unfolds a `(C,H,W)` image into a `(C·kh·kw, oh·ow)` matrix of patches.
+///
+/// Column `j` of the result holds the receptive field of output pixel `j`
+/// (row-major over the output grid); padding contributes zeros.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-CHW input or
+/// [`TensorError::InvalidArgument`] for degenerate window geometry.
+pub fn im2col(input: &Tensor, spec: Conv2dSpec) -> Result<Tensor> {
+    let (input, c, h, w) = require_chw(input, "im2col")?;
+    let (oh, ow) = spec.output_hw(h, w)?;
+    let rows = c * spec.kernel_h * spec.kernel_w;
+    let cols = oh * ow;
+    let mut out = Tensor::zeros(&[rows, cols]);
+    let id = input.data();
+    let od = out.data_mut();
+    for ch in 0..c {
+        for kh in 0..spec.kernel_h {
+            for kw in 0..spec.kernel_w {
+                let row = (ch * spec.kernel_h + kh) * spec.kernel_w + kw;
+                for oy in 0..oh {
+                    let iy = (oy * spec.stride + kh) as isize - spec.padding as isize;
+                    for ox in 0..ow {
+                        let ix = (ox * spec.stride + kw) as isize - spec.padding as isize;
+                        let col = oy * ow + ox;
+                        if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
+                            od[row * cols + col] =
+                                id[(ch * h + iy as usize) * w + ix as usize];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Folds a `(C·kh·kw, oh·ow)` patch matrix back into a `(C,H,W)` image,
+/// accumulating overlapping contributions (the adjoint of [`im2col`]).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `cols` does not have the shape
+/// `im2col` would produce for the given geometry.
+pub fn col2im(cols: &Tensor, c: usize, h: usize, w: usize, spec: Conv2dSpec) -> Result<Tensor> {
+    let (oh, ow) = spec.output_hw(h, w)?;
+    let expected = [c * spec.kernel_h * spec.kernel_w, oh * ow];
+    if cols.dims() != expected {
+        return Err(TensorError::ShapeMismatch {
+            lhs: cols.dims().to_vec(),
+            rhs: expected.to_vec(),
+            op: "col2im",
+        });
+    }
+    let mut out = Tensor::zeros(&[c, h, w]);
+    let cd = cols.data();
+    let od = out.data_mut();
+    let ncols = oh * ow;
+    for ch in 0..c {
+        for kh in 0..spec.kernel_h {
+            for kw in 0..spec.kernel_w {
+                let row = (ch * spec.kernel_h + kh) * spec.kernel_w + kw;
+                for oy in 0..oh {
+                    let iy = (oy * spec.stride + kh) as isize - spec.padding as isize;
+                    for ox in 0..ow {
+                        let ix = (ox * spec.stride + kw) as isize - spec.padding as isize;
+                        if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
+                            od[(ch * h + iy as usize) * w + ix as usize] +=
+                                cd[row * ncols + oy * ow + ox];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// 2-D convolution of a `(C,H,W)` image with `(OC,C,kh,kw)` weights and an
+/// `(OC)` bias, producing `(OC,oh,ow)`.
+///
+/// # Errors
+///
+/// Returns a shape/rank error if any operand disagrees with the geometry.
+pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: Conv2dSpec) -> Result<Tensor> {
+    let (_, c, h, w) = require_chw(input, "conv2d")?;
+    if weight.shape().rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: weight.shape().rank(),
+            op: "conv2d weight",
+        });
+    }
+    let oc = weight.shape().dim(0);
+    let expected_w = [oc, c, spec.kernel_h, spec.kernel_w];
+    if weight.dims() != expected_w {
+        return Err(TensorError::ShapeMismatch {
+            lhs: weight.dims().to_vec(),
+            rhs: expected_w.to_vec(),
+            op: "conv2d weight",
+        });
+    }
+    if bias.dims() != [oc] {
+        return Err(TensorError::ShapeMismatch {
+            lhs: bias.dims().to_vec(),
+            rhs: vec![oc],
+            op: "conv2d bias",
+        });
+    }
+    let (oh, ow) = spec.output_hw(h, w)?;
+    let cols = im2col(input, spec)?;
+    let wmat = weight.reshape(&[oc, c * spec.kernel_h * spec.kernel_w])?;
+    let mut out = linalg::matmul(&wmat, &cols)?; // (oc, oh*ow)
+    let od = out.data_mut();
+    let n = oh * ow;
+    for (i, &b) in bias.data().iter().enumerate() {
+        for v in &mut od[i * n..(i + 1) * n] {
+            *v += b;
+        }
+    }
+    out.reshape(&[oc, oh, ow])
+}
+
+/// Result of a max-pooling pass: the pooled tensor plus, for each output
+/// element, the flat input offset of the winning element (for backprop).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaxPoolOutput {
+    /// Pooled `(C,oh,ow)` tensor.
+    pub output: Tensor,
+    /// For each output element (row-major), the flat offset into the input
+    /// buffer of the element that won the max.
+    pub argmax: Vec<usize>,
+}
+
+/// Max-pools a `(C,H,W)` image with a square window.
+///
+/// # Errors
+///
+/// Returns a rank/geometry error for invalid inputs.
+pub fn max_pool2d(input: &Tensor, kernel: usize, stride: usize) -> Result<MaxPoolOutput> {
+    let (input, c, h, w) = require_chw(input, "max_pool2d")?;
+    let spec = Conv2dSpec::square(kernel, stride, 0);
+    let (oh, ow) = spec.output_hw(h, w)?;
+    let mut output = Tensor::zeros(&[c, oh, ow]);
+    let mut argmax = vec![0usize; c * oh * ow];
+    let id = input.data();
+    let od = output.data_mut();
+    for ch in 0..c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut best = f32::NEG_INFINITY;
+                let mut best_off = 0;
+                for ky in 0..kernel {
+                    for kx in 0..kernel {
+                        let iy = oy * stride + ky;
+                        let ix = ox * stride + kx;
+                        let off = (ch * h + iy) * w + ix;
+                        if id[off] > best {
+                            best = id[off];
+                            best_off = off;
+                        }
+                    }
+                }
+                let oi = (ch * oh + oy) * ow + ox;
+                od[oi] = best;
+                argmax[oi] = best_off;
+            }
+        }
+    }
+    Ok(MaxPoolOutput { output, argmax })
+}
+
+/// Average-pools a `(C,H,W)` image with a square window.
+///
+/// # Errors
+///
+/// Returns a rank/geometry error for invalid inputs.
+pub fn avg_pool2d(input: &Tensor, kernel: usize, stride: usize) -> Result<Tensor> {
+    let (input, c, h, w) = require_chw(input, "avg_pool2d")?;
+    let spec = Conv2dSpec::square(kernel, stride, 0);
+    let (oh, ow) = spec.output_hw(h, w)?;
+    let mut output = Tensor::zeros(&[c, oh, ow]);
+    let id = input.data();
+    let od = output.data_mut();
+    let inv = 1.0 / (kernel * kernel) as f32;
+    for ch in 0..c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = 0.0;
+                for ky in 0..kernel {
+                    for kx in 0..kernel {
+                        acc += id[(ch * h + oy * stride + ky) * w + ox * stride + kx];
+                    }
+                }
+                od[(ch * oh + oy) * ow + ox] = acc * inv;
+            }
+        }
+    }
+    Ok(output)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq_chw(c: usize, h: usize, w: usize) -> Tensor {
+        Tensor::from_vec((0..c * h * w).map(|v| v as f32).collect(), &[c, h, w]).unwrap()
+    }
+
+    #[test]
+    fn output_hw_basic() {
+        let spec = Conv2dSpec::square(3, 1, 1);
+        assert_eq!(spec.output_hw(8, 8).unwrap(), (8, 8));
+        let spec2 = Conv2dSpec::square(2, 2, 0);
+        assert_eq!(spec2.output_hw(8, 8).unwrap(), (4, 4));
+    }
+
+    #[test]
+    fn output_hw_rejects_zero_stride_and_big_kernel() {
+        assert!(Conv2dSpec::square(3, 0, 0).output_hw(8, 8).is_err());
+        assert!(Conv2dSpec::square(9, 1, 0).output_hw(8, 8).is_err());
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // 1x1 kernel, stride 1: im2col is just a reshape.
+        let x = seq_chw(2, 3, 3);
+        let cols = im2col(&x, Conv2dSpec::square(1, 1, 0)).unwrap();
+        assert_eq!(cols.dims(), &[2, 9]);
+        assert_eq!(cols.data(), x.data());
+    }
+
+    #[test]
+    fn im2col_known_patch() {
+        let x = seq_chw(1, 3, 3); // 0..9
+        let cols = im2col(&x, Conv2dSpec::square(2, 1, 0)).unwrap();
+        assert_eq!(cols.dims(), &[4, 4]);
+        // First column = top-left 2x2 patch [0,1,3,4].
+        let d = cols.data();
+        assert_eq!([d[0], d[4], d[8], d[12]], [0.0, 1.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn im2col_padding_adds_zeros() {
+        let x = Tensor::ones(&[1, 2, 2]);
+        let cols = im2col(&x, Conv2dSpec::square(3, 1, 1)).unwrap();
+        assert_eq!(cols.dims(), &[9, 4]);
+        // Corner output pixel touches 5 padded zeros out of 9 elements.
+        let first_col: Vec<f32> = (0..9).map(|r| cols.data()[r * 4]).collect();
+        assert_eq!(first_col.iter().filter(|&&v| v == 0.0).count(), 5);
+    }
+
+    #[test]
+    fn conv2d_identity_filter() {
+        let x = seq_chw(1, 4, 4);
+        // 1x1 kernel with weight 1 reproduces the input.
+        let w = Tensor::ones(&[1, 1, 1, 1]);
+        let b = Tensor::zeros(&[1]);
+        let y = conv2d(&x, &w, &b, Conv2dSpec::square(1, 1, 0)).unwrap();
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn conv2d_sum_filter() {
+        let x = Tensor::ones(&[1, 3, 3]);
+        let w = Tensor::ones(&[1, 1, 3, 3]);
+        let b = Tensor::from_vec(vec![0.5], &[1]).unwrap();
+        let y = conv2d(&x, &w, &b, Conv2dSpec::square(3, 1, 0)).unwrap();
+        assert_eq!(y.dims(), &[1, 1, 1]);
+        assert_eq!(y.data(), &[9.5]);
+    }
+
+    #[test]
+    fn conv2d_multi_channel_sums_channels() {
+        let x = Tensor::ones(&[3, 2, 2]);
+        let w = Tensor::ones(&[2, 3, 2, 2]);
+        let b = Tensor::zeros(&[2]);
+        let y = conv2d(&x, &w, &b, Conv2dSpec::square(2, 1, 0)).unwrap();
+        assert_eq!(y.dims(), &[2, 1, 1]);
+        assert_eq!(y.data(), &[12.0, 12.0]);
+    }
+
+    #[test]
+    fn conv2d_rejects_mismatched_weight() {
+        let x = Tensor::ones(&[2, 4, 4]);
+        let w = Tensor::ones(&[1, 3, 3, 3]); // wrong in-channels
+        let b = Tensor::zeros(&[1]);
+        assert!(conv2d(&x, &w, &b, Conv2dSpec::square(3, 1, 0)).is_err());
+        let w2 = Tensor::ones(&[1, 2, 3, 3]);
+        assert!(conv2d(&x, &w2, &Tensor::zeros(&[2]), Conv2dSpec::square(3, 1, 0)).is_err());
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col_for_disjoint_windows() {
+        // Stride == kernel (no overlap): col2im(im2col(x)) == x.
+        let x = seq_chw(2, 4, 4);
+        let spec = Conv2dSpec::square(2, 2, 0);
+        let cols = im2col(&x, spec).unwrap();
+        let back = col2im(&cols, 2, 4, 4, spec).unwrap();
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn col2im_accumulates_overlaps() {
+        let x = Tensor::ones(&[1, 3, 3]);
+        let spec = Conv2dSpec::square(2, 1, 0);
+        let cols = im2col(&x, spec).unwrap();
+        let back = col2im(&cols, 1, 3, 3, spec).unwrap();
+        // Center pixel is covered by all four 2x2 windows.
+        assert_eq!(back.get(&[0, 1, 1]).unwrap(), 4.0);
+        assert_eq!(back.get(&[0, 0, 0]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn col2im_rejects_wrong_shape() {
+        let spec = Conv2dSpec::square(2, 1, 0);
+        assert!(col2im(&Tensor::zeros(&[3, 3]), 1, 3, 3, spec).is_err());
+    }
+
+    #[test]
+    fn max_pool_values_and_argmax() {
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            &[1, 4, 4],
+        )
+        .unwrap();
+        let p = max_pool2d(&x, 2, 2).unwrap();
+        assert_eq!(p.output.dims(), &[1, 2, 2]);
+        assert_eq!(p.output.data(), &[6.0, 8.0, 14.0, 16.0]);
+        assert_eq!(p.argmax, vec![5, 7, 13, 15]);
+    }
+
+    #[test]
+    fn max_pool_handles_negative_inputs() {
+        let x = Tensor::full(&[1, 2, 2], -3.0);
+        let p = max_pool2d(&x, 2, 2).unwrap();
+        assert_eq!(p.output.data(), &[-3.0]);
+    }
+
+    #[test]
+    fn avg_pool_values() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 2, 2]).unwrap();
+        let y = avg_pool2d(&x, 2, 2).unwrap();
+        assert_eq!(y.data(), &[2.5]);
+    }
+
+    #[test]
+    fn pooling_rejects_non_chw() {
+        assert!(max_pool2d(&Tensor::zeros(&[4, 4]), 2, 2).is_err());
+        assert!(avg_pool2d(&Tensor::zeros(&[4, 4]), 2, 2).is_err());
+    }
+}

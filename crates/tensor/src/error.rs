@@ -1,0 +1,124 @@
+use std::fmt;
+
+/// Error type for all fallible tensor operations.
+///
+/// Every public function in this crate that can fail returns
+/// [`crate::Result`] with this error. The variants carry enough context to
+/// diagnose shape bugs without a debugger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two operands had incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Shape of the left-hand (or first) operand.
+        lhs: Vec<usize>,
+        /// Shape of the right-hand (or second) operand.
+        rhs: Vec<usize>,
+        /// Name of the operation that rejected the shapes.
+        op: &'static str,
+    },
+    /// The data buffer length did not match the product of the dimensions.
+    LengthMismatch {
+        /// Number of elements implied by the requested shape.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// An index was out of bounds for the tensor's shape.
+    IndexOutOfBounds {
+        /// The offending index, one entry per dimension.
+        index: Vec<usize>,
+        /// The tensor shape the index was applied to.
+        shape: Vec<usize>,
+    },
+    /// The operation requires a tensor of a specific rank.
+    RankMismatch {
+        /// Rank required by the operation.
+        expected: usize,
+        /// Rank of the tensor provided.
+        actual: usize,
+        /// Name of the operation that rejected the rank.
+        op: &'static str,
+    },
+    /// A dimension parameter (kernel size, stride, …) was invalid.
+    InvalidArgument {
+        /// Human-readable description of the invalid parameter.
+        message: String,
+    },
+    /// An empty tensor was passed to an operation that needs elements.
+    Empty {
+        /// Name of the operation that rejected the empty tensor.
+        op: &'static str,
+    },
+}
+
+impl TensorError {
+    /// Convenience constructor for [`TensorError::InvalidArgument`].
+    pub fn invalid(message: impl Into<String>) -> Self {
+        TensorError::InvalidArgument {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { lhs, rhs, op } => {
+                write!(f, "shape mismatch in {op}: {lhs:?} vs {rhs:?}")
+            }
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(f, "buffer length {actual} does not match shape volume {expected}")
+            }
+            TensorError::IndexOutOfBounds { index, shape } => {
+                write!(f, "index {index:?} out of bounds for shape {shape:?}")
+            }
+            TensorError::RankMismatch { expected, actual, op } => {
+                write!(f, "rank mismatch in {op}: expected rank {expected}, got {actual}")
+            }
+            TensorError::InvalidArgument { message } => {
+                write!(f, "invalid argument: {message}")
+            }
+            TensorError::Empty { op } => write!(f, "empty tensor passed to {op}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = TensorError::ShapeMismatch {
+            lhs: vec![2, 3],
+            rhs: vec![4],
+            op: "add",
+        };
+        assert_eq!(e.to_string(), "shape mismatch in add: [2, 3] vs [4]");
+    }
+
+    #[test]
+    fn display_length_mismatch() {
+        let e = TensorError::LengthMismatch {
+            expected: 6,
+            actual: 5,
+        };
+        assert!(e.to_string().contains("length 5"));
+        assert!(e.to_string().contains("volume 6"));
+    }
+
+    #[test]
+    fn invalid_helper_builds_variant() {
+        let e = TensorError::invalid("stride must be nonzero");
+        assert!(matches!(e, TensorError::InvalidArgument { .. }));
+        assert!(e.to_string().contains("stride must be nonzero"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

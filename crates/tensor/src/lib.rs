@@ -1,0 +1,47 @@
+//! Dense `f32` tensor substrate for the `reprune` stack.
+//!
+//! This crate is the lowest layer of the reversible-runtime-pruning
+//! reproduction: everything above it (the neural-network library, the
+//! pruning engine, the platform model) works in terms of [`Tensor`].
+//!
+//! It deliberately implements only what the stack needs, from scratch:
+//!
+//! * [`Shape`] — dimension bookkeeping with row-major strides,
+//! * [`Tensor`] — an owned, contiguous, row-major `f32` array,
+//! * elementwise arithmetic and mapping ([`Tensor::map`], [`Tensor::zip`]),
+//! * reductions ([`Tensor::sum`], [`Tensor::mean`], [`Tensor::argmax`], …),
+//! * linear algebra ([`linalg::matmul`], [`linalg::matvec`]),
+//! * convolution machinery ([`conv::im2col`], [`conv::conv2d`], pooling),
+//! * a small deterministic PRNG ([`rng::Prng`]) so every experiment in the
+//!   benchmark harness is exactly reproducible from a seed.
+//!
+//! # Example
+//!
+//! ```
+//! use reprune_tensor::{Tensor, linalg};
+//!
+//! # fn main() -> Result<(), reprune_tensor::TensorError> {
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+//! let b = Tensor::eye(2);
+//! let c = linalg::matmul(&a, &b)?;
+//! assert_eq!(c.data(), a.data());
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+
+mod error;
+mod shape;
+mod tensor;
+
+pub mod conv;
+pub mod linalg;
+pub mod rng;
+
+pub use error::TensorError;
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Crate-wide result alias: every fallible tensor operation returns this.
+pub type Result<T> = std::result::Result<T, TensorError>;

@@ -1,0 +1,225 @@
+//! Dense linear algebra primitives.
+//!
+//! Matrix multiplication here backs both the fully connected layers and the
+//! im2col-lowered convolutions in `reprune-nn`. The kernel is a
+//! cache-friendly ikj loop over contiguous rows — no blocking heroics, but
+//! more than fast enough for the model sizes in the reproduction.
+
+use crate::{Result, Tensor, TensorError};
+
+fn require_matrix<'t>(t: &'t Tensor, op: &'static str) -> Result<(&'t Tensor, usize, usize)> {
+    if t.shape().rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: t.shape().rank(),
+            op,
+        });
+    }
+    Ok((t, t.shape().dim(0), t.shape().dim(1)))
+}
+
+/// Multiplies two matrices: `(m×k) · (k×n) → (m×n)`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] if either operand is not rank 2,
+/// or [`TensorError::ShapeMismatch`] if the inner dimensions disagree.
+///
+/// # Example
+///
+/// ```
+/// use reprune_tensor::{Tensor, linalg};
+///
+/// # fn main() -> Result<(), reprune_tensor::TensorError> {
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+/// let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2])?;
+/// let c = linalg::matmul(&a, &b)?;
+/// assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (a, m, k) = require_matrix(a, "matmul")?;
+    let (b, k2, n) = require_matrix(b, "matmul")?;
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+            op: "matmul",
+        });
+    }
+    let mut out = Tensor::zeros(&[m, n]);
+    let ad = a.data();
+    let bd = b.data();
+    let od = out.data_mut();
+    for i in 0..m {
+        let a_row = &ad[i * k..(i + 1) * k];
+        let o_row = &mut od[i * n..(i + 1) * n];
+        for (p, &aip) in a_row.iter().enumerate() {
+            if aip == 0.0 {
+                // Pruned weights are exact zeros; skipping keeps the dense
+                // kernel honest about structured-sparsity savings.
+                continue;
+            }
+            let b_row = &bd[p * n..(p + 1) * n];
+            for (o, &bpj) in o_row.iter_mut().zip(b_row) {
+                *o += aip * bpj;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Multiplies a matrix by a vector: `(m×k) · (k) → (m)`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] if `a` is not rank 2 or `x` is not
+/// rank 1, or [`TensorError::ShapeMismatch`] on inner-dimension mismatch.
+pub fn matvec(a: &Tensor, x: &Tensor) -> Result<Tensor> {
+    let (a, m, k) = require_matrix(a, "matvec")?;
+    if x.shape().rank() != 1 {
+        return Err(TensorError::RankMismatch {
+            expected: 1,
+            actual: x.shape().rank(),
+            op: "matvec",
+        });
+    }
+    if x.len() != k {
+        return Err(TensorError::ShapeMismatch {
+            lhs: a.dims().to_vec(),
+            rhs: x.dims().to_vec(),
+            op: "matvec",
+        });
+    }
+    let mut out = Tensor::zeros(&[m]);
+    let ad = a.data();
+    let xd = x.data();
+    let od = out.data_mut();
+    for i in 0..m {
+        od[i] = ad[i * k..(i + 1) * k]
+            .iter()
+            .zip(xd)
+            .map(|(&w, &v)| w * v)
+            .sum();
+    }
+    Ok(out)
+}
+
+/// Outer product of two vectors: `(m) ⊗ (n) → (m×n)`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] if either operand is not rank 1.
+pub fn outer(x: &Tensor, y: &Tensor) -> Result<Tensor> {
+    for (t, name) in [(x, "outer lhs"), (y, "outer rhs")] {
+        if t.shape().rank() != 1 {
+            return Err(TensorError::RankMismatch {
+                expected: 1,
+                actual: t.shape().rank(),
+                op: if name.ends_with("lhs") { "outer(lhs)" } else { "outer(rhs)" },
+            });
+        }
+    }
+    let (m, n) = (x.len(), y.len());
+    let mut out = Tensor::zeros(&[m, n]);
+    let od = out.data_mut();
+    for (i, &xi) in x.data().iter().enumerate() {
+        for (j, &yj) in y.data().iter().enumerate() {
+            od[i * n + j] = xi * yj;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let i = Tensor::eye(3);
+        assert_eq!(matmul(&a, &i).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]).unwrap();
+        assert_eq!(matmul(&a, &b).unwrap().data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        let a = Tensor::ones(&[3, 4]);
+        let b = Tensor::ones(&[4, 5]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.dims(), &[3, 5]);
+        assert!(c.data().iter().all(|&x| x == 4.0));
+    }
+
+    #[test]
+    fn matmul_rejects_bad_shapes() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2, 3]);
+        assert!(matmul(&a, &b).is_err());
+        assert!(matmul(&a, &Tensor::zeros(&[3])).is_err());
+    }
+
+    #[test]
+    fn matmul_skips_zero_rows_correctly() {
+        // Zero-valued entries must not change the numerical result.
+        let a = Tensor::from_vec(vec![0.0, 2.0, 0.0, 0.0], &[2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![1.0, 1.0, 1.0, 1.0], &[2, 2]).unwrap();
+        assert_eq!(matmul(&a, &b).unwrap().data(), &[2.0, 2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn matvec_known_values() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let x = Tensor::from_vec(vec![1.0, 0.0, -1.0], &[3]).unwrap();
+        assert_eq!(matvec(&a, &x).unwrap().data(), &[-2.0, -2.0]);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Tensor::from_vec((0..12).map(|v| v as f32).collect(), &[3, 4]).unwrap();
+        let x = Tensor::from_vec(vec![1.0, -1.0, 2.0, 0.5], &[4]).unwrap();
+        let via_mm = matmul(&a, &x.reshape(&[4, 1]).unwrap()).unwrap();
+        let via_mv = matvec(&a, &x).unwrap();
+        assert_eq!(via_mm.data(), via_mv.data());
+    }
+
+    #[test]
+    fn matvec_rejects_bad_shapes() {
+        let a = Tensor::zeros(&[2, 3]);
+        assert!(matvec(&a, &Tensor::zeros(&[2])).is_err());
+        assert!(matvec(&a, &Tensor::zeros(&[3, 1])).is_err());
+    }
+
+    #[test]
+    fn outer_known_values() {
+        let x = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let y = Tensor::from_vec(vec![3.0, 4.0, 5.0], &[3]).unwrap();
+        let o = outer(&x, &y).unwrap();
+        assert_eq!(o.dims(), &[2, 3]);
+        assert_eq!(o.data(), &[3.0, 4.0, 5.0, 6.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn outer_rejects_matrices() {
+        assert!(outer(&Tensor::zeros(&[2, 2]), &Tensor::zeros(&[2])).is_err());
+        assert!(outer(&Tensor::zeros(&[2]), &Tensor::zeros(&[2, 2])).is_err());
+    }
+
+    #[test]
+    fn matmul_associativity_small() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![0.5, -1.0, 2.0, 1.5], &[2, 2]).unwrap();
+        let c = Tensor::from_vec(vec![1.0, 0.0, -1.0, 1.0], &[2, 2]).unwrap();
+        let left = matmul(&matmul(&a, &b).unwrap(), &c).unwrap();
+        let right = matmul(&a, &matmul(&b, &c).unwrap()).unwrap();
+        assert!(left.approx_eq(&right, 1e-4));
+    }
+}

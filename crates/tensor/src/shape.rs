@@ -1,0 +1,204 @@
+use crate::{Result, TensorError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Dimension bookkeeping for a row-major tensor.
+///
+/// A `Shape` is an ordered list of dimension extents. It answers volume and
+/// stride questions and converts between multi-dimensional indices and flat
+/// offsets.
+///
+/// # Example
+///
+/// ```
+/// use reprune_tensor::Shape;
+///
+/// let s = Shape::new(&[2, 3, 4]);
+/// assert_eq!(s.volume(), 24);
+/// assert_eq!(s.strides(), vec![12, 4, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from dimension extents.
+    ///
+    /// A zero-dimensional shape (`&[]`) denotes a scalar with volume 1.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape {
+            dims: dims.to_vec(),
+        }
+    }
+
+    /// Returns the dimension extents.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Returns the number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Returns the total number of elements (product of extents).
+    pub fn volume(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Returns the extent of dimension `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= self.rank()`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.dims[axis]
+    }
+
+    /// Returns row-major strides (elements, not bytes).
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Converts a multi-dimensional index into a flat row-major offset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] if the index rank differs
+    /// from the shape rank or any coordinate exceeds its extent.
+    pub fn offset(&self, index: &[usize]) -> Result<usize> {
+        if index.len() != self.dims.len()
+            || index.iter().zip(&self.dims).any(|(&i, &d)| i >= d)
+        {
+            return Err(TensorError::IndexOutOfBounds {
+                index: index.to_vec(),
+                shape: self.dims.clone(),
+            });
+        }
+        let strides = self.strides();
+        Ok(index.iter().zip(&strides).map(|(&i, &s)| i * s).sum())
+    }
+
+    /// Converts a flat row-major offset back into a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] if `offset >= volume()`.
+    pub fn unravel(&self, offset: usize) -> Result<Vec<usize>> {
+        if offset >= self.volume() {
+            return Err(TensorError::IndexOutOfBounds {
+                index: vec![offset],
+                shape: self.dims.clone(),
+            });
+        }
+        let mut rem = offset;
+        let mut index = Vec::with_capacity(self.dims.len());
+        for stride in self.strides() {
+            index.push(rem / stride);
+            rem %= stride;
+        }
+        Ok(index)
+    }
+
+    /// Returns `true` if both shapes have identical extents.
+    pub fn same_as(&self, other: &Shape) -> bool {
+        self.dims == other.dims
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape { dims }
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volume_and_rank() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.volume(), 24);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(s.dim(1), 3);
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::new(&[]);
+        assert_eq!(s.volume(), 1);
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.strides(), Vec::<usize>::new());
+        assert_eq!(s.offset(&[]).unwrap(), 0);
+    }
+
+    #[test]
+    fn row_major_strides() {
+        assert_eq!(Shape::new(&[2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::new(&[5]).strides(), vec![1]);
+        assert_eq!(Shape::new(&[4, 7]).strides(), vec![7, 1]);
+    }
+
+    #[test]
+    fn offset_roundtrips_with_unravel() {
+        let s = Shape::new(&[3, 4, 5]);
+        for flat in 0..s.volume() {
+            let idx = s.unravel(flat).unwrap();
+            assert_eq!(s.offset(&idx).unwrap(), flat);
+        }
+    }
+
+    #[test]
+    fn offset_rejects_out_of_bounds() {
+        let s = Shape::new(&[2, 2]);
+        assert!(s.offset(&[2, 0]).is_err());
+        assert!(s.offset(&[0]).is_err());
+        assert!(s.unravel(4).is_err());
+    }
+
+    #[test]
+    fn zero_extent_dimension_gives_zero_volume() {
+        let s = Shape::new(&[3, 0, 2]);
+        assert_eq!(s.volume(), 0);
+        assert!(s.unravel(0).is_err());
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Shape::new(&[2, 3]).to_string(), "(2x3)");
+        assert_eq!(Shape::new(&[]).to_string(), "()");
+    }
+
+    #[test]
+    fn conversions() {
+        let s: Shape = vec![1, 2].into();
+        assert_eq!(s.dims(), &[1, 2]);
+        let s2: Shape = (&[3usize, 4][..]).into();
+        assert_eq!(s2.dims(), &[3, 4]);
+    }
+}

@@ -1,0 +1,734 @@
+use crate::rng::Prng;
+use crate::{Result, Shape, TensorError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Div, Mul, Sub};
+
+/// An owned, contiguous, row-major `f32` tensor.
+///
+/// `Tensor` is the single value type flowing through the whole `reprune`
+/// stack: layer weights, activations, gradients, and pruning checkpoints are
+/// all tensors. The representation is a flat `Vec<f32>` plus a [`Shape`].
+///
+/// # Example
+///
+/// ```
+/// use reprune_tensor::Tensor;
+///
+/// # fn main() -> Result<(), reprune_tensor::TensorError> {
+/// let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+/// let doubled = t.map(|x| x * 2.0);
+/// assert_eq!(doubled.data(), &[2.0, 4.0, 6.0, 8.0]);
+/// assert_eq!(doubled.sum(), 20.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Shape,
+}
+
+impl Tensor {
+    /// Creates a tensor from a flat buffer and a shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if `data.len()` differs from
+    /// the shape volume.
+    pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Result<Self> {
+        let shape = Shape::new(dims);
+        if data.len() != shape.volume() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.volume(),
+                actual: data.len(),
+            });
+        }
+        Ok(Tensor { data, shape })
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(dims: &[usize], value: f32) -> Self {
+        let shape = Shape::new(dims);
+        Tensor {
+            data: vec![value; shape.volume()],
+            shape,
+        }
+    }
+
+    /// Creates a zero-filled tensor.
+    pub fn zeros(dims: &[usize]) -> Self {
+        Self::full(dims, 0.0)
+    }
+
+    /// Creates a one-filled tensor.
+    pub fn ones(dims: &[usize]) -> Self {
+        Self::full(dims, 1.0)
+    }
+
+    /// Creates the `n`×`n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Self::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Creates a rank-1 tensor of `n` evenly spaced values in `[start, stop]`.
+    ///
+    /// With `n == 1` the single value is `start`.
+    pub fn linspace(start: f32, stop: f32, n: usize) -> Self {
+        let data = if n <= 1 {
+            vec![start; n]
+        } else {
+            let step = (stop - start) / (n - 1) as f32;
+            (0..n).map(|i| start + step * i as f32).collect()
+        };
+        Tensor {
+            data,
+            shape: Shape::new(&[n]),
+        }
+    }
+
+    /// Creates a tensor of uniform random values in `[lo, hi)`.
+    pub fn rand_uniform(dims: &[usize], lo: f32, hi: f32, rng: &mut Prng) -> Self {
+        let shape = Shape::new(dims);
+        let data = (0..shape.volume())
+            .map(|_| rng.next_uniform(lo, hi))
+            .collect();
+        Tensor { data, shape }
+    }
+
+    /// Creates a tensor of normally distributed values.
+    pub fn rand_normal(dims: &[usize], mean: f32, std: f32, rng: &mut Prng) -> Self {
+        let shape = Shape::new(dims);
+        let data = (0..shape.volume())
+            .map(|_| mean + std * rng.next_normal())
+            .collect();
+        Tensor { data, shape }
+    }
+
+    /// Kaiming-He normal initialization for a weight tensor with the given
+    /// fan-in, the default for layers followed by ReLU.
+    pub fn he_init(dims: &[usize], fan_in: usize, rng: &mut Prng) -> Self {
+        let std = (2.0 / fan_in.max(1) as f32).sqrt();
+        Self::rand_normal(dims, 0.0, std, rng)
+    }
+
+    /// Returns the shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Returns the dimension extents.
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Returns the number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Returns the flat data slice.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Returns the flat data slice mutably.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns the flat buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Reads the element at a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] for an invalid index.
+    pub fn get(&self, index: &[usize]) -> Result<f32> {
+        Ok(self.data[self.shape.offset(index)?])
+    }
+
+    /// Writes the element at a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] for an invalid index.
+    pub fn set(&mut self, index: &[usize], value: f32) -> Result<()> {
+        let off = self.shape.offset(index)?;
+        self.data[off] = value;
+        Ok(())
+    }
+
+    /// Returns a new tensor with `f` applied to every element.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            data: self.data.iter().map(|&x| f(x)).collect(),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Combines two same-shaped tensors elementwise with `f`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
+        self.check_same_shape(other, "zip")?;
+        Ok(Tensor {
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+            shape: self.shape.clone(),
+        })
+    }
+
+    /// Combines another same-shaped tensor into `self` elementwise with `f`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn zip_inplace(&mut self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<()> {
+        self.check_same_shape(other, "zip_inplace")?;
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a = f(*a, b);
+        }
+        Ok(())
+    }
+
+    /// Elementwise addition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn add(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip(other, |a, b| a + b)
+    }
+
+    /// Elementwise subtraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn sub(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip(other, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn mul(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip(other, |a, b| a * b)
+    }
+
+    /// Elementwise division.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn div(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip(other, |a, b| a / b)
+    }
+
+    /// Adds `scalar` to every element, returning a new tensor.
+    pub fn add_scalar(&self, scalar: f32) -> Tensor {
+        self.map(|x| x + scalar)
+    }
+
+    /// Multiplies every element by `scalar`, returning a new tensor.
+    pub fn scale(&self, scalar: f32) -> Tensor {
+        self.map(|x| x * scalar)
+    }
+
+    /// `self += alpha * other`, the BLAS `axpy` primitive used by SGD.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) -> Result<()> {
+        self.zip_inplace(other, |a, b| a + alpha * b)
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Arithmetic mean of all elements; `0.0` for an empty tensor.
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Maximum element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Empty`] for an empty tensor.
+    pub fn max(&self) -> Result<f32> {
+        self.data
+            .iter()
+            .copied()
+            .fold(None, |acc: Option<f32>, x| {
+                Some(acc.map_or(x, |m| m.max(x)))
+            })
+            .ok_or(TensorError::Empty { op: "max" })
+    }
+
+    /// Minimum element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Empty`] for an empty tensor.
+    pub fn min(&self) -> Result<f32> {
+        self.data
+            .iter()
+            .copied()
+            .fold(None, |acc: Option<f32>, x| {
+                Some(acc.map_or(x, |m| m.min(x)))
+            })
+            .ok_or(TensorError::Empty { op: "min" })
+    }
+
+    /// Flat index of the maximum element (first occurrence wins).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Empty`] for an empty tensor.
+    pub fn argmax(&self) -> Result<usize> {
+        if self.data.is_empty() {
+            return Err(TensorError::Empty { op: "argmax" });
+        }
+        let mut best = 0;
+        for (i, &x) in self.data.iter().enumerate() {
+            if x > self.data[best] {
+                best = i;
+            }
+        }
+        Ok(best)
+    }
+
+    /// Euclidean (L2) norm of the flattened tensor.
+    pub fn norm_l2(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Sum of absolute values (L1 norm) of the flattened tensor.
+    pub fn norm_l1(&self) -> f32 {
+        self.data.iter().map(|&x| x.abs()).sum()
+    }
+
+    /// Dot product of two same-shaped tensors viewed as flat vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn dot(&self, other: &Tensor) -> Result<f32> {
+        self.check_same_shape(other, "dot")?;
+        Ok(self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| a * b)
+            .sum())
+    }
+
+    /// Number of elements whose absolute value is at most `eps`.
+    ///
+    /// Pruned weights are exact zeros, so the pruning engine uses this with
+    /// `eps == 0.0` to measure realized sparsity.
+    pub fn count_near_zero(&self, eps: f32) -> usize {
+        self.data.iter().filter(|x| x.abs() <= eps).count()
+    }
+
+    /// Returns a same-data tensor with a new shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if the volumes differ.
+    pub fn reshape(&self, dims: &[usize]) -> Result<Tensor> {
+        let shape = Shape::new(dims);
+        if shape.volume() != self.data.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.volume(),
+                actual: self.data.len(),
+            });
+        }
+        Ok(Tensor {
+            data: self.data.clone(),
+            shape,
+        })
+    }
+
+    /// Transposes a rank-2 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] if the tensor is not rank 2.
+    pub fn transpose2(&self) -> Result<Tensor> {
+        if self.shape.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.shape.rank(),
+                op: "transpose2",
+            });
+        }
+        let (r, c) = (self.shape.dim(0), self.shape.dim(1));
+        let mut out = Tensor::zeros(&[c, r]);
+        for i in 0..r {
+            for j in 0..c {
+                out.data[j * r + i] = self.data[i * c + j];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Extracts row `row` of a rank-2 tensor as a rank-1 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrices or
+    /// [`TensorError::IndexOutOfBounds`] for an invalid row.
+    pub fn row(&self, row: usize) -> Result<Tensor> {
+        if self.shape.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.shape.rank(),
+                op: "row",
+            });
+        }
+        let (r, c) = (self.shape.dim(0), self.shape.dim(1));
+        if row >= r {
+            return Err(TensorError::IndexOutOfBounds {
+                index: vec![row],
+                shape: self.dims().to_vec(),
+            });
+        }
+        Tensor::from_vec(self.data[row * c..(row + 1) * c].to_vec(), &[c])
+    }
+
+    /// Stacks rank-`n` tensors of identical shape into a rank-`n+1` tensor
+    /// along a new leading axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Empty`] for an empty input list and
+    /// [`TensorError::ShapeMismatch`] if any two inputs disagree on shape.
+    pub fn stack(items: &[Tensor]) -> Result<Tensor> {
+        let first = items.first().ok_or(TensorError::Empty { op: "stack" })?;
+        let mut data = Vec::with_capacity(items.len() * first.len());
+        for t in items {
+            if !t.shape.same_as(&first.shape) {
+                return Err(TensorError::ShapeMismatch {
+                    lhs: first.dims().to_vec(),
+                    rhs: t.dims().to_vec(),
+                    op: "stack",
+                });
+            }
+            data.extend_from_slice(&t.data);
+        }
+        let mut dims = vec![items.len()];
+        dims.extend_from_slice(first.dims());
+        Tensor::from_vec(data, &dims)
+    }
+
+    /// Returns `true` if all elements of both tensors are within `tol`
+    /// of each other and shapes match.
+    pub fn approx_eq(&self, other: &Tensor, tol: f32) -> bool {
+        self.shape.same_as(&other.shape)
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(&a, &b)| (a - b).abs() <= tol)
+    }
+
+    fn check_same_shape(&self, other: &Tensor, op: &'static str) -> Result<()> {
+        if !self.shape.same_as(&other.shape) {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+                op,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for Tensor {
+    fn default() -> Self {
+        Tensor::zeros(&[0])
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{} [", self.shape)?;
+        const PREVIEW: usize = 8;
+        for (i, x) in self.data.iter().take(PREVIEW).enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{x:.4}")?;
+        }
+        if self.data.len() > PREVIEW {
+            write!(f, ", …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+macro_rules! impl_binop {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl $trait<&Tensor> for &Tensor {
+            type Output = Tensor;
+
+            /// Elementwise operator form.
+            ///
+            /// # Panics
+            ///
+            /// Panics if the shapes differ; use the fallible method form for
+            /// graceful handling.
+            fn $method(self, rhs: &Tensor) -> Tensor {
+                self.zip(rhs, |a, b| a $op b)
+                    .expect("operator form requires identical shapes")
+            }
+        }
+    };
+}
+
+impl_binop!(Add, add, +);
+impl_binop!(Sub, sub, -);
+impl_binop!(Mul, mul, *);
+impl_binop!(Div, div, /);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_checks_length() {
+        assert!(Tensor::from_vec(vec![1.0; 6], &[2, 3]).is_ok());
+        assert!(matches!(
+            Tensor::from_vec(vec![1.0; 5], &[2, 3]),
+            Err(TensorError::LengthMismatch { expected: 6, actual: 5 })
+        ));
+    }
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Tensor::zeros(&[3]).data(), &[0.0, 0.0, 0.0]);
+        assert_eq!(Tensor::ones(&[2]).sum(), 2.0);
+        assert_eq!(Tensor::full(&[2, 2], 0.5).mean(), 0.5);
+        let i = Tensor::eye(3);
+        assert_eq!(i.get(&[1, 1]).unwrap(), 1.0);
+        assert_eq!(i.get(&[1, 2]).unwrap(), 0.0);
+        assert_eq!(i.sum(), 3.0);
+    }
+
+    #[test]
+    fn linspace_endpoints() {
+        let t = Tensor::linspace(0.0, 1.0, 5);
+        assert_eq!(t.data(), &[0.0, 0.25, 0.5, 0.75, 1.0]);
+        assert_eq!(Tensor::linspace(2.0, 9.0, 1).data(), &[2.0]);
+        assert!(Tensor::linspace(0.0, 1.0, 0).is_empty());
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut t = Tensor::zeros(&[2, 3]);
+        t.set(&[1, 2], 7.0).unwrap();
+        assert_eq!(t.get(&[1, 2]).unwrap(), 7.0);
+        assert_eq!(t.data()[5], 7.0);
+        assert!(t.set(&[2, 0], 1.0).is_err());
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let b = Tensor::from_vec(vec![3.0, 5.0], &[2]).unwrap();
+        assert_eq!(a.add(&b).unwrap().data(), &[4.0, 7.0]);
+        assert_eq!(b.sub(&a).unwrap().data(), &[2.0, 3.0]);
+        assert_eq!(a.mul(&b).unwrap().data(), &[3.0, 10.0]);
+        assert_eq!(b.div(&a).unwrap().data(), &[3.0, 2.5]);
+        assert_eq!((&a + &b).data(), &[4.0, 7.0]);
+        assert_eq!((&b - &a).data(), &[2.0, 3.0]);
+        assert_eq!((&a * &b).data(), &[3.0, 10.0]);
+        assert_eq!((&b / &a).data(), &[3.0, 2.5]);
+    }
+
+    #[test]
+    fn elementwise_rejects_shape_mismatch() {
+        let a = Tensor::zeros(&[2]);
+        let b = Tensor::zeros(&[3]);
+        assert!(a.add(&b).is_err());
+        assert!(a.dot(&b).is_err());
+    }
+
+    #[test]
+    fn scalar_ops_and_axpy() {
+        let mut a = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        assert_eq!(a.add_scalar(1.0).data(), &[2.0, 3.0]);
+        assert_eq!(a.scale(3.0).data(), &[3.0, 6.0]);
+        let g = Tensor::from_vec(vec![10.0, 20.0], &[2]).unwrap();
+        a.axpy(-0.1, &g).unwrap();
+        assert!(a.approx_eq(
+            &Tensor::from_vec(vec![0.0, 0.0], &[2]).unwrap(),
+            1e-6
+        ));
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_vec(vec![3.0, -1.0, 2.0], &[3]).unwrap();
+        assert_eq!(t.sum(), 4.0);
+        assert!((t.mean() - 4.0 / 3.0).abs() < 1e-6);
+        assert_eq!(t.max().unwrap(), 3.0);
+        assert_eq!(t.min().unwrap(), -1.0);
+        assert_eq!(t.argmax().unwrap(), 0);
+        assert_eq!(t.norm_l1(), 6.0);
+        assert!((t.norm_l2() - 14.0f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reductions_on_empty() {
+        let t = Tensor::zeros(&[0]);
+        assert!(t.max().is_err());
+        assert!(t.min().is_err());
+        assert!(t.argmax().is_err());
+        assert_eq!(t.mean(), 0.0);
+    }
+
+    #[test]
+    fn argmax_first_occurrence() {
+        let t = Tensor::from_vec(vec![1.0, 5.0, 5.0], &[3]).unwrap();
+        assert_eq!(t.argmax().unwrap(), 1);
+    }
+
+    #[test]
+    fn dot_product() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+        let b = Tensor::from_vec(vec![4.0, 5.0, 6.0], &[3]).unwrap();
+        assert_eq!(a.dot(&b).unwrap(), 32.0);
+    }
+
+    #[test]
+    fn count_near_zero_for_sparsity() {
+        let t = Tensor::from_vec(vec![0.0, 1.0, 0.0, -0.5], &[4]).unwrap();
+        assert_eq!(t.count_near_zero(0.0), 2);
+        assert_eq!(t.count_near_zero(0.6), 3);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[4]).unwrap();
+        let m = t.reshape(&[2, 2]).unwrap();
+        assert_eq!(m.dims(), &[2, 2]);
+        assert_eq!(m.data(), t.data());
+        assert!(t.reshape(&[3]).is_err());
+    }
+
+    #[test]
+    fn transpose_matrix() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let tt = t.transpose2().unwrap();
+        assert_eq!(tt.dims(), &[3, 2]);
+        assert_eq!(tt.data(), &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+        assert!(Tensor::zeros(&[2]).transpose2().is_err());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let t = Tensor::from_vec((0..12).map(|x| x as f32).collect(), &[3, 4]).unwrap();
+        assert_eq!(t.transpose2().unwrap().transpose2().unwrap(), t);
+    }
+
+    #[test]
+    fn row_extraction() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        assert_eq!(t.row(1).unwrap().data(), &[3.0, 4.0]);
+        assert!(t.row(2).is_err());
+    }
+
+    #[test]
+    fn stack_tensors() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let b = Tensor::from_vec(vec![3.0, 4.0], &[2]).unwrap();
+        let s = Tensor::stack(&[a, b]).unwrap();
+        assert_eq!(s.dims(), &[2, 2]);
+        assert_eq!(s.data(), &[1.0, 2.0, 3.0, 4.0]);
+        assert!(Tensor::stack(&[]).is_err());
+    }
+
+    #[test]
+    fn stack_rejects_mixed_shapes() {
+        let a = Tensor::zeros(&[2]);
+        let b = Tensor::zeros(&[3]);
+        assert!(Tensor::stack(&[a, b]).is_err());
+    }
+
+    #[test]
+    fn random_init_is_deterministic() {
+        let mut r1 = Prng::new(42);
+        let mut r2 = Prng::new(42);
+        let a = Tensor::rand_normal(&[16], 0.0, 1.0, &mut r1);
+        let b = Tensor::rand_normal(&[16], 0.0, 1.0, &mut r2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn he_init_scales_with_fan_in() {
+        let mut rng = Prng::new(7);
+        let t = Tensor::he_init(&[4096], 100, &mut rng);
+        // Sample std should be near sqrt(2/100) ≈ 0.1414.
+        let mean = t.mean();
+        let var = t.map(|x| (x - mean) * (x - mean)).mean();
+        assert!((var.sqrt() - 0.1414).abs() < 0.02, "std = {}", var.sqrt());
+    }
+
+    #[test]
+    fn display_truncates() {
+        let t = Tensor::zeros(&[100]);
+        let s = t.to_string();
+        assert!(s.contains('…'));
+        assert!(s.starts_with("Tensor(100)"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = Tensor::from_vec(vec![1.5, -2.5], &[2]).unwrap();
+        let json = serde_json_like(&t);
+        assert!(json.contains("1.5"));
+    }
+
+    // Minimal check that Serialize is wired up without pulling serde_json in:
+    fn serde_json_like(t: &Tensor) -> String {
+        format!("{:?}", t) // Debug stands in; serde derive compiles above.
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests for the tensor substrate.
+
+use proptest::prelude::*;
+use reprune_tensor::conv::{col2im, im2col, Conv2dSpec};
+use reprune_tensor::rng::Prng;
+use reprune_tensor::{linalg, Shape, Tensor};
+
+fn tensor_strategy(max_len: usize) -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(-100.0f32..100.0, 1..=max_len)
+        .prop_map(|v| {
+            let n = v.len();
+            Tensor::from_vec(v, &[n]).expect("length matches by construction")
+        })
+}
+
+fn matrix_strategy(max_dim: usize) -> impl Strategy<Value = Tensor> {
+    (1..=max_dim, 1..=max_dim)
+        .prop_flat_map(|(r, c)| {
+            prop::collection::vec(-10.0f32..10.0, r * c)
+                .prop_map(move |v| Tensor::from_vec(v, &[r, c]).expect("sized"))
+        })
+}
+
+proptest! {
+    #[test]
+    fn add_commutes(a in tensor_strategy(64)) {
+        let b = a.map(|x| x * 0.5 - 1.0);
+        let ab = a.add(&b).unwrap();
+        let ba = b.add(&a).unwrap();
+        prop_assert!(ab.approx_eq(&ba, 1e-5));
+    }
+
+    #[test]
+    fn sub_then_add_roundtrips(a in tensor_strategy(64)) {
+        let b = a.map(|x| x.sin() * 3.0);
+        let back = a.sub(&b).unwrap().add(&b).unwrap();
+        prop_assert!(back.approx_eq(&a, 1e-3));
+    }
+
+    #[test]
+    fn scale_distributes_over_sum(a in tensor_strategy(64), k in -5.0f32..5.0) {
+        let lhs = a.scale(k).sum();
+        let rhs = a.sum() * k;
+        prop_assert!((lhs - rhs).abs() <= 1e-2 * (1.0 + rhs.abs()));
+    }
+
+    #[test]
+    fn l2_norm_nonnegative_and_zero_iff_zero(a in tensor_strategy(64)) {
+        prop_assert!(a.norm_l2() >= 0.0);
+        let z = Tensor::zeros(&[a.len()]);
+        prop_assert_eq!(z.norm_l2(), 0.0);
+    }
+
+    #[test]
+    fn argmax_is_max(a in tensor_strategy(64)) {
+        let i = a.argmax().unwrap();
+        let m = a.max().unwrap();
+        prop_assert_eq!(a.data()[i], m);
+    }
+
+    #[test]
+    fn reshape_preserves_sum(a in tensor_strategy(60)) {
+        let n = a.len();
+        if n % 2 == 0 {
+            let r = a.reshape(&[2, n / 2]).unwrap();
+            prop_assert_eq!(r.sum(), a.sum());
+        }
+    }
+
+    #[test]
+    fn shape_offset_unravel_roundtrip(
+        dims in prop::collection::vec(1usize..6, 1..4),
+        frac in 0.0f64..1.0,
+    ) {
+        let s = Shape::new(&dims);
+        let flat = ((s.volume() as f64 - 1.0) * frac) as usize;
+        let idx = s.unravel(flat).unwrap();
+        prop_assert_eq!(s.offset(&idx).unwrap(), flat);
+    }
+
+    #[test]
+    fn matmul_identity_left(a in matrix_strategy(8)) {
+        let i = Tensor::eye(a.dims()[0]);
+        let out = linalg::matmul(&i, &a).unwrap();
+        prop_assert!(out.approx_eq(&a, 1e-4));
+    }
+
+    #[test]
+    fn matmul_linearity_in_first_argument(a in matrix_strategy(6), k in -3.0f32..3.0) {
+        let b = Tensor::ones(&[a.dims()[1], 3]);
+        let scaled_first = linalg::matmul(&a.scale(k), &b).unwrap();
+        let scaled_after = linalg::matmul(&a, &b).unwrap().scale(k);
+        prop_assert!(scaled_first.approx_eq(&scaled_after, 1e-2));
+    }
+
+    #[test]
+    fn transpose_involution(a in matrix_strategy(8)) {
+        let tt = a.transpose2().unwrap().transpose2().unwrap();
+        prop_assert_eq!(tt, a);
+    }
+
+    #[test]
+    fn matvec_agrees_with_manual_dot(a in matrix_strategy(6)) {
+        let k = a.dims()[1];
+        let x = Tensor::linspace(-1.0, 1.0, k);
+        let y = linalg::matvec(&a, &x).unwrap();
+        for i in 0..a.dims()[0] {
+            let row = a.row(i).unwrap();
+            let expect = row.dot(&x).unwrap();
+            prop_assert!((y.data()[i] - expect).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn im2col_col2im_identity_when_disjoint(
+        c in 1usize..3,
+        grid in 1usize..4,
+        k in 1usize..3,
+    ) {
+        // stride == kernel, no padding: every input pixel appears in at most
+        // one window, so col2im(im2col(x)) zeroes uncovered pixels only.
+        let h = grid * k;
+        let w = grid * k;
+        let mut rng = Prng::new(7);
+        let x = Tensor::rand_uniform(&[c, h, w], -1.0, 1.0, &mut rng);
+        let spec = Conv2dSpec::square(k, k, 0);
+        let cols = im2col(&x, spec).unwrap();
+        let back = col2im(&cols, c, h, w, spec).unwrap();
+        prop_assert!(back.approx_eq(&x, 1e-6));
+    }
+
+    #[test]
+    fn prng_uniform_stays_in_range(seed in any::<u64>()) {
+        let mut r = Prng::new(seed);
+        for _ in 0..100 {
+            let x = r.next_f32();
+            prop_assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn prng_shuffle_permutes(seed in any::<u64>(), n in 1usize..40) {
+        let mut r = Prng::new(seed);
+        let mut v: Vec<usize> = (0..n).collect();
+        r.shuffle(&mut v);
+        let mut s = v.clone();
+        s.sort_unstable();
+        prop_assert_eq!(s, (0..n).collect::<Vec<_>>());
+    }
+}

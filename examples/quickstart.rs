@@ -1,0 +1,75 @@
+//! Quickstart: train a perception CNN, prune it reversibly, and verify
+//! the bit-exact restore — the whole idea of the paper in ~80 lines.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release -p reprune --example quickstart
+//! ```
+
+use std::time::Instant;
+
+use reprune::nn::dataset::{SceneContext, SceneDataset};
+use reprune::nn::train::{train_classifier, TrainConfig};
+use reprune::nn::{metrics, models};
+use reprune::prune::{LadderConfig, PruneCriterion, ReversiblePruner};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Data + model: a synthetic road-scene classifier (DESIGN.md §5).
+    let data = SceneDataset::builder()
+        .samples(500)
+        .seed(1)
+        .context_mix(&[(SceneContext::Clear, 0.7), (SceneContext::Rain, 0.3)])
+        .build();
+    let (train, test) = data.split(0.8);
+    let mut net = models::default_perception_cnn(42)?;
+    println!("training {} ({} parameters)…", net.name(), net.num_parameters());
+    let history = train_classifier(
+        &mut net,
+        train.samples(),
+        &TrainConfig {
+            epochs: 10,
+            ..TrainConfig::default()
+        },
+    )?;
+    println!(
+        "  final train accuracy {:.1}%",
+        100.0 * history.final_accuracy().unwrap_or(0.0)
+    );
+    let dense = metrics::evaluate(&mut net, test.samples())?;
+    println!("  test accuracy (dense): {:.1}%", 100.0 * dense.accuracy);
+
+    // 2. Build a nested sparsity ladder over the trained weights.
+    let ladder = LadderConfig::new(vec![0.0, 0.3, 0.6, 0.9])
+        .criterion(PruneCriterion::ChannelL2)
+        .build(&net)?;
+    let mut pruner = ReversiblePruner::attach(&net, ladder)?;
+
+    // 3. Walk up the ladder: each step evicts weights into the reversal log.
+    println!("\n{:<8} {:>10} {:>12} {:>12}", "level", "sparsity", "accuracy", "log bytes");
+    for level in 0..4 {
+        pruner.set_level(&mut net, level)?;
+        let eval = metrics::evaluate(&mut net, test.samples())?;
+        println!(
+            "{:<8} {:>9.0}% {:>11.1}% {:>12}",
+            level,
+            100.0 * pruner.current_sparsity(),
+            100.0 * eval.accuracy,
+            pruner.log_bytes()
+        );
+    }
+
+    // 4. Back to the future: restore full capacity in one call.
+    let t0 = Instant::now();
+    let transition = pruner.restore_full(&mut net)?;
+    let wall = t0.elapsed();
+    pruner.verify_restored(&net)?;
+    let restored = metrics::evaluate(&mut net, test.samples())?;
+    println!(
+        "\nrestored {} weights in {:?} (bit-exact; test accuracy back to {:.1}%)",
+        transition.weights_restored,
+        wall,
+        100.0 * restored.accuracy
+    );
+    assert_eq!(restored.accuracy, dense.accuracy);
+    Ok(())
+}

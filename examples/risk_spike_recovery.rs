@@ -1,0 +1,72 @@
+//! A pedestrian steps out: how fast does each restore mechanism get the
+//! full network back? Demonstrates the recovery-latency story (F4) on a
+//! single engineered scenario with a visible timeline.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release -p reprune --example risk_spike_recovery
+//! ```
+
+use reprune::nn::models;
+use reprune::prune::{LadderConfig, PruneCriterion};
+use reprune::runtime::envelope::SafetyEnvelope;
+use reprune::runtime::manager::{RestoreMechanism, RuntimeManager, RuntimeManagerConfig};
+use reprune::runtime::policy::Policy;
+use reprune::scenario::{ScenarioConfig, SegmentKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // An event-dense urban drive; the Oracle policy isolates mechanism
+    // latency from estimation effects.
+    let scenario = ScenarioConfig::new()
+        .duration_s(240.0)
+        .seed(5)
+        .start_segment(SegmentKind::Urban)
+        .event_rate_scale(3.0)
+        .generate();
+    println!(
+        "urban drive: {} events injected, {:.0}% critical ticks\n",
+        scenario.events().len(),
+        100.0 * scenario.critical_fraction(0.6)
+    );
+
+    let net = models::default_perception_cnn(9)?;
+    println!(
+        "{:<16} {:>11} {:>14} {:>14} {:>12}",
+        "mechanism", "violations", "mean recovery", "p95 recovery", "switches"
+    );
+    for mechanism in [
+        RestoreMechanism::DeltaLog,
+        RestoreMechanism::Snapshot,
+        RestoreMechanism::StorageReload,
+    ] {
+        let ladder = LadderConfig::new(vec![0.0, 0.3, 0.6, 0.9])
+            .criterion(PruneCriterion::ChannelL2)
+            .build(&net)?;
+        let envelope = SafetyEnvelope::new(vec![0.6, 0.4, 0.2])?;
+        let mut mgr = RuntimeManager::attach(
+            net.clone(),
+            ladder,
+            RuntimeManagerConfig::new(Policy::Oracle, envelope)
+                .mechanism(mechanism)
+                .frame_seed(13),
+        )?;
+        let r = mgr.run(&scenario)?;
+        let fmt_ms = |x: Option<f64>| {
+            x.map(|v| format!("{:.1} ms", v * 1e3))
+                .unwrap_or_else(|| "instant".into())
+        };
+        println!(
+            "{:<16} {:>11} {:>14} {:>14} {:>12}",
+            r.mechanism,
+            r.violations,
+            fmt_ms(r.mean_recovery_latency()),
+            fmt_ms(r.recovery_latency_quantile(0.95)),
+            r.transitions
+        );
+    }
+    println!("\nthe reversal log restores within the control period, so the oracle");
+    println!("driver never runs a degraded network into a pedestrian event; the");
+    println!("storage reload spans multiple 100 ms control ticks and racks up");
+    println!("violation time on every spike.");
+    Ok(())
+}

@@ -1,0 +1,15 @@
+#!/usr/bin/env sh
+# Regenerates every table and figure of the reproduced evaluation.
+# Each binary prints its data and asserts the expected result shape.
+set -e
+cargo build --release -p reprune-bench
+for b in fig1_accuracy_sparsity fig2_latency_energy fig3_timeline \
+         fig4_recovery_cdf fig5_ablation fig6_platform_sweep \
+         fig7_iterative_pruning fig8_estimator_ablation \
+         tab1_restore_cost tab2_memory_overhead tab3_policy_comparison \
+         tab4_log_precision tab5_compaction tab6_fleet_budget \
+         tab7_odd_enforcement; do
+  echo "==================== $b ===================="
+  ./target/release/"$b"
+  echo
+done
