@@ -1,7 +1,7 @@
 //! Experiment T3 — the end-to-end policy table: energy saved vs safety
 //! violations vs recovery time, mean ± std over 10 seeded scenarios.
 //!
-//! Scenario runs are fanned out across threads with crossbeam.
+//! Scenario runs are fanned out across threads with `std::thread::scope`.
 //! Run with: `cargo run --release -p reprune-bench --bin tab3_policy_comparison`
 
 use reprune::nn::Network;
@@ -67,18 +67,17 @@ fn main() {
     let mut summary: Vec<(String, f64, f64)> = Vec::new(); // (name, saved, violations)
     for (name, make_policy) in &policies {
         // Fan the scenario runs out across threads.
-        let results: Vec<RunResult> = crossbeam::thread::scope(|scope| {
+        let results: Vec<RunResult> = std::thread::scope(|scope| {
             let handles: Vec<_> = scenarios
                 .iter()
                 .enumerate()
                 .map(|(i, sc)| {
                     let net = &net;
-                    scope.spawn(move |_| run_one(net, sc, make_policy(), i as u64))
+                    scope.spawn(move || run_one(net, sc, make_policy(), i as u64))
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("thread")).collect()
-        })
-        .expect("scope");
+        });
 
         let saved: Vec<f64> = results.iter().map(|r| 100.0 * r.energy_saved_fraction()).collect();
         let viols: Vec<f64> = results.iter().map(|r| r.violations as f64).collect();

@@ -39,6 +39,8 @@ mod units;
 
 pub mod profile;
 pub mod restore;
+pub mod storage;
 
 pub use soc::{InferenceCost, SocModel};
+pub use storage::{StorageError, StorageHealth};
 pub use units::{Bytes, Joules, Seconds};

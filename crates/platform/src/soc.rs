@@ -114,7 +114,23 @@ impl SocModel {
 
     /// Latency of reloading `bytes` of model image from storage.
     pub fn storage_reload_latency(&self, bytes: Bytes) -> Seconds {
-        self.storage_access_latency + Seconds(bytes.as_f64() / self.storage_bytes_per_second)
+        self.storage_reload_latency_scaled(bytes, 1.0)
+    }
+
+    /// Latency of a storage reload with the sequential-read bandwidth
+    /// scaled by `bandwidth_factor` (a degraded/throttled device; see
+    /// `StorageHealth`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth_factor` is not in `(0, 1]`.
+    pub fn storage_reload_latency_scaled(&self, bytes: Bytes, bandwidth_factor: f64) -> Seconds {
+        assert!(
+            bandwidth_factor > 0.0 && bandwidth_factor <= 1.0,
+            "bandwidth factor must be in (0, 1]"
+        );
+        self.storage_access_latency
+            + Seconds(bytes.as_f64() / (self.storage_bytes_per_second * bandwidth_factor))
     }
 
     /// Energy of the delta restore path.

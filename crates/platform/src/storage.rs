@@ -1,0 +1,193 @@
+//! Storage (eMMC/flash) health model for fault campaigns.
+//!
+//! The baseline restore paths assume the model image can always be
+//! re-read from storage at the [`crate::SocModel`]'s rated bandwidth.
+//! Real eMMC parts fail transiently (controller resets, bus CRC
+//! retries), degrade under thermal throttling and wear, and die
+//! permanently. [`StorageHealth`] tracks those conditions on the
+//! scenario clock so the runtime's storage-reload fallback can be
+//! priced honestly — or refused outright — during a fault campaign.
+
+use crate::soc::SocModel;
+use crate::units::{Bytes, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// Why a storage read was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StorageError {
+    /// The device is temporarily unreadable; retrying later may work.
+    TransientFailure,
+    /// The device is gone for the rest of the mission.
+    PermanentFailure,
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::TransientFailure => write!(f, "transient storage failure"),
+            StorageError::PermanentFailure => write!(f, "permanent storage failure"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Time-indexed health state of the model-image storage device.
+///
+/// Fault injections are expressed as absolute scenario times so the
+/// model stays deterministic: the same injections replayed against the
+/// same clock produce the same read outcomes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StorageHealth {
+    transient_until_s: f64,
+    degraded_until_s: f64,
+    bandwidth_factor: f64,
+    permanently_failed: bool,
+}
+
+impl Default for StorageHealth {
+    fn default() -> Self {
+        StorageHealth::new()
+    }
+}
+
+impl StorageHealth {
+    /// A healthy device: full bandwidth, no outages.
+    pub fn new() -> Self {
+        StorageHealth {
+            transient_until_s: f64::NEG_INFINITY,
+            degraded_until_s: f64::NEG_INFINITY,
+            bandwidth_factor: 1.0,
+            permanently_failed: false,
+        }
+    }
+
+    /// Makes reads fail from `now_s` until `now_s + duration_s`.
+    /// Overlapping injections extend the outage, never shorten it.
+    pub fn inject_transient(&mut self, now_s: f64, duration_s: f64) {
+        self.transient_until_s = self.transient_until_s.max(now_s + duration_s);
+    }
+
+    /// Scales read bandwidth by `factor` (in `(0, 1]`) from `now_s`
+    /// until `now_s + duration_s`. Overlapping injections keep the
+    /// worse factor for the longer window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not in `(0, 1]`.
+    pub fn inject_degradation(&mut self, now_s: f64, duration_s: f64, factor: f64) {
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "bandwidth factor must be in (0, 1]"
+        );
+        if now_s + duration_s >= self.degraded_until_s {
+            self.degraded_until_s = now_s + duration_s;
+            self.bandwidth_factor = self.bandwidth_factor.min(factor);
+        }
+    }
+
+    /// Kills the device for the rest of the mission.
+    pub fn fail_permanently(&mut self) {
+        self.permanently_failed = true;
+    }
+
+    /// Whether the device is permanently dead.
+    pub fn is_permanently_failed(&self) -> bool {
+        self.permanently_failed
+    }
+
+    /// Whether a read issued at `now_s` would be refused.
+    pub fn is_unavailable_at(&self, now_s: f64) -> bool {
+        self.permanently_failed || now_s < self.transient_until_s
+    }
+
+    /// Effective bandwidth factor for a read issued at `now_s`.
+    pub fn bandwidth_factor_at(&self, now_s: f64) -> f64 {
+        if now_s < self.degraded_until_s {
+            self.bandwidth_factor
+        } else {
+            1.0
+        }
+    }
+
+    /// Prices a read of `bytes` issued at `now_s` against `soc`, or
+    /// refuses it if the device is dead or in a transient outage.
+    pub fn read_latency(
+        &self,
+        soc: &SocModel,
+        bytes: Bytes,
+        now_s: f64,
+    ) -> Result<Seconds, StorageError> {
+        if self.permanently_failed {
+            return Err(StorageError::PermanentFailure);
+        }
+        if now_s < self.transient_until_s {
+            return Err(StorageError::TransientFailure);
+        }
+        Ok(soc.storage_reload_latency_scaled(bytes, self.bandwidth_factor_at(now_s)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_device_reads_at_rated_speed() {
+        let soc = SocModel::jetson_class();
+        let health = StorageHealth::new();
+        let rated = soc.storage_reload_latency(Bytes(218_000));
+        assert_eq!(health.read_latency(&soc, Bytes(218_000), 0.0), Ok(rated));
+        assert!(!health.is_unavailable_at(1.0e9));
+    }
+
+    #[test]
+    fn transient_outage_expires() {
+        let soc = SocModel::jetson_class();
+        let mut health = StorageHealth::new();
+        health.inject_transient(10.0, 5.0);
+        assert_eq!(
+            health.read_latency(&soc, Bytes(1000), 12.0),
+            Err(StorageError::TransientFailure)
+        );
+        assert!(health.read_latency(&soc, Bytes(1000), 15.0).is_ok());
+    }
+
+    #[test]
+    fn overlapping_transients_extend_the_outage() {
+        let mut health = StorageHealth::new();
+        health.inject_transient(0.0, 10.0);
+        health.inject_transient(5.0, 2.0); // ends earlier; must not shorten
+        assert!(health.is_unavailable_at(9.9));
+        assert!(!health.is_unavailable_at(10.0));
+    }
+
+    #[test]
+    fn degradation_slows_reads_then_recovers() {
+        let soc = SocModel::jetson_class();
+        let mut health = StorageHealth::new();
+        health.inject_degradation(0.0, 30.0, 0.25);
+        let slow = health.read_latency(&soc, Bytes(218_000), 1.0).unwrap();
+        let rated = soc.storage_reload_latency(Bytes(218_000));
+        assert!(slow.0 > rated.0 * 2.0, "slow {slow} vs rated {rated}");
+        assert_eq!(health.read_latency(&soc, Bytes(218_000), 31.0), Ok(rated));
+    }
+
+    #[test]
+    fn permanent_failure_is_terminal() {
+        let soc = SocModel::jetson_class();
+        let mut health = StorageHealth::new();
+        health.fail_permanently();
+        assert_eq!(
+            health.read_latency(&soc, Bytes(1), 1.0e9),
+            Err(StorageError::PermanentFailure)
+        );
+        assert!(health.is_permanently_failed());
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth factor")]
+    fn rejects_zero_bandwidth_factor() {
+        StorageHealth::new().inject_degradation(0.0, 1.0, 0.0);
+    }
+}

@@ -38,6 +38,20 @@ pub enum PruneError {
         /// Human-readable description.
         message: String,
     },
+    /// A reversal-log segment failed its checksum — the stored deltas no
+    /// longer match what was recorded when the segment was pushed. This
+    /// is *recoverable*: the segment may be repaired from a shadow copy
+    /// or bypassed via a snapshot/storage restore.
+    LogCorruption {
+        /// Index of the corrupted segment in the reversal log.
+        segment: usize,
+        /// The ladder level the segment restores *from* (its `to_level`).
+        to_level: usize,
+        /// Checksum recorded when the segment was pushed.
+        expected: u64,
+        /// Checksum of the segment's current contents.
+        actual: u64,
+    },
 }
 
 impl PruneError {
@@ -71,6 +85,15 @@ impl fmt::Display for PruneError {
                 "restoration integrity violation: expected checksum {expected:#018x}, got {actual:#018x}"
             ),
             PruneError::NotRestorable { message } => write!(f, "not restorable: {message}"),
+            PruneError::LogCorruption {
+                segment,
+                to_level,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "reversal-log segment {segment} (to_level {to_level}) corrupted: expected checksum {expected:#018x}, got {actual:#018x}"
+            ),
         }
     }
 }

@@ -60,7 +60,7 @@ pub use criterion::PruneCriterion;
 pub use error::PruneError;
 pub use ladder::{LadderConfig, SparsityLadder};
 pub use mask::{LayerMask, MaskSet};
-pub use pruner::{LogPrecision, ReversiblePruner, Transition};
+pub use pruner::{weights_checksum, LogPrecision, ReversiblePruner, Transition};
 pub use schedule::IterativeSchedule;
 
 /// Crate-wide result alias.

@@ -19,6 +19,7 @@ use crate::f16::{f16_bits_to_f32, f32_to_f16_bits, round_through_f16};
 use crate::ladder::SparsityLadder;
 use crate::{PruneError, Result};
 use reprune_nn::{LayerId, Network};
+use reprune_tensor::rng::Prng;
 use serde::{Deserialize, Serialize};
 
 /// Numeric precision of the reversal log's stored values.
@@ -144,9 +145,23 @@ pub struct LevelDelta {
     pub to_level: usize,
     /// Per-layer evicted weights.
     pub layers: Vec<LayerDelta>,
+    /// FNV-1a checksum over the segment's contents, captured when the
+    /// segment was pushed. Lets a scrub pass or a restore detect that
+    /// stored deltas were corrupted in place.
+    pub checksum: u64,
 }
 
 impl LevelDelta {
+    /// Builds a segment and seals it with its content checksum.
+    pub fn new(to_level: usize, layers: Vec<LayerDelta>) -> Self {
+        let checksum = segment_checksum(to_level, &layers);
+        LevelDelta {
+            to_level,
+            layers,
+            checksum,
+        }
+    }
+
     /// Total bytes of this delta.
     pub fn bytes(&self) -> usize {
         self.layers.iter().map(LayerDelta::bytes).sum()
@@ -160,6 +175,16 @@ impl LevelDelta {
     /// Whether the delta records no entries.
     pub fn is_empty(&self) -> bool {
         self.layers.iter().all(LayerDelta::is_empty)
+    }
+
+    /// Checksum of the segment's *current* contents.
+    pub fn computed_checksum(&self) -> u64 {
+        segment_checksum(self.to_level, &self.layers)
+    }
+
+    /// Whether the current contents still match the sealed checksum.
+    pub fn verify(&self) -> bool {
+        self.computed_checksum() == self.checksum
     }
 }
 
@@ -183,15 +208,57 @@ impl Transition {
     }
 }
 
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+fn fnv1a_byte(h: u64, b: u8) -> u64 {
+    (h ^ b as u64).wrapping_mul(FNV_PRIME)
+}
+
+fn fnv1a_u32(mut h: u64, x: u32) -> u64 {
+    for b in x.to_le_bytes() {
+        h = fnv1a_byte(h, b);
+    }
+    h
+}
+
 /// FNV-1a over the bit patterns of all prunable weights.
-fn weights_checksum(net: &Network) -> u64 {
-    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+///
+/// This is the integrity primitive of the whole restore story: the
+/// pruner seals it at attach time, [`ReversiblePruner::verify_restored`]
+/// compares against it after a full restore, and the runtime's fault
+/// defenses recompute it against live weights to detect in-RAM bit
+/// flips that no log checksum can see.
+pub fn weights_checksum(net: &Network) -> u64 {
+    let mut h: u64 = FNV_OFFSET;
     for meta in net.prunable_layers() {
         if let Ok(w) = net.weight(meta.id) {
             for &x in w.data() {
-                for b in x.to_bits().to_le_bytes() {
-                    h ^= b as u64;
-                    h = h.wrapping_mul(0x0000_0100_0000_01B3);
+                h = fnv1a_u32(h, x.to_bits());
+            }
+        }
+    }
+    h
+}
+
+/// FNV-1a over one reversal-log segment: its target level, each layer's
+/// id, and every (index, value-bits) pair.
+fn segment_checksum(to_level: usize, layers: &[LayerDelta]) -> u64 {
+    let mut h = fnv1a_u32(FNV_OFFSET, to_level as u32);
+    for layer in layers {
+        h = fnv1a_u32(h, layer.layer.0 as u32);
+        for &i in &layer.indices {
+            h = fnv1a_u32(h, i);
+        }
+        match &layer.values {
+            DeltaValues::Exact(vs) => {
+                for v in vs {
+                    h = fnv1a_u32(h, v.to_bits());
+                }
+            }
+            DeltaValues::Half(vs) => {
+                for &v in vs {
+                    h = fnv1a_u32(h, v as u32);
                 }
             }
         }
@@ -214,6 +281,9 @@ pub struct ReversiblePruner {
     current: usize,
     base_checksum: u64,
     precision: LogPrecision,
+    verify_on_pop: bool,
+    scrub_cursor: usize,
+    shadow: Option<Vec<LevelDelta>>,
 }
 
 impl ReversiblePruner {
@@ -235,6 +305,9 @@ impl ReversiblePruner {
             current: 0,
             base_checksum: weights_checksum(net),
             precision: LogPrecision::Exact,
+            verify_on_pop: true,
+            scrub_cursor: 0,
+            shadow: None,
         })
     }
 
@@ -269,6 +342,9 @@ impl ReversiblePruner {
             current: 0,
             base_checksum: weights_checksum(net),
             precision: LogPrecision::Half,
+            verify_on_pop: true,
+            scrub_cursor: 0,
+            shadow: None,
         })
     }
 
@@ -387,18 +463,35 @@ impl ReversiblePruner {
                 values,
             });
         }
-        self.log.push(LevelDelta {
-            to_level: next,
-            layers,
-        });
+        let delta = LevelDelta::new(next, layers);
+        if let Some(shadow) = &mut self.shadow {
+            shadow.push(delta.clone());
+        }
+        self.log.push(delta);
         self.current = next;
         Ok(count)
     }
 
     fn pop_one_level(&mut self, net: &mut Network) -> Result<usize> {
-        let delta = self.log.pop().ok_or_else(|| {
+        let segment = self.log.len().checked_sub(1).ok_or_else(|| {
             PruneError::mask_mismatch("reversal log empty while above level 0")
         })?;
+        if self.verify_on_pop && !self.log[segment].verify() {
+            // Leave the log and level untouched: the caller decides
+            // whether to repair the segment or escalate to a coarser
+            // restore path.
+            let d = &self.log[segment];
+            return Err(PruneError::LogCorruption {
+                segment,
+                to_level: d.to_level,
+                expected: d.checksum,
+                actual: d.computed_checksum(),
+            });
+        }
+        let delta = self.log.pop().expect("segment index checked above");
+        if let Some(shadow) = &mut self.shadow {
+            shadow.pop();
+        }
         let mut count = 0usize;
         for layer_delta in &delta.layers {
             let w = net.weight_mut(layer_delta.layer)?;
@@ -466,6 +559,188 @@ impl ReversiblePruner {
             });
         }
         self.base_checksum = weights_checksum(net);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Fault detection, injection, and repair
+    // ------------------------------------------------------------------
+
+    /// Number of segments currently on the reversal log.
+    pub fn log_segments(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Whether pops verify segment checksums before applying deltas.
+    pub fn verifies_on_pop(&self) -> bool {
+        self.verify_on_pop
+    }
+
+    /// Enables or disables checksum verification on pop. Disabling
+    /// models the no-defense baseline: corrupted deltas are written
+    /// straight into live weights without detection.
+    pub fn set_verify_on_pop(&mut self, on: bool) {
+        self.verify_on_pop = on;
+    }
+
+    /// Whether shadow-copy mode is active.
+    pub fn shadow_enabled(&self) -> bool {
+        self.shadow.is_some()
+    }
+
+    /// Enables or disables shadow-copy mode.
+    ///
+    /// While enabled, every pushed segment is mirrored into a second
+    /// in-RAM copy, doubling log memory but letting
+    /// [`ReversiblePruner::repair_segment`] fix a corrupted segment in
+    /// place. Enabling mid-flight mirrors the current log; disabling
+    /// drops the mirror.
+    pub fn set_shadow_mode(&mut self, on: bool) {
+        self.shadow = if on { Some(self.log.clone()) } else { None };
+    }
+
+    /// Verifies every log segment, returning how many were checked.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PruneError::LogCorruption`] for the first segment whose
+    /// contents no longer match its sealed checksum.
+    pub fn scrub(&self) -> Result<usize> {
+        for (segment, d) in self.log.iter().enumerate() {
+            if !d.verify() {
+                return Err(PruneError::LogCorruption {
+                    segment,
+                    to_level: d.to_level,
+                    expected: d.checksum,
+                    actual: d.computed_checksum(),
+                });
+            }
+        }
+        Ok(self.log.len())
+    }
+
+    /// Verifies the *next* segment in round-robin order — the
+    /// incremental form of [`ReversiblePruner::scrub`], sized to run
+    /// inside a control tick. Returns the index verified, or `None`
+    /// when the log is empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PruneError::LogCorruption`] if the visited segment
+    /// fails its checksum; the cursor still advances, so repeated calls
+    /// make progress across a partially corrupted log.
+    pub fn scrub_step(&mut self) -> Result<Option<usize>> {
+        if self.log.is_empty() {
+            self.scrub_cursor = 0;
+            return Ok(None);
+        }
+        let segment = self.scrub_cursor % self.log.len();
+        self.scrub_cursor = (segment + 1) % self.log.len();
+        let d = &self.log[segment];
+        if d.verify() {
+            Ok(Some(segment))
+        } else {
+            Err(PruneError::LogCorruption {
+                segment,
+                to_level: d.to_level,
+                expected: d.checksum,
+                actual: d.computed_checksum(),
+            })
+        }
+    }
+
+    /// Rewrites a corrupted segment from its shadow copy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PruneError::NotRestorable`] when shadow mode is off or
+    /// `segment` is out of range, and [`PruneError::LogCorruption`] when
+    /// the shadow copy itself no longer verifies (both copies hit —
+    /// escalate to a snapshot or storage restore).
+    pub fn repair_segment(&mut self, segment: usize) -> Result<()> {
+        let shadow = self.shadow.as_ref().ok_or_else(|| PruneError::NotRestorable {
+            message: "shadow-copy mode is off; cannot repair log in place".into(),
+        })?;
+        if segment >= self.log.len() || segment >= shadow.len() {
+            return Err(PruneError::NotRestorable {
+                message: format!(
+                    "segment {segment} out of range (log has {})",
+                    self.log.len()
+                ),
+            });
+        }
+        let src = &shadow[segment];
+        if !src.verify() {
+            return Err(PruneError::LogCorruption {
+                segment,
+                to_level: src.to_level,
+                expected: src.checksum,
+                actual: src.computed_checksum(),
+            });
+        }
+        self.log[segment] = src.clone();
+        Ok(())
+    }
+
+    /// Fault hook: flips one mantissa bit of one stored log value,
+    /// chosen by `rng`. Returns `false` when the log holds no entries.
+    ///
+    /// Mantissa-only flips keep the decoded value finite (no injected
+    /// NaN/Inf), which mirrors the dominant DRAM single-bit-upset case
+    /// while keeping downstream accuracy accounting well-defined. The
+    /// shadow copy, if any, is deliberately *not* touched: it models an
+    /// independent memory region.
+    pub fn inject_log_bitflip(&mut self, rng: &mut Prng) -> bool {
+        let total = self.log_entries();
+        if total == 0 {
+            return false;
+        }
+        let mut pick = rng.next_below(total);
+        for delta in &mut self.log {
+            for layer in &mut delta.layers {
+                if pick < layer.len() {
+                    match &mut layer.values {
+                        DeltaValues::Exact(vs) => {
+                            let bit = rng.next_below(23) as u32;
+                            vs[pick] = f32::from_bits(vs[pick].to_bits() ^ (1u32 << bit));
+                        }
+                        DeltaValues::Half(vs) => {
+                            let bit = rng.next_below(10) as u32;
+                            vs[pick] ^= 1u16 << bit;
+                        }
+                    }
+                    return true;
+                }
+                pick -= layer.len();
+            }
+        }
+        false
+    }
+
+    /// Accepts an externally restored full-capacity network (in-RAM
+    /// snapshot or storage reload) as the new level-0 state: verifies it
+    /// against the attach-time checksum, then clears the log (and
+    /// shadow) and resets the level to 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PruneError::IntegrityViolation`] if the restored
+    /// weights do not match the attach-time baseline — the fallback
+    /// image itself was corrupt.
+    pub fn adopt_full_restore(&mut self, net: &Network) -> Result<()> {
+        let actual = weights_checksum(net);
+        if actual != self.base_checksum {
+            return Err(PruneError::IntegrityViolation {
+                expected: self.base_checksum,
+                actual,
+            });
+        }
+        self.log.clear();
+        if let Some(shadow) = &mut self.shadow {
+            shadow.clear();
+        }
+        self.scrub_cursor = 0;
+        self.current = 0;
         Ok(())
     }
 }
@@ -663,9 +938,10 @@ mod tests {
         assert_eq!(d.len(), 3);
         assert!(!d.is_empty());
         assert_eq!(d.bytes(), 24);
-        let ld = LevelDelta { to_level: 1, layers: vec![d] };
+        let ld = LevelDelta::new(1, vec![d]);
         assert_eq!(ld.bytes(), 24);
         assert_eq!(ld.len(), 3);
+        assert!(ld.verify());
         let h = LayerDelta {
             layer: LayerId(0),
             indices: vec![1, 2],
@@ -736,5 +1012,163 @@ mod tests {
         let x = Tensor::ones(&[1, 16, 16]);
         let probs = net.predict_proba(&x).unwrap();
         assert!((probs.sum() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn scrub_passes_on_clean_log_and_catches_bitflip() {
+        let (mut net, mut p) = setup(vec![0.0, 0.3, 0.6, 0.9]);
+        p.set_level(&mut net, 3).unwrap();
+        assert_eq!(p.scrub().unwrap(), 3);
+        let mut rng = Prng::new(7);
+        assert!(p.inject_log_bitflip(&mut rng));
+        let err = p.scrub().unwrap_err();
+        assert!(matches!(err, PruneError::LogCorruption { .. }), "{err}");
+    }
+
+    #[test]
+    fn scrub_step_walks_every_segment_round_robin() {
+        let (mut net, mut p) = setup(vec![0.0, 0.3, 0.6, 0.9]);
+        p.set_level(&mut net, 3).unwrap();
+        let visited: Vec<usize> = (0..6)
+            .map(|_| p.scrub_step().unwrap().unwrap())
+            .collect();
+        assert_eq!(visited, vec![0, 1, 2, 0, 1, 2]);
+        let (_, mut empty) = setup(vec![0.0, 0.5]);
+        assert_eq!(empty.scrub_step().unwrap(), None);
+    }
+
+    #[test]
+    fn corrupted_pop_is_detected_and_leaves_the_segment_on_the_log() {
+        let (mut net, mut p) = setup(vec![0.0, 0.3, 0.6]);
+        p.set_level(&mut net, 2).unwrap();
+        let mut rng = Prng::new(11);
+        assert!(p.inject_log_bitflip(&mut rng));
+        // The full restore pops every segment, so whichever one the
+        // flip landed in must trip before its deltas are applied.
+        let err = p.set_level(&mut net, 0).unwrap_err();
+        let PruneError::LogCorruption { segment, .. } = err else {
+            panic!("expected LogCorruption, got {err}");
+        };
+        // The corrupted segment was not consumed and the level tracks
+        // the segments still on the log.
+        assert_eq!(segment, p.log_segments() - 1);
+        assert_eq!(p.current_level(), p.log_segments());
+        assert!(p.log_segments() > 0);
+    }
+
+    #[test]
+    fn no_defense_mode_silently_applies_corruption() {
+        let (mut net, mut p) = setup(vec![0.0, 0.4, 0.8]);
+        let original = net.clone();
+        p.set_level(&mut net, 2).unwrap();
+        let mut rng = Prng::new(3);
+        assert!(p.inject_log_bitflip(&mut rng));
+        p.set_verify_on_pop(false);
+        p.set_level(&mut net, 0).unwrap();
+        // The restore "succeeded" but the weights silently diverged.
+        assert!(p.verify_restored(&net).is_err());
+        assert_ne!(net, original);
+    }
+
+    #[test]
+    fn shadow_repair_recovers_corrupted_segment() {
+        let (mut net, mut p) = setup(vec![0.0, 0.3, 0.6]);
+        let original = net.clone();
+        p.set_shadow_mode(true);
+        assert!(p.shadow_enabled());
+        p.set_level(&mut net, 2).unwrap();
+        let mut rng = Prng::new(5);
+        assert!(p.inject_log_bitflip(&mut rng));
+        let bad = match p.scrub() {
+            Err(PruneError::LogCorruption { segment, .. }) => segment,
+            other => panic!("expected corruption, got {other:?}"),
+        };
+        p.repair_segment(bad).unwrap();
+        assert_eq!(p.scrub().unwrap(), 2);
+        p.set_level(&mut net, 0).unwrap();
+        p.verify_restored(&net).unwrap();
+        assert_eq!(net, original);
+    }
+
+    #[test]
+    fn repair_without_shadow_is_not_restorable() {
+        let (mut net, mut p) = setup(vec![0.0, 0.5]);
+        p.set_level(&mut net, 1).unwrap();
+        assert!(matches!(
+            p.repair_segment(0),
+            Err(PruneError::NotRestorable { .. })
+        ));
+    }
+
+    #[test]
+    fn adopt_full_restore_resets_after_external_reload() {
+        let (mut net, mut p) = setup(vec![0.0, 0.4, 0.8]);
+        let image = net.clone(); // what storage/snapshot would hold
+        p.set_level(&mut net, 2).unwrap();
+        let mut rng = Prng::new(9);
+        assert!(p.inject_log_bitflip(&mut rng));
+        // Simulate the fallback: clobber live weights from the image.
+        net = image.clone();
+        p.adopt_full_restore(&net).unwrap();
+        assert_eq!(p.current_level(), 0);
+        assert_eq!(p.log_segments(), 0);
+        p.verify_restored(&net).unwrap();
+        // The pruner is fully usable again.
+        p.set_level(&mut net, 1).unwrap();
+        p.set_level(&mut net, 0).unwrap();
+        p.verify_restored(&net).unwrap();
+    }
+
+    #[test]
+    fn adopt_full_restore_rejects_corrupt_image() {
+        let (mut net, mut p) = setup(vec![0.0, 0.5]);
+        p.set_level(&mut net, 1).unwrap();
+        let id = net.prunable_layers()[0].id;
+        net.weight_mut(id).unwrap().data_mut()[0] += 0.5;
+        assert!(matches!(
+            p.adopt_full_restore(&net),
+            Err(PruneError::IntegrityViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn injected_flips_stay_finite() {
+        let (mut net, mut p) = setup(vec![0.0, 0.6, 0.9]);
+        p.set_level(&mut net, 2).unwrap();
+        let mut rng = Prng::new(13);
+        for _ in 0..64 {
+            assert!(p.inject_log_bitflip(&mut rng));
+        }
+        p.set_verify_on_pop(false);
+        p.set_level(&mut net, 0).unwrap();
+        for meta in net.prunable_layers() {
+            assert!(net
+                .weight(meta.id)
+                .unwrap()
+                .data()
+                .iter()
+                .all(|x| x.is_finite()));
+        }
+    }
+
+    #[test]
+    fn bitflip_on_empty_log_is_a_noop() {
+        let (_, mut p) = setup(vec![0.0, 0.5]);
+        let mut rng = Prng::new(1);
+        assert!(!p.inject_log_bitflip(&mut rng));
+    }
+
+    #[test]
+    fn half_precision_log_corruption_also_detected() {
+        let mut net = models::default_perception_cnn(54).unwrap();
+        let ladder = LadderConfig::new(vec![0.0, 0.5]).build(&net).unwrap();
+        let mut p = ReversiblePruner::attach_half(&mut net, ladder).unwrap();
+        p.set_level(&mut net, 1).unwrap();
+        let mut rng = Prng::new(17);
+        assert!(p.inject_log_bitflip(&mut rng));
+        assert!(matches!(
+            p.set_level(&mut net, 0),
+            Err(PruneError::LogCorruption { .. })
+        ));
     }
 }

@@ -221,3 +221,125 @@ proptest! {
         }
     }
 }
+
+// Fault-model properties: corruption in the reversal log must surface as
+// a typed, recoverable error — never as a silently wrong restore.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn corrupted_log_never_restores_silently(
+        net_seed in 0u64..500,
+        crit in criterion_strategy(),
+        levels in ladder_levels_strategy(),
+        walk in prop::collection::vec(0usize..6, 1..8),
+        flip_seed in any::<u64>(),
+        flips in 1usize..4,
+    ) {
+        let original = small_net(net_seed);
+        let mut net = original.clone();
+        let ladder = LadderConfig::new(levels).criterion(crit).build(&net).unwrap();
+        let n = ladder.num_levels();
+        let mut pruner = ReversiblePruner::attach(&net, ladder).unwrap();
+        for &step in &walk {
+            pruner.set_level(&mut net, step % n).unwrap();
+        }
+        let mut rng = Prng::new(flip_seed);
+        let mut landed = false;
+        for _ in 0..flips {
+            landed |= pruner.inject_log_bitflip(&mut rng);
+        }
+        match pruner.set_level(&mut net, 0) {
+            Ok(_) => {
+                // A flip can only go unnoticed if none actually landed
+                // (the log may have been empty at injection time). In that
+                // case the restore must still be bit-exact.
+                prop_assert!(!landed, "a landed flip must not restore cleanly");
+                pruner.verify_restored(&net).unwrap();
+                prop_assert_eq!(&net, &original);
+            }
+            Err(reprune_prune::PruneError::LogCorruption { .. }) => {
+                // Typed, recoverable refusal: the pruner must still be
+                // pruned (it did NOT pretend the restore completed).
+                prop_assert!(landed);
+                prop_assert!(pruner.current_level() > 0);
+            }
+            Err(e) => prop_assert!(false, "unexpected error: {e}"),
+        }
+    }
+
+    #[test]
+    fn shadow_repair_recovers_bit_exact(
+        net_seed in 0u64..500,
+        crit in criterion_strategy(),
+        levels in ladder_levels_strategy(),
+        walk in prop::collection::vec(0usize..6, 1..8),
+        flip_seed in any::<u64>(),
+        flips in 1usize..5,
+    ) {
+        let original = small_net(net_seed);
+        let mut net = original.clone();
+        let ladder = LadderConfig::new(levels).criterion(crit).build(&net).unwrap();
+        let n = ladder.num_levels();
+        let mut pruner = ReversiblePruner::attach(&net, ladder).unwrap();
+        pruner.set_shadow_mode(true);
+        for &step in &walk {
+            pruner.set_level(&mut net, step % n).unwrap();
+        }
+        let mut rng = Prng::new(flip_seed);
+        for _ in 0..flips {
+            pruner.inject_log_bitflip(&mut rng);
+        }
+        // Detect-repair-retry until the restore goes through; the loop is
+        // bounded because each repair fixes the segment it names.
+        let mut attempts = 0;
+        loop {
+            match pruner.set_level(&mut net, 0) {
+                Ok(_) => break,
+                Err(reprune_prune::PruneError::LogCorruption { segment, .. }) => {
+                    pruner.repair_segment(segment).unwrap();
+                }
+                Err(e) => prop_assert!(false, "unexpected error: {e}"),
+            }
+            attempts += 1;
+            prop_assert!(attempts <= 64, "repair loop must terminate");
+        }
+        pruner.verify_restored(&net).unwrap();
+        prop_assert_eq!(&net, &original);
+    }
+
+    #[test]
+    fn scrub_heals_before_anyone_asks(
+        net_seed in 0u64..500,
+        levels in ladder_levels_strategy(),
+        flip_seed in any::<u64>(),
+    ) {
+        let original = small_net(net_seed);
+        let mut net = original.clone();
+        let ladder = LadderConfig::new(levels).build(&net).unwrap();
+        let top = ladder.num_levels() - 1;
+        let mut pruner = ReversiblePruner::attach(&net, ladder).unwrap();
+        pruner.set_shadow_mode(true);
+        pruner.set_level(&mut net, top).unwrap();
+        let mut rng = Prng::new(flip_seed);
+        pruner.inject_log_bitflip(&mut rng);
+        // A background scrub finds the corruption before any restore asks
+        // for the segment, and the shadow copy repairs it in place...
+        let mut passes = 0;
+        loop {
+            match pruner.scrub() {
+                Ok(_) => break,
+                Err(reprune_prune::PruneError::LogCorruption { segment, .. }) => {
+                    pruner.repair_segment(segment).unwrap();
+                }
+                Err(e) => prop_assert!(false, "unexpected error: {e}"),
+            }
+            passes += 1;
+            prop_assert!(passes <= 64, "scrub/repair loop must terminate");
+        }
+        // ...so the later restore succeeds first try, bit-exact.
+        pruner.set_level(&mut net, 0).unwrap();
+        pruner.verify_restored(&net).unwrap();
+        prop_assert_eq!(&net, &original);
+    }
+}

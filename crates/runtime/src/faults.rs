@@ -1,0 +1,411 @@
+//! Fault-injection campaigns and the graceful-degradation state machine.
+//!
+//! A [`FaultPlan`] turns the fault events scheduled on a
+//! [`reprune_scenario::Scenario`] timeline into deterministic injections
+//! against the running system: bit-flips into the reversal log and live
+//! weights, storage outages and bandwidth degradation, sensor/confidence
+//! dropouts, and Execute-stage deadline overruns. The
+//! [`crate::manager::RuntimeManager`] consumes the plan tick by tick and
+//! answers with the configured [`FaultDefense`]:
+//!
+//! * [`FaultDefense::None`] — no checks at all; corrupted reversal-log
+//!   segments are applied blindly (the silent-corruption baseline),
+//! * [`FaultDefense::ChecksumOnly`] — per-segment checksums verify every
+//!   pop and a sealed whole-weights checksum is re-verified every tick,
+//!   but nothing can be repaired: detected faults park the system in
+//!   minimal-risk mode,
+//! * [`FaultDefense::FullChain`] — detection plus the restore fallback
+//!   chain: shadow-copy log repair → in-RAM snapshot → storage reload
+//!   with bounded exponential backoff, and incremental background
+//!   scrubbing of the log.
+//!
+//! The degradation ladder itself is [`OperatingState`]:
+//! `Normal → Degraded → MinimalRisk`, mirroring the ODD-exit response.
+
+use reprune_nn::Network;
+use reprune_scenario::{FaultEvent, FaultKind, Scenario};
+use reprune_tensor::rng::Prng;
+use serde::{Deserialize, Serialize};
+
+/// How much of the fault-tolerance machinery is armed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultDefense {
+    /// No integrity checks: corruption is served silently.
+    None,
+    /// Detection only (segment checksums + sealed weights checksum);
+    /// detected faults cannot be repaired.
+    ChecksumOnly,
+    /// Detection plus the full restore fallback chain and background
+    /// log scrubbing.
+    FullChain,
+}
+
+impl std::fmt::Display for FaultDefense {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FaultDefense::None => "no-defense",
+            FaultDefense::ChecksumOnly => "checksum-only",
+            FaultDefense::FullChain => "full-chain",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// The graceful-degradation state machine.
+///
+/// Ordered by severity: the manager only ever escalates within a fault
+/// episode and de-escalates one rung at a time once the trigger clears.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub enum OperatingState {
+    /// Everything verified; the policy runs unrestricted.
+    Normal,
+    /// A fault is active or being resolved: the ladder is pinned at
+    /// conservative levels (no deep pruning) until the system is clean.
+    Degraded,
+    /// Restoration integrity is compromised: full capacity is forced if
+    /// reachable; while it is not (or weights remain unverified), every
+    /// tick is flagged as a safety violation — the analogue of the
+    /// minimal-risk manoeuvre on ODD exit.
+    MinimalRisk,
+}
+
+impl std::fmt::Display for OperatingState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            OperatingState::Normal => "normal",
+            OperatingState::Degraded => "degraded",
+            OperatingState::MinimalRisk => "minimal-risk",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A deterministic, seeded fault campaign over one scenario run.
+///
+/// Events fire in timeline order exactly once; random placement inside
+/// an injection (which log entry, which weight, which bit) is drawn from
+/// the plan's own [`Prng`], so the same plan against the same scenario
+/// reproduces the same damage bit for bit.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+    cursor: usize,
+    rng: Prng,
+}
+
+impl FaultPlan {
+    /// Builds a plan from explicit events (sorted by onset internally).
+    pub fn new(mut events: Vec<FaultEvent>, seed: u64) -> Self {
+        events.sort_by(|a, b| a.start_s.total_cmp(&b.start_s));
+        FaultPlan {
+            events,
+            cursor: 0,
+            rng: Prng::new(seed ^ 0x5eed_fa01_7000_0001),
+        }
+    }
+
+    /// Builds a plan from the faults scheduled on a scenario.
+    pub fn from_scenario(scenario: &Scenario, seed: u64) -> Self {
+        FaultPlan::new(scenario.faults().to_vec(), seed)
+    }
+
+    /// All events in the plan, sorted by onset.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Events not yet fired.
+    pub fn remaining(&self) -> usize {
+        self.events.len() - self.cursor
+    }
+
+    /// Fires (returns and consumes) every event with onset at or before
+    /// `t`. Each event fires exactly once across a run.
+    pub fn fire_until(&mut self, t: f64) -> Vec<FaultEvent> {
+        let start = self.cursor;
+        while self.cursor < self.events.len() && self.events[self.cursor].start_s <= t {
+            self.cursor += 1;
+        }
+        self.events[start..self.cursor].to_vec()
+    }
+
+    /// The plan's injection-placement RNG.
+    pub fn rng_mut(&mut self) -> &mut Prng {
+        &mut self.rng
+    }
+}
+
+/// Flips one random mantissa bit in one random live prunable weight.
+///
+/// Mantissa-only flips (bits 0..23 of the `f32` encoding) model DRAM
+/// single-bit upsets while keeping every value finite, so accuracy
+/// accounting stays well-defined. Returns `false` if the network has no
+/// prunable weights.
+pub fn inject_weight_bitflip(net: &mut Network, rng: &mut Prng) -> bool {
+    let metas = net.prunable_layers();
+    let total: usize = metas.iter().map(|m| m.weight_len()).sum();
+    if total == 0 {
+        return false;
+    }
+    let mut idx = rng.next_below(total);
+    for meta in metas {
+        let len = meta.weight_len();
+        if idx < len {
+            let bit = rng.next_below(23) as u32;
+            if let Ok(w) = net.weight_mut(meta.id) {
+                let v = w.data()[idx];
+                w.data_mut()[idx] = f32::from_bits(v.to_bits() ^ (1u32 << bit));
+                return true;
+            }
+            return false;
+        }
+        idx -= len;
+    }
+    false
+}
+
+/// Parameters of a generated fault storm: independent Poisson streams of
+/// each fault family over `[start_s, end_s)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StormConfig {
+    /// Storm window start (seconds from scenario start).
+    pub start_s: f64,
+    /// Storm window end (exclusive).
+    pub end_s: f64,
+    /// Arrival rate of reversal-log bit-flip bursts (Hz).
+    pub log_flip_rate_hz: f64,
+    /// Arrival rate of live-weight bit-flip bursts (Hz).
+    pub weight_flip_rate_hz: f64,
+    /// Arrival rate of transient storage outages (Hz).
+    pub storage_outage_rate_hz: f64,
+    /// Arrival rate of storage bandwidth-degradation windows (Hz).
+    pub storage_degrade_rate_hz: f64,
+    /// Arrival rate of sensor blackouts (Hz).
+    pub sensor_rate_hz: f64,
+    /// Arrival rate of confidence-signal dropouts (Hz).
+    pub confidence_rate_hz: f64,
+    /// Arrival rate of Execute-stage overrun windows (Hz).
+    pub overrun_rate_hz: f64,
+}
+
+impl StormConfig {
+    /// A mild storm: occasional single faults of each family.
+    pub fn mild(start_s: f64, end_s: f64) -> Self {
+        StormConfig {
+            start_s,
+            end_s,
+            log_flip_rate_hz: 1.0 / 40.0,
+            weight_flip_rate_hz: 1.0 / 60.0,
+            storage_outage_rate_hz: 1.0 / 90.0,
+            storage_degrade_rate_hz: 1.0 / 120.0,
+            sensor_rate_hz: 1.0 / 120.0,
+            confidence_rate_hz: 1.0 / 120.0,
+            overrun_rate_hz: 1.0 / 90.0,
+        }
+    }
+
+    /// A severe storm: faults of every family land every few seconds.
+    pub fn severe(start_s: f64, end_s: f64) -> Self {
+        StormConfig {
+            start_s,
+            end_s,
+            log_flip_rate_hz: 1.0 / 8.0,
+            weight_flip_rate_hz: 1.0 / 15.0,
+            storage_outage_rate_hz: 1.0 / 25.0,
+            storage_degrade_rate_hz: 1.0 / 40.0,
+            sensor_rate_hz: 1.0 / 40.0,
+            confidence_rate_hz: 1.0 / 40.0,
+            overrun_rate_hz: 1.0 / 30.0,
+        }
+    }
+}
+
+/// Generates a deterministic fault storm from `config` and `seed`:
+/// independent exponential inter-arrival streams per fault family,
+/// sorted by onset. Feed the result to
+/// [`reprune_scenario::Scenario::with_faults`] or straight into
+/// [`FaultPlan::new`].
+pub fn storm_events(config: &StormConfig, seed: u64) -> Vec<FaultEvent> {
+    fn stream(
+        config: &StormConfig,
+        rate_hz: f64,
+        rng: &mut Prng,
+        mk: &mut dyn FnMut(&mut Prng) -> FaultKind,
+        out: &mut Vec<FaultEvent>,
+    ) {
+        if rate_hz <= 0.0 {
+            return;
+        }
+        let mut t = config.start_s;
+        loop {
+            let u = (1.0 - rng.next_f32() as f64).max(1e-12);
+            t += -u.ln() / rate_hz;
+            if t >= config.end_s {
+                break;
+            }
+            out.push(FaultEvent {
+                start_s: t,
+                kind: mk(rng),
+            });
+        }
+    }
+    let mut rng = Prng::new(seed ^ 0x5701_4e00_0000_0001u64);
+    let mut events = Vec::new();
+    stream(
+        config,
+        config.log_flip_rate_hz,
+        &mut rng,
+        &mut |r| FaultKind::LogBitFlip {
+            flips: 1 + r.next_below(3) as u32,
+        },
+        &mut events,
+    );
+    stream(
+        config,
+        config.weight_flip_rate_hz,
+        &mut rng,
+        &mut |r| FaultKind::WeightBitFlip {
+            flips: 1 + r.next_below(2) as u32,
+        },
+        &mut events,
+    );
+    stream(
+        config,
+        config.storage_outage_rate_hz,
+        &mut rng,
+        &mut |r| FaultKind::StorageTransient {
+            duration_s: 1.0 + r.next_uniform(0.0, 4.0) as f64,
+        },
+        &mut events,
+    );
+    stream(
+        config,
+        config.storage_degrade_rate_hz,
+        &mut rng,
+        &mut |r| FaultKind::StorageDegraded {
+            bandwidth_factor: 0.1 + r.next_uniform(0.0, 0.4) as f64,
+            duration_s: 5.0 + r.next_uniform(0.0, 10.0) as f64,
+        },
+        &mut events,
+    );
+    stream(
+        config,
+        config.sensor_rate_hz,
+        &mut rng,
+        &mut |r| FaultKind::SensorBlackout {
+            duration_s: 0.5 + r.next_uniform(0.0, 2.5) as f64,
+        },
+        &mut events,
+    );
+    stream(
+        config,
+        config.confidence_rate_hz,
+        &mut rng,
+        &mut |r| FaultKind::ConfidenceDropout {
+            duration_s: 0.5 + r.next_uniform(0.0, 2.5) as f64,
+        },
+        &mut events,
+    );
+    stream(
+        config,
+        config.overrun_rate_hz,
+        &mut rng,
+        &mut |r| FaultKind::ExecOverrun {
+            extra_ms: 20.0 + r.next_uniform(0.0, 80.0) as f64,
+            duration_s: 1.0 + r.next_uniform(0.0, 3.0) as f64,
+        },
+        &mut events,
+    );
+    events.sort_by(|a, b| a.start_s.total_cmp(&b.start_s));
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_fires_each_event_once_in_order() {
+        let events = vec![
+            FaultEvent {
+                start_s: 5.0,
+                kind: FaultKind::StoragePermanent,
+            },
+            FaultEvent {
+                start_s: 1.0,
+                kind: FaultKind::LogBitFlip { flips: 1 },
+            },
+            FaultEvent {
+                start_s: 3.0,
+                kind: FaultKind::SensorBlackout { duration_s: 2.0 },
+            },
+        ];
+        let mut plan = FaultPlan::new(events, 7);
+        assert_eq!(plan.remaining(), 3);
+        assert!(plan.fire_until(0.5).is_empty());
+        let first = plan.fire_until(1.0);
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].start_s, 1.0);
+        let rest = plan.fire_until(100.0);
+        assert_eq!(rest.len(), 2);
+        assert_eq!(rest[0].start_s, 3.0);
+        assert_eq!(rest[1].start_s, 5.0);
+        assert_eq!(plan.remaining(), 0);
+        assert!(plan.fire_until(1000.0).is_empty());
+    }
+
+    #[test]
+    fn storm_is_deterministic_and_sorted() {
+        let cfg = StormConfig::severe(10.0, 60.0);
+        let a = storm_events(&cfg, 42);
+        let b = storm_events(&cfg, 42);
+        assert_eq!(a, b);
+        assert!(!a.is_empty(), "severe storm over 50 s must produce faults");
+        for pair in a.windows(2) {
+            assert!(pair[0].start_s <= pair[1].start_s);
+        }
+        for ev in &a {
+            assert!(ev.start_s >= 10.0 && ev.start_s < 60.0);
+        }
+        let c = storm_events(&cfg, 43);
+        assert_ne!(a, c, "different seeds give different storms");
+    }
+
+    #[test]
+    fn weight_bitflip_changes_exactly_one_value() {
+        let mut net = reprune_nn::models::control_mlp(4, &[8], 3, 1).unwrap();
+        let original = net.clone();
+        let mut rng = Prng::new(9);
+        assert!(inject_weight_bitflip(&mut net, &mut rng));
+        let mut diffs = 0usize;
+        for meta in original.prunable_layers() {
+            let a = original.weight(meta.id).unwrap();
+            let b = net.weight(meta.id).unwrap();
+            for (x, y) in a.data().iter().zip(b.data()) {
+                if x.to_bits() != y.to_bits() {
+                    diffs += 1;
+                    assert!(y.is_finite(), "mantissa flip must stay finite");
+                }
+            }
+        }
+        assert_eq!(diffs, 1);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(FaultDefense::None.to_string(), "no-defense");
+        assert_eq!(FaultDefense::ChecksumOnly.to_string(), "checksum-only");
+        assert_eq!(FaultDefense::FullChain.to_string(), "full-chain");
+        assert_eq!(OperatingState::Normal.to_string(), "normal");
+        assert_eq!(OperatingState::Degraded.to_string(), "degraded");
+        assert_eq!(OperatingState::MinimalRisk.to_string(), "minimal-risk");
+    }
+
+    #[test]
+    fn state_severity_ordering() {
+        assert!(OperatingState::Normal < OperatingState::Degraded);
+        assert!(OperatingState::Degraded < OperatingState::MinimalRisk);
+    }
+}

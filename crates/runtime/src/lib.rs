@@ -28,6 +28,7 @@
 mod error;
 
 pub mod envelope;
+pub mod faults;
 pub mod fleet;
 pub mod manager;
 pub mod monitor;
@@ -35,6 +36,7 @@ pub mod policy;
 pub mod record;
 
 pub use envelope::SafetyEnvelope;
+pub use faults::{storm_events, FaultDefense, FaultPlan, OperatingState, StormConfig};
 pub use fleet::{plan_budget, BudgetPlan, FleetMember};
 pub use error::RuntimeError;
 pub use manager::{DeploymentScale, RestoreMechanism, RuntimeManager, RuntimeManagerConfig};

@@ -1,6 +1,7 @@
 //! The Execute stage and the full MAPE-K loop.
 
 use crate::envelope::SafetyEnvelope;
+use crate::faults::{self, FaultDefense, FaultPlan, OperatingState};
 use crate::monitor::{RiskEstimator, RiskEstimatorConfig};
 use crate::policy::Policy;
 use crate::record::{RunResult, TickRecord};
@@ -8,9 +9,13 @@ use crate::{Result, RuntimeError};
 use reprune_nn::dataset::{render_scene, SceneContext, SCENE_CLASSES};
 use reprune_nn::Network;
 use reprune_platform::profile::NetworkProfile;
-use reprune_platform::{Bytes, InferenceCost, Joules, Seconds, SocModel};
-use reprune_prune::{ReversiblePruner, SparsityLadder};
-use reprune_scenario::{OddSpec, Scenario, Tick, Weather};
+use reprune_platform::{
+    Bytes, InferenceCost, Joules, Seconds, SocModel, StorageError, StorageHealth,
+};
+use reprune_prune::{
+    weights_checksum, PruneError, ReversiblePruner, SnapshotRestore, SparsityLadder,
+};
+use reprune_scenario::{FaultEvent, FaultKind, OddSpec, Scenario, Tick, Weather};
 use reprune_tensor::rng::Prng;
 use serde::{Deserialize, Serialize};
 
@@ -94,6 +99,9 @@ pub struct RuntimeManagerConfig {
     /// Operational Design Domain: outside it the runtime forces full
     /// capacity regardless of the policy (minimal-risk response).
     pub odd: OddSpec,
+    /// How much of the fault-tolerance machinery is armed
+    /// (see [`FaultDefense`]).
+    pub defense: FaultDefense,
 }
 
 impl RuntimeManagerConfig {
@@ -108,6 +116,7 @@ impl RuntimeManagerConfig {
             soc: SocModel::jetson_class(),
             frame_seed: 0,
             odd: OddSpec::permissive(),
+            defense: FaultDefense::FullChain,
         }
     }
 
@@ -146,6 +155,12 @@ impl RuntimeManagerConfig {
         self.odd = odd;
         self
     }
+
+    /// Sets the fault-defense tier.
+    pub fn defense(mut self, defense: FaultDefense) -> Self {
+        self.defense = defense;
+        self
+    }
 }
 
 /// Maps scenario weather to the dataset rendering context.
@@ -163,6 +178,26 @@ struct PendingRestore {
     ready_at: f64,
 }
 
+/// Ladder cap applied while [`OperatingState::Degraded`]: no pruning
+/// deeper than one level until the system is verified clean.
+const DEGRADED_MAX_LEVEL: usize = 1;
+
+/// Initial retry backoff after a refused storage reload, seconds.
+const RELOAD_BACKOFF_MIN_S: f64 = 0.2;
+
+/// Backoff ceiling for storage-reload retries, seconds.
+const RELOAD_BACKOFF_MAX_S: f64 = 6.4;
+
+/// What repair/fallback hops charged during one tick, and whether
+/// detection or repair fired.
+#[derive(Default)]
+struct ChainReport {
+    latency: Seconds,
+    energy: Joules,
+    detected: bool,
+    repaired: bool,
+}
+
 /// The MAPE-K runtime manager: owns the network, the reversible pruner,
 /// and the control loop that drives them through a scenario.
 pub struct RuntimeManager {
@@ -176,6 +211,46 @@ pub struct RuntimeManager {
     last_confidence: f64,
     model_bytes: Bytes,
     transitions: usize,
+    // --- Fault campaign state. ---
+    plan: Option<FaultPlan>,
+    storage: StorageHealth,
+    /// Base weight image captured at attach: serves both as the in-RAM
+    /// snapshot fallback and as the (pristine) storage model image.
+    snapshot: SnapshotRestore,
+    /// Bit-flips that have landed in the in-RAM snapshot region; applied
+    /// to the restored weights when the snapshot hop is used.
+    snapshot_flips: u32,
+    /// RNG realizing snapshot-region corruption deterministically.
+    corruption_rng: Prng,
+    op_state: OperatingState,
+    /// Sealed whole-weights checksum, re-verified every tick when the
+    /// defense includes checksums; resealed after every trusted
+    /// transition.
+    sealed_checksum: u64,
+    /// Live weights are known to disagree with the sealed checksum.
+    integrity_bad: bool,
+    /// The reversal log holds a detected-but-unrepaired corrupt segment.
+    log_bad: bool,
+    /// Ground-truth twin: same commanded levels, never faulted. A tick's
+    /// inference is *corrupt* iff the live weights differ from the twin's.
+    mirror_net: Network,
+    mirror_pruner: ReversiblePruner,
+    mirror_checksum: u64,
+    manual_sensor_failed: bool,
+    manual_confidence_failed: bool,
+    sensor_fault_until: f64,
+    confidence_fault_until: f64,
+    overrun_until: f64,
+    overrun_extra_s: f64,
+    reload_wanted: bool,
+    pending_reload: Option<f64>,
+    reload_backoff_s: f64,
+    next_reload_attempt_s: f64,
+    faults_injected: usize,
+    faults_detected: usize,
+    faults_repaired: usize,
+    fault_onset: Option<f64>,
+    fault_recoveries: Vec<f64>,
 }
 
 impl RuntimeManager {
@@ -219,10 +294,21 @@ impl RuntimeManager {
                 .sum::<usize>() as f64
                 * config.scale.factor) as u64,
         );
-        let pruner = ReversiblePruner::attach(&net, ladder)?;
+        let mirror_net = net.clone();
+        let mirror_pruner = ReversiblePruner::attach(&mirror_net, ladder.clone())?;
+        let mut pruner = ReversiblePruner::attach(&net, ladder)?;
+        match config.defense {
+            FaultDefense::None => pruner.set_verify_on_pop(false),
+            FaultDefense::ChecksumOnly => {}
+            FaultDefense::FullChain => pruner.set_shadow_mode(true),
+        }
+        let snapshot = SnapshotRestore::capture(&net);
+        let sealed_checksum = weights_checksum(&net);
         Ok(RuntimeManager {
             estimator: RiskEstimator::new(config.estimator),
             frame_rng: Prng::new(config.frame_seed),
+            corruption_rng: Prng::new(config.frame_seed ^ 0xc0_44u64),
+            mirror_checksum: sealed_checksum,
             net,
             pruner,
             knowledge,
@@ -230,6 +316,31 @@ impl RuntimeManager {
             last_confidence: 1.0,
             model_bytes,
             transitions: 0,
+            plan: None,
+            storage: StorageHealth::new(),
+            snapshot,
+            snapshot_flips: 0,
+            op_state: OperatingState::Normal,
+            sealed_checksum,
+            integrity_bad: false,
+            log_bad: false,
+            mirror_net,
+            mirror_pruner,
+            manual_sensor_failed: false,
+            manual_confidence_failed: false,
+            sensor_fault_until: f64::NEG_INFINITY,
+            confidence_fault_until: f64::NEG_INFINITY,
+            overrun_until: f64::NEG_INFINITY,
+            overrun_extra_s: 0.0,
+            reload_wanted: false,
+            pending_reload: None,
+            reload_backoff_s: RELOAD_BACKOFF_MIN_S,
+            next_reload_attempt_s: f64::NEG_INFINITY,
+            faults_injected: 0,
+            faults_detected: 0,
+            faults_repaired: 0,
+            fault_onset: None,
+            fault_recoveries: Vec::new(),
             config,
         })
     }
@@ -259,7 +370,49 @@ impl RuntimeManager {
     /// toward the configured fail-safe risk, which makes the adaptive
     /// policy restore capacity.
     pub fn set_sensor_failed(&mut self, failed: bool) {
+        self.manual_sensor_failed = failed;
         self.estimator.set_sensor_failed(failed);
+    }
+
+    /// Injects or clears a confidence-signal dropout. While failed, the
+    /// Monitor charges the worst-case confidence deficit (fail-safe).
+    pub fn set_confidence_failed(&mut self, failed: bool) {
+        self.manual_confidence_failed = failed;
+        self.estimator.set_confidence_failed(failed);
+    }
+
+    /// Installs a fault campaign to execute against the next run. Pass
+    /// `None` to clear. When no plan is installed,
+    /// [`RuntimeManager::run`] builds one automatically from the
+    /// scenario's scheduled faults.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.plan = plan;
+    }
+
+    /// Current rung of the degradation state machine.
+    pub fn op_state(&self) -> OperatingState {
+        self.op_state
+    }
+
+    /// Health of the model-image storage device.
+    pub fn storage(&self) -> &StorageHealth {
+        &self.storage
+    }
+
+    /// Effective fault injections so far (windows at onset; bit-flips
+    /// that actually landed).
+    pub fn faults_injected(&self) -> usize {
+        self.faults_injected
+    }
+
+    /// Faults the armed defense noticed.
+    pub fn faults_detected(&self) -> usize {
+        self.faults_detected
+    }
+
+    /// Faults resolved by repair or a successful fallback restore.
+    pub fn faults_repaired(&self) -> usize {
+        self.faults_repaired
     }
 
     fn restore_latency(&self, entries_restored: usize) -> Seconds {
@@ -296,6 +449,281 @@ impl RuntimeManager {
         }
     }
 
+    /// Reseals the whole-weights checksum after a trusted transition.
+    fn reseal(&mut self) {
+        self.sealed_checksum = weights_checksum(&self.net);
+    }
+
+    /// Whether any self-announcing fault window is active at `t`.
+    fn windows_active(&self, t: f64) -> bool {
+        t < self.sensor_fault_until
+            || t < self.confidence_fault_until
+            || t < self.overrun_until
+            || self.storage.is_unavailable_at(t)
+            || self.storage.bandwidth_factor_at(t) < 1.0
+    }
+
+    /// Escalates the degradation state machine (never de-escalates).
+    fn enter_state(&mut self, state: OperatingState, t: f64) {
+        if state > self.op_state {
+            if self.op_state == OperatingState::Normal && self.fault_onset.is_none() {
+                self.fault_onset = Some(t);
+            }
+            self.op_state = state;
+        }
+    }
+
+    /// De-escalates once the triggering conditions have cleared:
+    /// `MinimalRisk → Degraded` when full capacity is reached and
+    /// verified, `Degraded → Normal` when nothing is unresolved and no
+    /// fault window is active.
+    fn relax_state(&mut self, t: f64) {
+        // A bit-exact level-0 state clears a weights-integrity flag even
+        // without the repair chain: the attach-time base checksum is a
+        // known-good reference at full capacity.
+        if self.integrity_bad
+            && self.pending_reload.is_none()
+            && self.pruner.current_level() == 0
+            && self.pruner.verify_restored(&self.net).is_ok()
+        {
+            self.integrity_bad = false;
+            self.reseal();
+        }
+        let unresolved = self.integrity_bad
+            || self.log_bad
+            || self.reload_wanted
+            || self.pending_reload.is_some();
+        if self.op_state == OperatingState::MinimalRisk
+            && !unresolved
+            && self.pruner.current_level() == 0
+        {
+            self.op_state = OperatingState::Degraded;
+        }
+        if self.op_state == OperatingState::Degraded && !unresolved && !self.windows_active(t) {
+            self.op_state = OperatingState::Normal;
+            if let Some(onset) = self.fault_onset.take() {
+                self.fault_recoveries.push(t - onset);
+            }
+        }
+    }
+
+    /// Realizes one scheduled fault event against the live system.
+    fn apply_fault(
+        &mut self,
+        ev: &FaultEvent,
+        rng: &mut Prng,
+        injected: &mut u32,
+        detected: &mut bool,
+    ) {
+        // Window faults are self-announcing: an armed health monitor
+        // notices them at onset. Bit-flips are only caught by checksums.
+        let armed = self.config.defense != FaultDefense::None;
+        let mut announce = |this: &mut Self| {
+            *injected += 1;
+            if armed {
+                *detected = true;
+                this.faults_detected += 1;
+            }
+        };
+        match ev.kind {
+            FaultKind::SensorBlackout { duration_s } => {
+                self.sensor_fault_until = self.sensor_fault_until.max(ev.start_s + duration_s);
+                announce(self);
+            }
+            FaultKind::ConfidenceDropout { duration_s } => {
+                self.confidence_fault_until =
+                    self.confidence_fault_until.max(ev.start_s + duration_s);
+                announce(self);
+            }
+            FaultKind::StorageTransient { duration_s } => {
+                self.storage.inject_transient(ev.start_s, duration_s);
+                announce(self);
+            }
+            FaultKind::StoragePermanent => {
+                self.storage.fail_permanently();
+                announce(self);
+            }
+            FaultKind::StorageDegraded {
+                bandwidth_factor,
+                duration_s,
+            } => {
+                self.storage
+                    .inject_degradation(ev.start_s, duration_s, bandwidth_factor);
+                announce(self);
+            }
+            FaultKind::ExecOverrun {
+                extra_ms,
+                duration_s,
+            } => {
+                self.overrun_until = self.overrun_until.max(ev.start_s + duration_s);
+                self.overrun_extra_s = extra_ms / 1000.0;
+                announce(self);
+            }
+            FaultKind::LogBitFlip { flips } => {
+                for _ in 0..flips {
+                    if self.pruner.inject_log_bitflip(rng) {
+                        *injected += 1;
+                    }
+                }
+            }
+            FaultKind::WeightBitFlip { flips } => {
+                // The in-RAM snapshot occupies as much DRAM as the live
+                // weights, so an upset is equally likely to land in
+                // either region (the snapshot damage only surfaces when
+                // the snapshot hop is used).
+                for _ in 0..flips {
+                    if rng.next_bool(0.5) {
+                        self.snapshot_flips += 1;
+                        *injected += 1;
+                    } else if faults::inject_weight_bitflip(&mut self.net, rng) {
+                        *injected += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies `target` through the restore fallback chain:
+    /// delta restore → shadow repair + retry → in-RAM snapshot →
+    /// storage reload (scheduled with backoff by the caller's tick loop).
+    fn set_level_chain(&mut self, target: usize, t: f64) -> Result<ChainReport> {
+        let mut rep = ChainReport::default();
+        let mut repairs = 0usize;
+        loop {
+            match self.pruner.set_level(&mut self.net, target) {
+                Ok(tr) => {
+                    if tr.from != tr.to {
+                        self.transitions += 1;
+                        self.reseal();
+                    }
+                    return Ok(rep);
+                }
+                Err(PruneError::LogCorruption { segment, .. }) => {
+                    rep.detected = true;
+                    if !self.log_bad {
+                        self.faults_detected += 1;
+                    }
+                    self.enter_state(OperatingState::Degraded, t);
+                    if self.config.defense != FaultDefense::FullChain {
+                        // Checksum-only: detected but unrepairable. The
+                        // log below the corrupt segment is unusable, so
+                        // full capacity is unreachable: minimal risk.
+                        self.log_bad = true;
+                        self.enter_state(OperatingState::MinimalRisk, t);
+                        return Ok(rep);
+                    }
+                    repairs += 1;
+                    if repairs <= self.pruner.log_segments() + 1
+                        && self.pruner.repair_segment(segment).is_ok()
+                    {
+                        // Hop 2: shadow-copy repair, then retry the
+                        // delta restore. The repair rewrites the
+                        // segment, priced as one more delta pass.
+                        rep.repaired = true;
+                        self.faults_repaired += 1;
+                        self.log_bad = false;
+                        rep.latency += self.config.soc.delta_restore_latency(
+                            (self.entries_between(target, self.pruner.current_level()) as f64
+                                * self.config.scale.factor) as usize,
+                        );
+                        continue;
+                    }
+                    // Hop 3: in-RAM snapshot (storage reload inside if
+                    // the snapshot is itself corrupt).
+                    self.log_bad = true;
+                    self.fallback_snapshot(t, &mut rep)?;
+                    return Ok(rep);
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Hop 3 of the chain: full restore from the in-RAM snapshot. Falls
+    /// through to a storage reload when the snapshot region was hit by
+    /// bit-flips (caught by the attach-time base checksum).
+    fn fallback_snapshot(&mut self, t: f64, rep: &mut ChainReport) -> Result<()> {
+        let lat = self.config.soc.snapshot_restore_latency(self.model_bytes);
+        rep.latency += lat;
+        rep.energy += Joules(
+            2.0 * self.model_bytes.as_f64() * self.config.soc.energy_per_dram_byte
+                + lat.0 * self.config.soc.idle_power_watts,
+        );
+        self.snapshot.restore(&mut self.net)?;
+        // The snapshot region is DRAM too: flips that landed there
+        // surface in the restored copy.
+        for _ in 0..self.snapshot_flips {
+            faults::inject_weight_bitflip(&mut self.net, &mut self.corruption_rng);
+        }
+        match self.pruner.adopt_full_restore(&self.net) {
+            Ok(()) => {
+                self.transitions += 1;
+                self.log_bad = false;
+                self.integrity_bad = false;
+                self.reseal();
+                rep.repaired = true;
+                self.faults_repaired += 1;
+                Ok(())
+            }
+            Err(PruneError::IntegrityViolation { .. }) => {
+                // Hop 4: the snapshot is corrupt too — reload the model
+                // image from storage.
+                rep.detected = true;
+                self.faults_detected += 1;
+                self.integrity_bad = true;
+                self.enter_state(OperatingState::MinimalRisk, t);
+                self.reload_wanted = true;
+                self.try_storage_reload(t, rep);
+                Ok(())
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Hop 4: schedule a full model-image reload from storage, backing
+    /// off exponentially (bounded) while the device refuses reads.
+    fn try_storage_reload(&mut self, t: f64, rep: &mut ChainReport) {
+        if self.pending_reload.is_some() {
+            return;
+        }
+        match self
+            .storage
+            .read_latency(&self.config.soc, self.model_bytes, t)
+        {
+            Ok(lat) => {
+                rep.latency += lat;
+                rep.energy += self.config.soc.storage_reload_energy(self.model_bytes);
+                self.pending_reload = Some(t + lat.0);
+                self.reload_backoff_s = RELOAD_BACKOFF_MIN_S;
+            }
+            Err(StorageError::TransientFailure) => {
+                self.next_reload_attempt_s = t + self.reload_backoff_s;
+                self.reload_backoff_s = (self.reload_backoff_s * 2.0).min(RELOAD_BACKOFF_MAX_S);
+            }
+            Err(StorageError::PermanentFailure) => {
+                // No reload will ever succeed; the state machine keeps
+                // the system parked in minimal risk.
+                self.next_reload_attempt_s = f64::INFINITY;
+            }
+        }
+    }
+
+    /// Completes a scheduled storage reload: the image that crossed the
+    /// storage bus is pristine, so this always rebases cleanly.
+    fn complete_storage_reload(&mut self) -> Result<()> {
+        self.snapshot.restore(&mut self.net)?;
+        self.pruner.adopt_full_restore(&self.net)?;
+        self.transitions += 1;
+        self.reload_wanted = false;
+        self.integrity_bad = false;
+        self.log_bad = false;
+        // Reloading also refreshes the in-RAM snapshot copy.
+        self.snapshot_flips = 0;
+        self.reseal();
+        self.faults_repaired += 1;
+        Ok(())
+    }
+
     /// Runs one MAPE-K iteration for a scenario tick, returning the
     /// record.
     ///
@@ -303,36 +731,128 @@ impl RuntimeManager {
     ///
     /// Propagates pruning/inference errors.
     pub fn step(&mut self, tick: &Tick, dt: f64) -> Result<TickRecord> {
-        // Complete a pending (multi-tick) restore first.
         let mut transition_latency = Seconds::ZERO;
         let mut transition_energy = Joules::ZERO;
-        if let Some(p) = &self.pending {
-            if tick.t + 1e-9 >= p.ready_at {
-                let target = p.target;
-                let t = self.pruner.set_level(&mut self.net, target)?;
-                if t.from != t.to {
-                    self.transitions += 1;
+        // Work done synchronously inside this tick, counted against the
+        // control deadline (scheduled multi-tick restores are not).
+        let mut sync_latency = 0.0f64;
+        let mut tick_injected = 0u32;
+        let mut tick_detected = false;
+        let mut tick_repaired = false;
+
+        // --- Fault injection: fire scheduled events up to this tick. ---
+        if let Some(mut plan) = self.plan.take() {
+            for ev in plan.fire_until(tick.t) {
+                self.apply_fault(&ev, plan.rng_mut(), &mut tick_injected, &mut tick_detected);
+            }
+            self.plan = Some(plan);
+        }
+        self.faults_injected += tick_injected as usize;
+        // Monitor channels follow manual overrides OR scheduled windows.
+        self.estimator
+            .set_sensor_failed(self.manual_sensor_failed || tick.t < self.sensor_fault_until);
+        self.estimator.set_confidence_failed(
+            self.manual_confidence_failed || tick.t < self.confidence_fault_until,
+        );
+        // An armed health monitor pins the system at least at Degraded
+        // while any fault window is active.
+        if self.config.defense != FaultDefense::None && self.windows_active(tick.t) {
+            self.enter_state(OperatingState::Degraded, tick.t);
+        }
+
+        // --- Complete or retry a pending storage reload. ---
+        if let Some(ready) = self.pending_reload {
+            if tick.t + 1e-9 >= ready {
+                self.pending_reload = None;
+                self.complete_storage_reload()?;
+                tick_repaired = true;
+            }
+        }
+        if self.reload_wanted
+            && self.pending_reload.is_none()
+            && tick.t >= self.next_reload_attempt_s
+        {
+            let mut rep = ChainReport::default();
+            self.try_storage_reload(tick.t, &mut rep);
+            transition_latency += rep.latency;
+            transition_energy += rep.energy;
+        }
+
+        // --- Defense: background scrub + sealed-checksum verification. ---
+        if self.config.defense == FaultDefense::FullChain && self.pending_reload.is_none() {
+            if let Err(PruneError::LogCorruption { segment, .. }) = self.pruner.scrub_step() {
+                tick_detected = true;
+                self.faults_detected += 1;
+                self.enter_state(OperatingState::Degraded, tick.t);
+                if self.pruner.repair_segment(segment).is_ok() {
+                    tick_repaired = true;
+                    self.faults_repaired += 1;
+                } else {
+                    self.log_bad = true;
                 }
-                self.pending = None;
+            }
+        }
+        if self.config.defense != FaultDefense::None
+            && self.pending_reload.is_none()
+            && !self.integrity_bad
+            && weights_checksum(&self.net) != self.sealed_checksum
+        {
+            tick_detected = true;
+            self.faults_detected += 1;
+            self.integrity_bad = true;
+            self.enter_state(OperatingState::Degraded, tick.t);
+            if self.config.defense == FaultDefense::FullChain {
+                let mut rep = ChainReport::default();
+                self.fallback_snapshot(tick.t, &mut rep)?;
+                transition_latency += rep.latency;
+                transition_energy += rep.energy;
+                sync_latency += rep.latency.0;
+                tick_repaired |= rep.repaired;
+            } else {
+                // Detected but unrepairable: force minimal risk.
+                self.enter_state(OperatingState::MinimalRisk, tick.t);
+            }
+        }
+
+        // --- Complete a pending (multi-tick) ladder restore. ---
+        if self.pending_reload.is_none() {
+            if let Some(p) = &self.pending {
+                if tick.t + 1e-9 >= p.ready_at {
+                    let target = p.target;
+                    self.pending = None;
+                    let rep = self.set_level_chain(target, tick.t)?;
+                    transition_latency += rep.latency;
+                    transition_energy += rep.energy;
+                    sync_latency += rep.latency.0;
+                    tick_detected |= rep.detected;
+                    tick_repaired |= rep.repaired;
+                }
             }
         }
 
         // Monitor: fuse risk sensor + last confidence.
         let estimated = self.estimator.observe(tick.risk, self.last_confidence);
 
-        // Analyze + Plan.
+        // Analyze + Plan (degradation states cap the planned level).
         let current = self.effective_level();
         let inside_odd = self.config.odd.contains(tick);
-        let target = if inside_odd {
+        let planned = if inside_odd {
             self.config.policy.decide(&self.config.envelope, estimated, tick.risk, current)
         } else {
             // Outside the ODD the safety case does not cover degraded
             // perception: minimal-risk response is full capacity.
             0
         };
+        let target = match self.op_state {
+            OperatingState::Normal => planned,
+            OperatingState::Degraded => planned.min(DEGRADED_MAX_LEVEL),
+            OperatingState::MinimalRisk => 0,
+        };
 
-        // Execute.
-        if self.pending.is_none() && target != self.pruner.current_level() {
+        // Execute (blocked while a full storage reload is in flight).
+        if self.pending_reload.is_some() {
+            // Nothing: the network serves as-is until the image arrives.
+        } else if self.pending.is_none() && target != self.pruner.current_level() {
             if target > self.pruner.current_level() {
                 // Pruning deeper: in-place mask application, sub-tick cost.
                 let before = self.pruner.log_entries();
@@ -340,23 +860,29 @@ impl RuntimeManager {
                 if t.from != t.to {
                     self.transitions += 1;
                 }
+                self.reseal();
                 let pushed = self.pruner.log_entries() - before;
-                transition_latency = self
+                let lat = self
                     .config
                     .soc
                     .delta_restore_latency((pushed as f64 * self.config.scale.factor) as usize);
-                transition_energy = self.restore_energy(pushed);
+                transition_latency += lat;
+                sync_latency += lat.0;
+                transition_energy += self.restore_energy(pushed);
             } else {
                 // Restoring capacity: charge the configured mechanism.
                 let entries = self.entries_between(target, self.pruner.current_level());
                 let latency = self.restore_latency(entries);
-                transition_latency = latency;
-                transition_energy = self.restore_energy(entries);
+                transition_latency += latency;
+                transition_energy += self.restore_energy(entries);
                 if latency.0 <= dt {
-                    let t = self.pruner.set_level(&mut self.net, target)?;
-                    if t.from != t.to {
-                        self.transitions += 1;
-                    }
+                    sync_latency += latency.0;
+                    let rep = self.set_level_chain(target, tick.t)?;
+                    transition_latency += rep.latency;
+                    transition_energy += rep.energy;
+                    sync_latency += rep.latency.0;
+                    tick_detected |= rep.detected;
+                    tick_repaired |= rep.repaired;
                 } else {
                     self.pending = Some(PendingRestore {
                         target,
@@ -371,6 +897,13 @@ impl RuntimeManager {
             }
         }
 
+        // Ground-truth twin follows the same effective level, fault-free.
+        let lvl = self.pruner.current_level();
+        if self.mirror_pruner.current_level() != lvl {
+            self.mirror_pruner.set_level(&mut self.mirror_net, lvl)?;
+            self.mirror_checksum = weights_checksum(&self.mirror_net);
+        }
+
         // Perception: render a frame for the current context and classify.
         let context = weather_to_context(tick.weather);
         let label = self.frame_rng.next_below(SCENE_CLASSES);
@@ -378,9 +911,26 @@ impl RuntimeManager {
         let (pred, confidence) = self.net.predict(&sample.input)?;
         self.last_confidence = confidence as f64;
 
+        // Ground truth (experiment-side, invisible to the defense): did
+        // this inference run on weights that differ from the twin's?
+        let corrupt_inference = weights_checksum(&self.net) != self.mirror_checksum;
+
+        // De-escalate once fault triggers have cleared.
+        self.relax_state(tick.t);
+
         let effective = self.effective_level();
         let k = &self.knowledge[effective];
+        let overrun = if tick.t < self.overrun_until {
+            self.overrun_extra_s
+        } else {
+            0.0
+        };
+        let inference_latency = Seconds(k.inference.latency.0 + overrun);
         let max_allowed = self.config.envelope.max_level(tick.risk);
+        let violation = effective > max_allowed
+            || (!inside_odd && effective > 0)
+            || (self.op_state == OperatingState::MinimalRisk
+                && (effective > 0 || self.integrity_bad));
         Ok(TickRecord {
             t: tick.t,
             true_risk: tick.risk,
@@ -389,15 +939,21 @@ impl RuntimeManager {
             sparsity: k.sparsity,
             max_allowed_level: max_allowed,
             odd_exit: !inside_odd,
-            violation: effective > max_allowed || (!inside_odd && effective > 0),
+            violation,
             correct: pred == label,
             confidence: confidence as f64,
             inference_energy: k.inference.energy,
-            inference_latency: k.inference.latency,
+            inference_latency,
             transition_energy,
             transition_latency,
             segment: tick.segment,
             weather: tick.weather,
+            op_state: self.op_state,
+            faults_injected: tick_injected,
+            fault_detected: tick_detected,
+            fault_repaired: tick_repaired,
+            corrupt_inference,
+            deadline_miss: inference_latency.0 + sync_latency > dt,
         })
     }
 
@@ -429,6 +985,11 @@ impl RuntimeManager {
     ///
     /// Propagates per-tick errors.
     pub fn run(&mut self, scenario: &Scenario) -> Result<RunResult> {
+        // Faults scheduled on the scenario become the campaign, unless a
+        // plan was installed explicitly.
+        if self.plan.is_none() && !scenario.faults().is_empty() {
+            self.plan = Some(FaultPlan::from_scenario(scenario, self.config.frame_seed));
+        }
         let dt = scenario.config().dt_s;
         let mut records = Vec::with_capacity(scenario.ticks().len());
         let mut total_energy = Joules::ZERO;
@@ -452,11 +1013,16 @@ impl RuntimeManager {
         Ok(RunResult {
             policy: self.config.policy.name(),
             mechanism: self.config.mechanism.to_string(),
+            defense: self.config.defense.to_string(),
             dense_energy: dense * records.len() as f64,
             total_energy,
             violations,
             recovery_latencies,
             transitions: self.transitions,
+            faults_injected: self.faults_injected,
+            faults_detected: self.faults_detected,
+            faults_repaired: self.faults_repaired,
+            fault_recovery_latencies: self.fault_recoveries.clone(),
             records,
         })
     }
@@ -465,6 +1031,7 @@ impl RuntimeManager {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::StormConfig;
     use crate::policy::AdaptiveConfig;
     use reprune_nn::models;
     use reprune_prune::{LadderConfig, PruneCriterion};
@@ -743,6 +1310,286 @@ mod tests {
             m.step(tick, dt).unwrap();
         }
         assert!(m.current_level() > 0, "pruning should resume after recovery");
+    }
+
+    fn busy_scenario(seed: u64) -> Scenario {
+        ScenarioConfig::new()
+            .duration_s(120.0)
+            .seed(seed)
+            .event_rate_scale(2.0)
+            .generate()
+    }
+
+    fn log_flip_campaign() -> Vec<FaultEvent> {
+        [10.0, 30.0, 50.0, 70.0, 90.0]
+            .iter()
+            .map(|&t| FaultEvent {
+                start_s: t,
+                kind: FaultKind::LogBitFlip { flips: 3 },
+            })
+            .collect()
+    }
+
+    fn fault_manager(policy: Policy, defense: FaultDefense) -> RuntimeManager {
+        let (net, ladder) = ladder_net();
+        RuntimeManager::attach(
+            net,
+            ladder,
+            RuntimeManagerConfig::new(policy, env()).defense(defense),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn full_chain_repairs_log_bitflips_with_zero_silent_corruption() {
+        // The acceptance campaign: bit-flips land in the reversal log
+        // while the oracle policy is actively pruning/restoring through
+        // risk spikes. The full chain must detect, repair, and finish
+        // the drive without ever serving corrupted weights.
+        let s = busy_scenario(21).with_faults(log_flip_campaign());
+        let mut m = fault_manager(Policy::Oracle, FaultDefense::FullChain);
+        let r = m.run(&s).unwrap();
+        assert!(r.faults_injected > 0, "campaign must land flips");
+        assert!(r.faults_detected >= 1, "scrub/verify must notice");
+        assert!(r.faults_repaired >= 1, "shadow repair must fire");
+        assert_eq!(r.corrupt_inference_ticks(), 0, "no corrupt inference");
+        assert_eq!(r.silent_corruption_ticks(), 0);
+        assert_eq!(r.violations, 0, "oracle + full chain stays compliant");
+    }
+
+    #[test]
+    fn no_defense_serves_corruption_silently() {
+        let s = busy_scenario(21).with_faults(log_flip_campaign());
+        let mut m = fault_manager(Policy::Oracle, FaultDefense::None);
+        let r = m.run(&s).unwrap();
+        assert!(r.faults_injected > 0);
+        assert_eq!(r.faults_detected, 0, "no checks, no detections");
+        assert!(
+            r.corrupt_inference_ticks() > 0,
+            "corrupted deltas must reach the live weights"
+        );
+        assert_eq!(
+            r.silent_corruption_ticks(),
+            r.corrupt_inference_ticks(),
+            "without a defense, every corrupt tick is silent"
+        );
+        assert!(r.records.iter().all(|rec| rec.op_state == OperatingState::Normal));
+    }
+
+    #[test]
+    fn checksum_only_detects_but_parks_in_minimal_risk() {
+        let s = busy_scenario(21).with_faults(log_flip_campaign());
+        let mut m = fault_manager(Policy::Oracle, FaultDefense::ChecksumOnly);
+        let r = m.run(&s).unwrap();
+        assert!(r.faults_detected >= 1, "verify-on-pop must notice");
+        assert_eq!(r.faults_repaired, 0, "nothing to repair with");
+        assert_eq!(
+            r.corrupt_inference_ticks(),
+            0,
+            "detection alone still refuses corrupted restores"
+        );
+        assert!(
+            r.minimal_risk_ticks() > 0,
+            "unrepairable log must park the system in minimal risk"
+        );
+        assert!(
+            r.violations > 0,
+            "stuck pruned in minimal risk is flagged, not hidden"
+        );
+    }
+
+    #[test]
+    fn weight_bitflips_trigger_snapshot_fallback() {
+        let faults = vec![FaultEvent {
+            start_s: 12.0,
+            kind: FaultKind::WeightBitFlip { flips: 8 },
+        }];
+        let s = calm_scenario(3).with_faults(faults);
+        let mut m = fault_manager(
+            Policy::adaptive(AdaptiveConfig {
+                hysteresis: 0.05,
+                dwell_ticks: 5,
+            }),
+            FaultDefense::FullChain,
+        );
+        let r = m.run(&s).unwrap();
+        assert!(r.faults_injected >= 1);
+        assert!(r.faults_detected >= 1, "sealed checksum must notice");
+        assert!(r.faults_repaired >= 1, "snapshot restore must resolve it");
+        assert_eq!(r.silent_corruption_ticks(), 0);
+        assert_eq!(
+            m.op_state(),
+            OperatingState::Normal,
+            "system must recover to Normal"
+        );
+        assert!(r.mean_time_to_recover().is_some());
+    }
+
+    #[test]
+    fn snapshot_corruption_escalates_to_storage_reload_with_backoff() {
+        // Storage goes dark, then a burst of RAM flips hits both the
+        // live weights and the snapshot region: the snapshot hop fails
+        // its integrity check and the chain must fall through to a
+        // storage reload, retrying with backoff until the outage ends.
+        let faults = vec![
+            FaultEvent {
+                start_s: 5.0,
+                kind: FaultKind::StorageTransient { duration_s: 10.0 },
+            },
+            FaultEvent {
+                start_s: 6.0,
+                kind: FaultKind::WeightBitFlip { flips: 12 },
+            },
+        ];
+        let s = ScenarioConfig::new()
+            .duration_s(40.0)
+            .seed(5)
+            .start_segment(SegmentKind::Highway)
+            .event_rate_scale(0.0)
+            .fixed_weather(Weather::Clear)
+            .generate()
+            .with_faults(faults);
+        let mut m = fault_manager(
+            Policy::adaptive(AdaptiveConfig {
+                hysteresis: 0.05,
+                dwell_ticks: 5,
+            }),
+            FaultDefense::FullChain,
+        );
+        let r = m.run(&s).unwrap();
+        assert!(r.faults_detected >= 2, "live + snapshot corruption noticed");
+        assert!(
+            r.minimal_risk_ticks() > 0,
+            "waiting on storage must be minimal-risk, not business as usual"
+        );
+        assert!(
+            r.corrupt_inference_ticks() > 0,
+            "the wait is served on corrupt weights — but loudly"
+        );
+        assert_eq!(r.silent_corruption_ticks(), 0);
+        assert_eq!(
+            m.op_state(),
+            OperatingState::Normal,
+            "reload after the outage must fully recover the system"
+        );
+    }
+
+    #[test]
+    fn fault_campaign_is_deterministic() {
+        let storm = crate::faults::storm_events(&StormConfig::severe(10.0, 100.0), 77);
+        let s = busy_scenario(9).with_faults(storm);
+        let run = || {
+            let mut m = fault_manager(
+                Policy::adaptive(AdaptiveConfig::default()),
+                FaultDefense::FullChain,
+            );
+            m.run(&s).unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.records, b.records, "same seed, same campaign, same run");
+        assert_eq!(a.faults_injected, b.faults_injected);
+        assert_eq!(a.faults_detected, b.faults_detected);
+        assert_eq!(a.silent_corruption_ticks(), 0, "full chain never silent");
+    }
+
+    #[test]
+    fn scheduled_sensor_blackout_restores_capacity_and_degrades() {
+        let faults = vec![FaultEvent {
+            start_s: 15.0,
+            kind: FaultKind::SensorBlackout { duration_s: 6.0 },
+        }];
+        let s = calm_scenario(11).with_faults(faults);
+        let mut m = fault_manager(
+            Policy::adaptive(AdaptiveConfig {
+                hysteresis: 0.05,
+                dwell_ticks: 5,
+            }),
+            FaultDefense::FullChain,
+        );
+        let r = m.run(&s).unwrap();
+        let during: Vec<_> = r
+            .records
+            .iter()
+            .filter(|rec| rec.t >= 15.0 && rec.t < 21.0)
+            .collect();
+        assert!(
+            during.iter().any(|rec| rec.level == 0),
+            "fail-safe estimate must force a restore during the blackout"
+        );
+        assert!(
+            during.iter().all(|rec| rec.op_state == OperatingState::Degraded),
+            "blackout window is a Degraded episode"
+        );
+        assert_eq!(m.op_state(), OperatingState::Normal, "recovers after window");
+        assert!(
+            r.records.last().unwrap().level > 0,
+            "pruning resumes once the sensor returns"
+        );
+    }
+
+    #[test]
+    fn exec_overrun_flags_deadline_misses() {
+        let faults = vec![FaultEvent {
+            start_s: 10.0,
+            kind: FaultKind::ExecOverrun {
+                extra_ms: 150.0,
+                duration_s: 3.0,
+            },
+        }];
+        let s = calm_scenario(4).with_faults(faults);
+        let mut m = fault_manager(Policy::NoPruning, FaultDefense::FullChain);
+        let r = m.run(&s).unwrap();
+        let window = r
+            .records
+            .iter()
+            .filter(|rec| rec.t >= 10.0 && rec.t < 13.0)
+            .count();
+        assert!(window > 0);
+        assert!(
+            r.deadline_miss_ticks() >= window,
+            "a 150 ms overrun on a 100 ms period must miss every tick: {} < {window}",
+            r.deadline_miss_ticks()
+        );
+        let clean = fault_manager(Policy::NoPruning, FaultDefense::FullChain)
+            .run(&calm_scenario(4))
+            .unwrap();
+        assert_eq!(clean.deadline_miss_ticks(), 0, "no faults, no misses");
+    }
+
+    #[test]
+    fn confidence_dropout_raises_estimated_risk() {
+        let faults = vec![FaultEvent {
+            start_s: 15.0,
+            kind: FaultKind::ConfidenceDropout { duration_s: 5.0 },
+        }];
+        let s = calm_scenario(8).with_faults(faults);
+        let mut m = fault_manager(
+            Policy::adaptive(AdaptiveConfig {
+                hysteresis: 0.05,
+                dwell_ticks: 5,
+            }),
+            FaultDefense::FullChain,
+        );
+        let r = m.run(&s).unwrap();
+        let before: f64 = r
+            .records
+            .iter()
+            .filter(|rec| rec.t >= 10.0 && rec.t < 15.0)
+            .map(|rec| rec.estimated_risk)
+            .sum::<f64>()
+            / 50.0;
+        let during: f64 = r
+            .records
+            .iter()
+            .filter(|rec| rec.t >= 16.0 && rec.t < 20.0)
+            .map(|rec| rec.estimated_risk)
+            .sum::<f64>()
+            / 40.0;
+        assert!(
+            during > before + 0.02,
+            "worst-case confidence deficit must lift the estimate: {before} -> {during}"
+        );
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub struct RiskEstimator {
     estimate: f64,
     initialized: bool,
     sensor_failed: bool,
+    confidence_failed: bool,
 }
 
 impl RiskEstimator {
@@ -59,6 +60,7 @@ impl RiskEstimator {
             estimate: 0.0,
             initialized: false,
             sensor_failed: false,
+            confidence_failed: false,
         }
     }
 
@@ -77,6 +79,22 @@ impl RiskEstimator {
         self.sensor_failed
     }
 
+    /// Marks the model-confidence signal as dropped out/recovered —
+    /// the symmetric fail-safe to [`RiskEstimator::set_sensor_failed`].
+    ///
+    /// While failed, [`RiskEstimator::observe`] ignores the reported
+    /// confidence and charges the worst-case deficit
+    /// (`confidence_weight × 1.0`), so a silent self-awareness channel
+    /// pushes estimated risk *up* rather than being read as "all fine".
+    pub fn set_confidence_failed(&mut self, failed: bool) {
+        self.confidence_failed = failed;
+    }
+
+    /// Whether the confidence signal is currently marked failed.
+    pub fn confidence_failed(&self) -> bool {
+        self.confidence_failed
+    }
+
     /// Observes one tick; returns the updated estimate in `[0, 1]`.
     pub fn observe(&mut self, true_risk: f64, model_confidence: f64) -> f64 {
         let obs = if self.sensor_failed {
@@ -84,8 +102,12 @@ impl RiskEstimator {
         } else {
             let noise = self.config.sensor_noise_std * self.rng.next_normal() as f64;
             let sensed = (true_risk + noise).clamp(0.0, 1.0);
-            let deficit =
-                self.config.confidence_weight * (1.0 - model_confidence.clamp(0.0, 1.0));
+            let confidence = if self.confidence_failed {
+                0.0
+            } else {
+                model_confidence.clamp(0.0, 1.0)
+            };
+            let deficit = self.config.confidence_weight * (1.0 - confidence);
             (sensed + deficit).clamp(0.0, 1.0)
         };
         if self.initialized {
@@ -215,6 +237,30 @@ mod tests {
             let est = e.observe((i % 10) as f64 / 10.0, 0.5);
             assert!((0.0..=1.0).contains(&est));
         }
+    }
+
+    #[test]
+    fn confidence_dropout_charges_worst_case_deficit() {
+        let cfg = RiskEstimatorConfig {
+            alpha: 1.0,
+            sensor_noise_std: 0.0,
+            confidence_weight: 0.2,
+            seed: 0,
+            ..Default::default()
+        };
+        let mut healthy = RiskEstimator::new(cfg);
+        let mut dropped = RiskEstimator::new(cfg);
+        dropped.set_confidence_failed(true);
+        assert!(dropped.confidence_failed());
+        // Even while the model *reports* perfect confidence, a dropped
+        // signal must be priced as zero confidence.
+        let a = healthy.observe(0.3, 1.0);
+        let b = dropped.observe(0.3, 1.0);
+        assert!((a - 0.3).abs() < 1e-9);
+        assert!((b - 0.5).abs() < 1e-9, "worst-case deficit: {b}");
+        // Recovery restores the normal fusion.
+        dropped.set_confidence_failed(false);
+        assert!((dropped.observe(0.3, 1.0) - 0.3).abs() < 1e-9);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Per-tick records and whole-run aggregates.
 
+use crate::faults::OperatingState;
 use reprune_platform::{Joules, Seconds};
 use reprune_scenario::{SegmentKind, Weather};
 use serde::{Deserialize, Serialize};
@@ -40,6 +41,19 @@ pub struct TickRecord {
     pub segment: SegmentKind,
     /// Weather at this tick.
     pub weather: Weather,
+    /// Rung of the degradation state machine during this tick.
+    pub op_state: OperatingState,
+    /// Effective fault injections that landed this tick.
+    pub faults_injected: u32,
+    /// Whether the armed defense detected a fault this tick.
+    pub fault_detected: bool,
+    /// Whether a repair or fallback restore completed this tick.
+    pub fault_repaired: bool,
+    /// Ground truth: this inference ran on weights differing from the
+    /// never-faulted twin (invisible to the runtime's own defense).
+    pub corrupt_inference: bool,
+    /// Inference plus synchronous repair work overran the control period.
+    pub deadline_miss: bool,
 }
 
 /// Aggregated result of driving one scenario under one policy.
@@ -49,6 +63,8 @@ pub struct RunResult {
     pub policy: String,
     /// Restore-mechanism name.
     pub mechanism: String,
+    /// Fault-defense tier name.
+    pub defense: String,
     /// Per-tick records.
     pub records: Vec<TickRecord>,
     /// Total energy (inference + transitions).
@@ -61,6 +77,15 @@ pub struct RunResult {
     pub recovery_latencies: Vec<f64>,
     /// Number of ladder transitions executed.
     pub transitions: usize,
+    /// Effective fault injections over the run.
+    pub faults_injected: usize,
+    /// Faults the armed defense noticed.
+    pub faults_detected: usize,
+    /// Faults resolved by repair or a successful fallback restore.
+    pub faults_repaired: usize,
+    /// Completed fault episodes (state machine leaves Normal → returns
+    /// to Normal), seconds — the mean is the MTTR headline.
+    pub fault_recovery_latencies: Vec<f64>,
 }
 
 impl RunResult {
@@ -156,17 +181,79 @@ impl RunResult {
             .count()
     }
 
+    /// Fraction of effective fault injections the defense detected, or
+    /// `None` when no fault was injected.
+    pub fn detection_rate(&self) -> Option<f64> {
+        if self.faults_injected == 0 {
+            None
+        } else {
+            Some(self.faults_detected as f64 / self.faults_injected as f64)
+        }
+    }
+
+    /// Mean time to recover: mean seconds from leaving `Normal` to
+    /// returning to it, over completed fault episodes.
+    pub fn mean_time_to_recover(&self) -> Option<f64> {
+        if self.fault_recovery_latencies.is_empty() {
+            None
+        } else {
+            Some(
+                self.fault_recovery_latencies.iter().sum::<f64>()
+                    / self.fault_recovery_latencies.len() as f64,
+            )
+        }
+    }
+
+    /// Ticks whose inference ran on ground-truth-corrupted weights.
+    pub fn corrupt_inference_ticks(&self) -> usize {
+        self.records.iter().filter(|r| r.corrupt_inference).count()
+    }
+
+    /// Corrupt-inference ticks served while the runtime believed it was
+    /// `Normal` — the silent-corruption number the paper's safety
+    /// argument hinges on.
+    pub fn silent_corruption_ticks(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.corrupt_inference && r.op_state == OperatingState::Normal)
+            .count()
+    }
+
+    /// Ticks spent in [`OperatingState::Degraded`].
+    pub fn degraded_ticks(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.op_state == OperatingState::Degraded)
+            .count()
+    }
+
+    /// Ticks spent in [`OperatingState::MinimalRisk`].
+    pub fn minimal_risk_ticks(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.op_state == OperatingState::MinimalRisk)
+            .count()
+    }
+
+    /// Ticks whose inference + synchronous repair work overran the
+    /// control period (as flagged per tick by the runtime).
+    pub fn deadline_miss_ticks(&self) -> usize {
+        self.records.iter().filter(|r| r.deadline_miss).count()
+    }
+
     /// Serializes the per-tick records as CSV (with header), for external
     /// plotting of the timeline figures.
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
             "t,true_risk,estimated_risk,level,sparsity,max_allowed_level,odd_exit,violation,\
              correct,confidence,inference_energy_j,inference_latency_s,\
-             transition_energy_j,transition_latency_s,segment,weather\n",
+             transition_energy_j,transition_latency_s,segment,weather,\
+             op_state,faults_injected,fault_detected,fault_repaired,\
+             corrupt_inference,deadline_miss\n",
         );
         for r in &self.records {
             out.push_str(&format!(
-                "{:.3},{:.4},{:.4},{},{:.3},{},{},{},{},{:.4},{:.6e},{:.6e},{:.6e},{:.6e},{},{}\n",
+                "{:.3},{:.4},{:.4},{},{:.3},{},{},{},{},{:.4},{:.6e},{:.6e},{:.6e},{:.6e},{},{},{},{},{},{},{},{}\n",
                 r.t,
                 r.true_risk,
                 r.estimated_risk,
@@ -183,6 +270,12 @@ impl RunResult {
                 r.transition_latency.0,
                 r.segment,
                 r.weather,
+                r.op_state,
+                r.faults_injected,
+                r.fault_detected as u8,
+                r.fault_repaired as u8,
+                r.corrupt_inference as u8,
+                r.deadline_miss as u8,
             ));
         }
         out
@@ -221,6 +314,12 @@ mod tests {
             transition_latency: Seconds::ZERO,
             segment: SegmentKind::Urban,
             weather: Weather::Clear,
+            op_state: OperatingState::Normal,
+            faults_injected: 0,
+            fault_detected: false,
+            fault_repaired: false,
+            corrupt_inference: false,
+            deadline_miss: false,
         }
     }
 
@@ -229,11 +328,16 @@ mod tests {
         RunResult {
             policy: "test".into(),
             mechanism: "delta-log".into(),
+            defense: "full-chain".into(),
             total_energy: Joules(records.len() as f64),
             dense_energy: Joules(2.0 * records.len() as f64),
             violations,
             recovery_latencies: vec![0.1, 0.3, 0.2],
             transitions: 2,
+            faults_injected: 0,
+            faults_detected: 0,
+            faults_repaired: 0,
+            fault_recovery_latencies: Vec::new(),
             records,
         }
     }
@@ -302,10 +406,44 @@ mod tests {
         let lines: Vec<&str> = csv.trim_end().lines().collect();
         assert_eq!(lines.len(), 3, "header + 2 rows");
         assert!(lines[0].starts_with("t,true_risk"));
-        assert_eq!(lines[0].split(',').count(), 16);
-        assert_eq!(lines[1].split(',').count(), 16);
+        assert!(lines[0].ends_with("corrupt_inference,deadline_miss"));
+        assert_eq!(lines[0].split(',').count(), 22);
+        assert_eq!(lines[1].split(',').count(), 22);
         assert!(lines[2].contains(",1,"), "violation flag serialized");
-        assert!(lines[1].ends_with("urban,clear"));
+        assert!(lines[1].contains("urban,clear,normal"));
+    }
+
+    #[test]
+    fn fault_aggregates() {
+        let mut corrupt_silent = record(0, false, 0.1, false);
+        corrupt_silent.corrupt_inference = true; // op_state stays Normal
+        let mut corrupt_loud = record(0, false, 0.1, false);
+        corrupt_loud.corrupt_inference = true;
+        corrupt_loud.op_state = OperatingState::MinimalRisk;
+        let mut degraded = record(1, true, 0.1, false);
+        degraded.op_state = OperatingState::Degraded;
+        degraded.deadline_miss = true;
+        let mut r = result(vec![
+            record(0, true, 0.1, false),
+            corrupt_silent,
+            corrupt_loud,
+            degraded,
+        ]);
+        r.faults_injected = 4;
+        r.faults_detected = 3;
+        r.faults_repaired = 2;
+        r.fault_recovery_latencies = vec![0.5, 1.5];
+        assert_eq!(r.detection_rate(), Some(0.75));
+        assert_eq!(r.mean_time_to_recover(), Some(1.0));
+        assert_eq!(r.corrupt_inference_ticks(), 2);
+        assert_eq!(r.silent_corruption_ticks(), 1);
+        assert_eq!(r.degraded_ticks(), 1);
+        assert_eq!(r.minimal_risk_ticks(), 1);
+        assert_eq!(r.deadline_miss_ticks(), 1);
+        let clean = result(vec![record(0, true, 0.1, false)]);
+        assert_eq!(clean.detection_rate(), None);
+        assert_eq!(clean.mean_time_to_recover(), None);
+        assert_eq!(clean.silent_corruption_ticks(), 0);
     }
 
     #[test]

@@ -132,6 +132,119 @@ impl RiskEvent {
     }
 }
 
+/// Kind of injected platform/runtime fault.
+///
+/// Unlike [`EventKind`] risk events — which model the *world* getting
+/// more dangerous — fault events model the *recovery machinery itself*
+/// being corrupted, slow, or unavailable. They are scheduled on the
+/// scenario timeline and consumed by the runtime's fault plan, which
+/// maps each kind onto the matching injection hook (reversal-log
+/// corruption in `prune`, storage-health degradation in `platform`,
+/// sensor blackouts in the monitor, deadline overruns in Execute).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The risk sensor goes dark for `duration_s` seconds (the
+    /// pre-existing blackout fault, now schedulable).
+    SensorBlackout {
+        /// Outage length in seconds.
+        duration_s: f64,
+    },
+    /// The model-confidence signal drops out for `duration_s` seconds.
+    ConfidenceDropout {
+        /// Outage length in seconds.
+        duration_s: f64,
+    },
+    /// `flips` random bit-flips land in reversal-log entries.
+    LogBitFlip {
+        /// Number of independent single-bit flips.
+        flips: u32,
+    },
+    /// `flips` random bit-flips land in live (in-RAM) weights.
+    WeightBitFlip {
+        /// Number of independent single-bit flips.
+        flips: u32,
+    },
+    /// Storage reads fail transiently for `duration_s` seconds.
+    StorageTransient {
+        /// Outage length in seconds.
+        duration_s: f64,
+    },
+    /// Storage fails permanently for the rest of the drive.
+    StoragePermanent,
+    /// Storage bandwidth is multiplied by `bandwidth_factor` (< 1) for
+    /// `duration_s` seconds — a thermally throttled or worn eMMC.
+    StorageDegraded {
+        /// Multiplier applied to storage bandwidth, in `(0, 1]`.
+        bandwidth_factor: f64,
+        /// Degradation length in seconds.
+        duration_s: f64,
+    },
+    /// The Execute stage overruns its budget by `extra_ms` milliseconds
+    /// on every tick for `duration_s` seconds (CPU contention, thermal
+    /// throttling of the accelerator).
+    ExecOverrun {
+        /// Extra per-tick latency in milliseconds.
+        extra_ms: f64,
+        /// Overrun window length in seconds.
+        duration_s: f64,
+    },
+}
+
+impl FaultKind {
+    /// How long the fault stays active after onset. Instantaneous
+    /// faults (bit-flips) report zero; permanent ones report infinity.
+    pub fn duration_s(self) -> f64 {
+        match self {
+            FaultKind::SensorBlackout { duration_s }
+            | FaultKind::ConfidenceDropout { duration_s }
+            | FaultKind::StorageTransient { duration_s }
+            | FaultKind::StorageDegraded { duration_s, .. }
+            | FaultKind::ExecOverrun { duration_s, .. } => duration_s,
+            FaultKind::LogBitFlip { .. } | FaultKind::WeightBitFlip { .. } => 0.0,
+            FaultKind::StoragePermanent => f64::INFINITY,
+        }
+    }
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultKind::SensorBlackout { .. } => write!(f, "sensor-blackout"),
+            FaultKind::ConfidenceDropout { .. } => write!(f, "confidence-dropout"),
+            FaultKind::LogBitFlip { flips } => write!(f, "log-bit-flip×{flips}"),
+            FaultKind::WeightBitFlip { flips } => write!(f, "weight-bit-flip×{flips}"),
+            FaultKind::StorageTransient { .. } => write!(f, "storage-transient"),
+            FaultKind::StoragePermanent => write!(f, "storage-permanent"),
+            FaultKind::StorageDegraded { .. } => write!(f, "storage-degraded"),
+            FaultKind::ExecOverrun { .. } => write!(f, "exec-overrun"),
+        }
+    }
+}
+
+/// One scheduled fault on a scenario timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Onset time (seconds from scenario start).
+    pub start_s: f64,
+    /// What breaks.
+    pub kind: FaultKind,
+}
+
+impl FaultEvent {
+    /// End of the fault's active window (equals `start_s` for
+    /// instantaneous faults).
+    pub fn end_s(&self) -> f64 {
+        self.start_s + self.kind.duration_s()
+    }
+
+    /// Whether the fault is active at absolute time `t`. Instantaneous
+    /// faults are never *active*; they fire exactly once when the
+    /// timeline crosses `start_s`.
+    pub fn is_active_at(&self, t: f64) -> bool {
+        t >= self.start_s && t < self.end_s()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,5 +313,39 @@ mod tests {
     #[test]
     fn display_names() {
         assert_eq!(EventKind::CutIn.to_string(), "cut-in");
+    }
+
+    #[test]
+    fn fault_windows() {
+        let transient = FaultEvent {
+            start_s: 10.0,
+            kind: FaultKind::StorageTransient { duration_s: 5.0 },
+        };
+        assert!(!transient.is_active_at(9.9));
+        assert!(transient.is_active_at(10.0));
+        assert!(transient.is_active_at(14.9));
+        assert!(!transient.is_active_at(15.0));
+
+        let flip = FaultEvent {
+            start_s: 3.0,
+            kind: FaultKind::LogBitFlip { flips: 2 },
+        };
+        assert_eq!(flip.end_s(), 3.0);
+        assert!(!flip.is_active_at(3.0));
+
+        let dead = FaultEvent {
+            start_s: 1.0,
+            kind: FaultKind::StoragePermanent,
+        };
+        assert!(dead.is_active_at(1.0e9));
+    }
+
+    #[test]
+    fn fault_display_names() {
+        assert_eq!(
+            FaultKind::LogBitFlip { flips: 3 }.to_string(),
+            "log-bit-flip×3"
+        );
+        assert_eq!(FaultKind::StoragePermanent.to_string(), "storage-permanent");
     }
 }

@@ -1,6 +1,6 @@
 //! Scenario generation: segments + weather + events → a risk timeline.
 
-use crate::events::{EventKind, RiskEvent};
+use crate::events::{EventKind, FaultEvent, RiskEvent};
 use crate::risk::{SegmentKind, Weather};
 use reprune_tensor::rng::Prng;
 use serde::{Deserialize, Serialize};
@@ -165,6 +165,7 @@ impl ScenarioConfig {
             config: self,
             ticks,
             events,
+            faults: Vec::new(),
         }
     }
 }
@@ -186,12 +187,14 @@ fn pick_weighted(rng: &mut Prng, options: &[(SegmentKind, f64)]) -> SegmentKind 
     options.last().expect("non-empty successors").0
 }
 
-/// A fully generated drive: the tick timeline plus the injected events.
+/// A fully generated drive: the tick timeline plus the injected events
+/// and any scheduled platform faults.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Scenario {
     config: ScenarioConfig,
     ticks: Vec<Tick>,
     events: Vec<RiskEvent>,
+    faults: Vec<FaultEvent>,
 }
 
 impl Scenario {
@@ -208,6 +211,21 @@ impl Scenario {
     /// The injected events, in onset order.
     pub fn events(&self) -> &[RiskEvent] {
         &self.events
+    }
+
+    /// The scheduled platform faults, in onset order.
+    pub fn faults(&self) -> &[FaultEvent] {
+        &self.faults
+    }
+
+    /// Attaches a fault schedule to the drive. Faults are sorted by
+    /// onset time; scheduling is separate from [`ScenarioConfig`] so
+    /// the same seeded world can be replayed under different fault
+    /// campaigns.
+    pub fn with_faults(mut self, mut faults: Vec<FaultEvent>) -> Self {
+        faults.sort_by(|a, b| a.start_s.total_cmp(&b.start_s));
+        self.faults = faults;
+        self
     }
 
     /// Drive duration in seconds.

@@ -35,7 +35,7 @@ mod generator;
 mod odd;
 mod risk;
 
-pub use events::{EventKind, RiskEvent};
+pub use events::{EventKind, FaultEvent, FaultKind, RiskEvent};
 pub use generator::{Scenario, ScenarioConfig, Tick};
 pub use odd::OddSpec;
 pub use risk::{SegmentKind, Weather};

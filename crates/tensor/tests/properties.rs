@@ -61,7 +61,7 @@ proptest! {
     #[test]
     fn reshape_preserves_sum(a in tensor_strategy(60)) {
         let n = a.len();
-        if n % 2 == 0 {
+        if n.is_multiple_of(2) {
             let r = a.reshape(&[2, n / 2]).unwrap();
             prop_assert_eq!(r.sum(), a.sum());
         }

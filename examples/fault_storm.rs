@@ -1,0 +1,105 @@
+//! An urban drive through a fault storm: mid-scenario, bit-flips start
+//! hitting the reversal log and the live weights while storage suffers
+//! outages and bandwidth collapses. The full defense chain (scrub +
+//! shadow repair + snapshot + storage-reload backoff) rides it out;
+//! the timeline below shows every degradation-state change as it
+//! happens.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release -p reprune --example fault_storm
+//! ```
+
+use reprune::nn::models;
+use reprune::prune::{LadderConfig, PruneCriterion};
+use reprune::runtime::envelope::SafetyEnvelope;
+use reprune::runtime::manager::{RuntimeManager, RuntimeManagerConfig};
+use reprune::runtime::policy::{AdaptiveConfig, Policy};
+use reprune::runtime::{storm_events, FaultDefense, StormConfig};
+use reprune::scenario::{ScenarioConfig, SegmentKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = ScenarioConfig::new()
+        .duration_s(180.0)
+        .seed(23)
+        .start_segment(SegmentKind::Urban)
+        .event_rate_scale(0.4)
+        .generate();
+    // The storm opens 40 s in and rages for 100 s.
+    let storm = storm_events(&StormConfig::severe(40.0, 140.0), 23);
+    println!(
+        "urban drive, 180 s; storm of {} faults over [40 s, 140 s):",
+        storm.len()
+    );
+    for ev in &storm {
+        println!("  t={:6.1} s  {:?}", ev.start_s, ev.kind);
+    }
+    let scenario = scenario.with_faults(storm);
+
+    let net = models::default_perception_cnn(9)?;
+    let ladder = LadderConfig::new(vec![0.0, 0.3, 0.6, 0.9])
+        .criterion(PruneCriterion::ChannelL2)
+        .build(&net)?;
+    let envelope = SafetyEnvelope::new(vec![0.6, 0.4, 0.2])?;
+    let mut mgr = RuntimeManager::attach(
+        net.clone(),
+        ladder,
+        RuntimeManagerConfig::new(Policy::adaptive(AdaptiveConfig::default()), envelope)
+            .defense(FaultDefense::FullChain)
+            .frame_seed(23),
+    )?;
+    let r = mgr.run(&scenario)?;
+
+    // Degradation-state timeline: print every transition with the
+    // ladder level at that instant.
+    println!("\ndegradation timeline:");
+    let mut last = None;
+    for rec in &r.records {
+        if last != Some(rec.op_state) {
+            println!(
+                "  t={:6.1} s  -> {:<12}  (ladder level {}, est. risk {:.2})",
+                rec.t,
+                rec.op_state.to_string(),
+                rec.level,
+                rec.estimated_risk
+            );
+            last = Some(rec.op_state);
+        }
+    }
+
+    println!("\ncampaign summary:");
+    println!("  faults injected        {}", r.faults_injected);
+    println!(
+        "  detected / repaired    {} / {}",
+        r.faults_detected, r.faults_repaired
+    );
+    if let Some(mttr) = r.mean_time_to_recover() {
+        println!("  mean time to recover   {mttr:.2} s");
+    }
+    println!(
+        "  degraded / min-risk    {} / {} ticks",
+        r.degraded_ticks(),
+        r.minimal_risk_ticks()
+    );
+    println!("  deadline misses        {}", r.deadline_miss_ticks());
+    println!(
+        "  corrupt inferences     {} ({} silent)",
+        r.corrupt_inference_ticks(),
+        r.silent_corruption_ticks()
+    );
+    println!("  safety violations      {}", r.violations);
+    println!(
+        "  energy saved           {:.1}%",
+        100.0 * r.energy_saved_fraction()
+    );
+
+    assert_eq!(
+        r.silent_corruption_ticks(),
+        0,
+        "the full chain never serves corruption silently"
+    );
+    println!("\nevery corrupted tick above was *announced* — the runtime was in a");
+    println!("degraded or minimal-risk state while it healed. Re-run with");
+    println!("FaultDefense::None to watch the same storm pass unnoticed.");
+    Ok(())
+}

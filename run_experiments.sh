@@ -8,7 +8,7 @@ for b in fig1_accuracy_sparsity fig2_latency_energy fig3_timeline \
          fig7_iterative_pruning fig8_estimator_ablation \
          tab1_restore_cost tab2_memory_overhead tab3_policy_comparison \
          tab4_log_precision tab5_compaction tab6_fleet_budget \
-         tab7_odd_enforcement; do
+         tab7_odd_enforcement tab8_fault_campaign; do
   echo "==================== $b ===================="
   ./target/release/"$b"
   echo

@@ -1,0 +1,164 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the subset of the criterion API used by the reprune bench
+//! suites — `Criterion::benchmark_group` / `bench_function`,
+//! `Bencher::iter` / `iter_batched`, `BatchSize`, and the
+//! `criterion_group!` / `criterion_main!` macros — backed by a simple
+//! warmup-then-measure loop over `std::time::Instant`. No statistical
+//! analysis, outlier rejection, plotting, or saved baselines: each
+//! benchmark prints a single mean time per iteration. Good enough to
+//! keep `cargo bench` runnable (and the bench code compiling under
+//! `cargo test`) without the registry.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortises setup; all variants behave the same
+/// here (one setup per measured iteration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumIterations(u64),
+}
+
+/// Collects timing for one benchmark routine.
+pub struct Bencher {
+    warmup_iters: u32,
+    measure_time: Duration,
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            warmup_iters: 3,
+            measure_time: Duration::from_millis(20),
+            elapsed: Duration::ZERO,
+            iters: 0,
+        }
+    }
+
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..self.warmup_iters {
+            black_box(routine());
+        }
+        let deadline = Instant::now() + self.measure_time;
+        let start = Instant::now();
+        loop {
+            black_box(routine());
+            self.iters += 1;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..self.warmup_iters {
+            let input = setup();
+            black_box(routine(input));
+        }
+        let deadline = Instant::now() + self.measure_time;
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.iters == 0 {
+            println!("{id:<48} (no iterations)");
+            return;
+        }
+        let per_iter = self.elapsed.as_nanos() as f64 / self.iters as f64;
+        let (value, unit) = if per_iter >= 1.0e9 {
+            (per_iter / 1.0e9, "s")
+        } else if per_iter >= 1.0e6 {
+            (per_iter / 1.0e6, "ms")
+        } else if per_iter >= 1.0e3 {
+            (per_iter / 1.0e3, "us")
+        } else {
+            (per_iter, "ns")
+        };
+        println!("{id:<48} {value:>10.2} {unit}/iter  ({} iters)", self.iters);
+    }
+}
+
+/// Entry point handed to each benchmark target.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        b.report(&id.into());
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id.into()));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

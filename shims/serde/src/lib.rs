@@ -1,0 +1,36 @@
+//! Offline stand-in for the `serde` facade crate.
+//!
+//! The reprune workspace uses serde exclusively through
+//! `#[derive(Serialize, Deserialize)]` (plus `#[serde(skip)]` field
+//! attributes); no code path serializes anything through serde at
+//! runtime — model persistence is the hand-rolled format in
+//! `reprune-nn::serialize`. This shim therefore only has to make the
+//! derive syntax compile in an offline build:
+//!
+//! * `Serialize` / `Deserialize` are marker traits with blanket impls,
+//!   so every type trivially satisfies any `T: Serialize` bound.
+//! * The derive macros (re-exported from the sibling `serde_derive`
+//!   shim) accept the real attribute grammar and expand to nothing.
+//!
+//! If a future PR needs actual serialization, replace this shim with a
+//! vendored copy of the real crate; the API surface used by the
+//! workspace is intentionally kept to the subset above so the swap is
+//! mechanical.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize`; blanket-implemented.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker counterpart of `serde::Deserialize`; blanket-implemented.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker counterpart of `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+pub mod de {
+    pub use super::DeserializeOwned;
+}
