@@ -2,13 +2,20 @@
 //! pruning still pay off on a microcontroller-class platform, and how
 //! much worse does the reload baseline get?
 //!
+//! The platform × (policy, mechanism) grid is fanned out with
+//! `reprune_bench::run_sharded`; every cell is a pure function of its grid
+//! coordinates (fixed scenario and frame seeds), so the merged table is
+//! byte-identical to a serial sweep.
+//!
 //! Run with: `cargo run --release -p reprune-bench --bin fig6_platform_sweep`
 
 use reprune::platform::SocModel;
 use reprune::runtime::manager::{RestoreMechanism, RuntimeManager, RuntimeManagerConfig};
 use reprune::runtime::policy::{AdaptiveConfig, Policy};
 use reprune::scenario::{ScenarioConfig, SegmentKind};
-use reprune_bench::{print_row, print_rule, standard_envelope, standard_ladder, trained_perception};
+use reprune_bench::{
+    print_row, print_rule, run_sharded, standard_envelope, standard_ladder, trained_perception,
+};
 
 fn main() {
     let (net, _) = trained_perception(55);
@@ -37,8 +44,19 @@ fn main() {
     );
     print_rule(&widths);
 
-    let mut reload_viols = Vec::new();
-    for (soc, scale, dt) in &platforms {
+    // Flatten the sweep grid into independent jobs for the worker pool.
+    let configs = [
+        (Policy::adaptive(AdaptiveConfig::default()), RestoreMechanism::DeltaLog),
+        (Policy::Oracle, RestoreMechanism::DeltaLog),
+        (Policy::Oracle, RestoreMechanism::StorageReload),
+    ];
+    let grid: Vec<(usize, usize)> = (0..platforms.len())
+        .flat_map(|p| (0..configs.len()).map(move |c| (p, c)))
+        .collect();
+    let results = run_sharded(grid.len(), |i| {
+        let (p, c) = grid[i];
+        let (soc, scale, dt) = &platforms[p];
+        let (policy, mech) = &configs[c];
         let scenario = ScenarioConfig::new()
             .duration_s(240.0)
             .dt_s(*dt)
@@ -46,37 +64,38 @@ fn main() {
             .start_segment(SegmentKind::Urban)
             .event_rate_scale(2.0)
             .generate();
-        for (policy, mech) in [
-            (Policy::adaptive(AdaptiveConfig::default()), RestoreMechanism::DeltaLog),
-            (Policy::Oracle, RestoreMechanism::DeltaLog),
-            (Policy::Oracle, RestoreMechanism::StorageReload),
-        ] {
-            let mut mgr = RuntimeManager::attach(
-                net.clone(),
-                standard_ladder(&net),
-                RuntimeManagerConfig::new(policy.clone(), standard_envelope())
-                    .mechanism(mech)
-                    .soc(soc.clone())
-                    .scale(*scale)
-                    .frame_seed(5),
-            )
-            .expect("attach");
-            let r = mgr.run(&scenario).expect("run");
-            if mech == RestoreMechanism::StorageReload {
-                reload_viols.push((soc.name.clone(), r.violations));
-            }
-            print_row(
-                &[
-                    soc.name.clone(),
-                    r.mechanism.clone(),
-                    r.policy.clone(),
-                    format!("{:.1}", 100.0 * r.energy_saved_fraction()),
-                    format!("{}", r.violations),
-                ],
-                &widths,
-            );
+        let mut mgr = RuntimeManager::attach(
+            net.clone(),
+            standard_ladder(&net),
+            RuntimeManagerConfig::new(policy.clone(), standard_envelope())
+                .mechanism(*mech)
+                .soc(soc.clone())
+                .scale(*scale)
+                .frame_seed(5),
+        )
+        .expect("attach");
+        mgr.run(&scenario).expect("run")
+    });
+
+    let mut reload_viols = Vec::new();
+    for ((p, c), r) in grid.iter().zip(&results) {
+        let soc = &platforms[*p].0;
+        if configs[*c].1 == RestoreMechanism::StorageReload {
+            reload_viols.push((soc.name.clone(), r.violations));
         }
-        print_rule(&widths);
+        print_row(
+            &[
+                soc.name.clone(),
+                r.mechanism.clone(),
+                r.policy.clone(),
+                format!("{:.1}", 100.0 * r.energy_saved_fraction()),
+                format!("{}", r.violations),
+            ],
+            &widths,
+        );
+        if *c + 1 == configs.len() {
+            print_rule(&widths);
+        }
     }
 
     // Shape checks: the delta mechanism keeps the oracle violation-free on

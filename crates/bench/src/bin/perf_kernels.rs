@@ -1,0 +1,250 @@
+//! Kernel benchmark trajectory — machine-readable latency report for the
+//! sparsity-aware compute engine (`BENCH_kernels.json`).
+//!
+//! Unlike the figure/table binaries this emits JSON, so kernel latency is
+//! trackable as a trajectory across commits. Measured (median / p95 over
+//! interleaved batches, see `reprune_bench::perf`):
+//!
+//! * tiled vs naive matmul at square sizes up to 256³,
+//! * the im2col + GEMM conv forward at the reference first-layer shape,
+//! * a restore-from-log round trip (prune to the top level and back),
+//! * the end-to-end inference tick (`predict_with`) at every ladder
+//!   density from 1.00 down to 0.25,
+//! * steady-state arena allocation events (must be zero).
+//!
+//! `--quick` shrinks sizes and batch counts for CI smoke and skips the
+//! *timing* assertions — quick mode fails only on a panic (a real bug),
+//! never on a noisy-runner timing regression. Full mode asserts the
+//! acceptance shape: tiled ≥ 3× naive at 256³, tick latency strictly
+//! decreasing as density drops, zero steady-state allocations.
+//!
+//! Run with:
+//! `cargo run --release -p reprune-bench --bin perf_kernels [-- --quick] [-- --out path]`
+
+use reprune::nn::dataset::{render_scene, SceneContext};
+use reprune::nn::{models, Scratch};
+use reprune::prune::{ladder_plans, LadderConfig, PruneCriterion, ReversiblePruner};
+use reprune::tensor::conv::{self, Conv2dSpec};
+use reprune::tensor::linalg::{self, GemmScratch};
+use reprune::tensor::rng::Prng;
+use reprune::tensor::Tensor;
+use reprune_bench::perf::{measure, measure_pair, report_json, KernelStat};
+
+fn random_tensor(dims: &[usize], rng: &mut Prng) -> Tensor {
+    let volume: usize = dims.iter().product();
+    let data: Vec<f32> = (0..volume).map(|_| rng.next_uniform(-1.0, 1.0)).collect();
+    Tensor::from_vec(data, dims).expect("volume matches dims")
+}
+
+struct Cfg {
+    quick: bool,
+    out_path: String,
+    /// Square matmul sizes (n for n×n×n), ascending; the last is the
+    /// headline tiled-vs-naive comparison.
+    matmul_sizes: Vec<(usize, u32)>, // (n, iters_per_batch)
+    batches: usize,
+    conv_iters: u32,
+    restore_iters: u32,
+    tick_iters: u32,
+    steady_ticks: usize,
+}
+
+fn parse_args() -> Cfg {
+    let mut quick = false;
+    let mut out_path = String::from("BENCH_kernels.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            other => panic!("unknown argument {other:?} (expected --quick / --out <path>)"),
+        }
+    }
+    if quick {
+        Cfg {
+            quick,
+            out_path,
+            matmul_sizes: vec![(48, 8), (96, 4)],
+            batches: 5,
+            conv_iters: 20,
+            restore_iters: 2,
+            tick_iters: 5,
+            steady_ticks: 12,
+        }
+    } else {
+        Cfg {
+            quick,
+            out_path,
+            matmul_sizes: vec![(64, 40), (128, 10), (256, 4)],
+            batches: 25,
+            conv_iters: 200,
+            restore_iters: 4,
+            tick_iters: 40,
+            steady_ticks: 60,
+        }
+    }
+}
+
+fn main() {
+    let cfg = parse_args();
+    let mode = if cfg.quick { "quick" } else { "full" };
+    let isa = linalg::active_isa();
+    println!("perf_kernels ({mode} mode, isa {isa}) -> {}", cfg.out_path);
+
+    let mut rng = Prng::new(0x5EED);
+    let mut stats: Vec<KernelStat> = Vec::new();
+    let mut derived: Vec<(String, String)> = Vec::new();
+
+    // --- 1. Tiled vs naive matmul, interleaved batches per size. ---
+    let mut last_speedup = 0.0;
+    let mut last_size = 0;
+    for &(n, iters) in &cfg.matmul_sizes {
+        let a = random_tensor(&[n, n], &mut rng);
+        let b = random_tensor(&[n, n], &mut rng);
+        let pair = measure_pair(
+            &format!("matmul_tiled_{n}"),
+            &format!("matmul_naive_{n}"),
+            cfg.batches,
+            iters,
+            || linalg::matmul(&a, &b).expect("square matmul"),
+            || linalg::matmul_naive(&a, &b).expect("square matmul"),
+        );
+        // Median of per-pair ratios: immune to the slow frequency /
+        // co-tenant drift that makes independent medians jitter.
+        last_speedup = pair.ratio_b_over_a;
+        last_size = n;
+        println!(
+            "  matmul {n}³: tiled {:.0} ns, naive {:.0} ns ({last_speedup:.2}x)",
+            pair.a.median_ns, pair.b.median_ns
+        );
+        stats.push(pair.a);
+        stats.push(pair.b);
+    }
+    derived.push((
+        format!("speedup_tiled_over_naive_{last_size}"),
+        format!("{last_speedup:.3}"),
+    ));
+
+    // --- 2. Conv forward at the reference first-layer shape. ---
+    {
+        let input = random_tensor(&[1, 32, 32], &mut rng);
+        let weight = random_tensor(&[16, 1, 3, 3], &mut rng);
+        let bias = random_tensor(&[16], &mut rng);
+        let spec = Conv2dSpec::square(3, 1, 1);
+        let mut cols = Tensor::default();
+        let mut out = Tensor::default();
+        let mut gemm = GemmScratch::new();
+        stats.push(measure("conv2d_16c_3x3_32x32", cfg.batches, cfg.conv_iters, || {
+            conv::conv2d_into(&input, &weight, &bias, spec, None, &mut cols, &mut out, &mut gemm)
+                .expect("reference conv shape")
+        }));
+    }
+
+    // --- 3. Restore-from-log round trip on the reference CNN. ---
+    {
+        let mut net = models::default_perception_cnn(11).expect("reference model builds");
+        let ladder = LadderConfig::new(vec![0.0, 0.3, 0.6, 0.9])
+            .criterion(PruneCriterion::ChannelL2)
+            .build(&net)
+            .expect("ladder builds");
+        let mut pruner = ReversiblePruner::attach(&net, ladder).expect("attach");
+        stats.push(measure("restore_roundtrip_L3", cfg.batches, cfg.restore_iters, || {
+            pruner.set_level(&mut net, 3).expect("prune to top");
+            pruner.set_level(&mut net, 0).expect("restore from log");
+        }));
+    }
+
+    // --- 4. End-to-end tick per ladder density (1.00 -> 0.25). ---
+    let (tick_medians, densities, alloc_delta) = {
+        let mut net = models::default_perception_cnn(11).expect("reference model builds");
+        let ladder = LadderConfig::new(vec![0.0, 0.25, 0.5, 0.75])
+            .criterion(PruneCriterion::ChannelL2)
+            .build(&net)
+            .expect("ladder builds");
+        let densities: Vec<f64> = ladder.levels().map(|l| 1.0 - l.sparsity).collect();
+        let plans = ladder_plans(&net, &ladder).expect("plans build");
+        let mut pruner = ReversiblePruner::attach(&net, ladder).expect("attach");
+        let mut frame_rng = Prng::new(3);
+        let sample = render_scene(0, SceneContext::Clear, &mut frame_rng);
+        let mut scratch = Scratch::new();
+
+        // Interleave the levels round-robin (L0,L1,…,L0,L1,… per batch):
+        // a slow-timescale noise burst then lands on every level equally
+        // instead of poisoning one level's median.
+        let mut level_samples: Vec<criterion::SampleStats> =
+            vec![criterion::SampleStats::default(); plans.len()];
+        for (k, plan) in plans.iter().enumerate() {
+            pruner.set_level(&mut net, k).expect("set level");
+            criterion::time_batch(cfg.tick_iters, &mut || {
+                net.predict_with(&sample.input, Some(plan), &mut scratch)
+                    .expect("warmup tick")
+            });
+        }
+        for _ in 0..cfg.batches {
+            for (k, samples) in level_samples.iter_mut().enumerate() {
+                pruner.set_level(&mut net, k).expect("set level");
+                samples.batch_ns.push(criterion::time_batch(cfg.tick_iters, &mut || {
+                    net.predict_with(&sample.input, Some(&plans[k]), &mut scratch)
+                        .expect("inference tick")
+                }));
+            }
+        }
+        let mut tick_medians = Vec::with_capacity(plans.len());
+        for (density, samples) in densities.iter().zip(&level_samples) {
+            let stat = KernelStat::from_samples(
+                &format!("tick_density_{density:.2}"),
+                samples,
+                cfg.tick_iters,
+            );
+            println!("  tick @ density {density:.2}: {:.0} ns", stat.median_ns);
+            tick_medians.push(stat.median_ns);
+            stats.push(stat);
+        }
+
+        // --- 5. Steady state: every buffer is warm at every level, so
+        //        further ticks must not allocate at all. ---
+        let before = scratch.allocation_events();
+        for i in 0..cfg.steady_ticks {
+            let k = i % plans.len();
+            pruner.set_level(&mut net, k).expect("set level");
+            net.predict_with(&sample.input, Some(&plans[k]), &mut scratch)
+                .expect("steady-state tick");
+        }
+        (tick_medians, densities, scratch.allocation_events() - before)
+    };
+    derived.push((
+        "tick_median_ns_by_density".to_string(),
+        format!(
+            "[{}]",
+            densities
+                .iter()
+                .zip(&tick_medians)
+                .map(|(d, ns)| format!("[{d:.2},{ns:.1}]"))
+                .collect::<Vec<_>>()
+                .join(",")
+        ),
+    ));
+    derived.push(("steady_state_alloc_events".to_string(), alloc_delta.to_string()));
+
+    // Deterministic invariant: holds in both modes, noise-free.
+    assert_eq!(alloc_delta, 0, "steady-state inference must not allocate");
+
+    if !cfg.quick {
+        // Timing assertions only in full mode; quick/CI fails on panic,
+        // not on a shared runner's timing noise.
+        assert!(
+            last_speedup >= 3.0,
+            "tiled matmul must be >= 3x naive at {last_size}³ (got {last_speedup:.2}x)"
+        );
+        for w in tick_medians.windows(2) {
+            assert!(
+                w[1] < w[0],
+                "tick latency must strictly decrease with density: {tick_medians:?}"
+            );
+        }
+    }
+
+    let json = report_json(mode, isa, &stats, &derived);
+    std::fs::write(&cfg.out_path, &json).expect("write benchmark report");
+    println!("wrote {} ({} entries)", cfg.out_path, stats.len());
+}

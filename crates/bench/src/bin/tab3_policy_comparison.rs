@@ -1,7 +1,8 @@
 //! Experiment T3 — the end-to-end policy table: energy saved vs safety
 //! violations vs recovery time, mean ± std over 10 seeded scenarios.
 //!
-//! Scenario runs are fanned out across threads with `std::thread::scope`.
+//! Scenario runs are fanned out with `reprune_bench::run_sharded`, which
+//! merges results in scenario order — identical stats to a serial run.
 //! Run with: `cargo run --release -p reprune-bench --bin tab3_policy_comparison`
 
 use reprune::nn::Network;
@@ -9,7 +10,10 @@ use reprune::runtime::manager::{RestoreMechanism, RuntimeManager, RuntimeManager
 use reprune::runtime::policy::{AdaptiveConfig, Policy};
 use reprune::runtime::RunResult;
 use reprune::scenario::{Scenario, ScenarioConfig};
-use reprune_bench::{mean_std, print_row, print_rule, standard_envelope, standard_ladder, trained_perception};
+use reprune_bench::{
+    mean_std, print_row, print_rule, run_sharded, standard_envelope, standard_ladder,
+    trained_perception,
+};
 
 const SEEDS: u64 = 10;
 
@@ -66,18 +70,10 @@ fn main() {
 
     let mut summary: Vec<(String, f64, f64)> = Vec::new(); // (name, saved, violations)
     for (name, make_policy) in &policies {
-        // Fan the scenario runs out across threads.
-        let results: Vec<RunResult> = std::thread::scope(|scope| {
-            let handles: Vec<_> = scenarios
-                .iter()
-                .enumerate()
-                .map(|(i, sc)| {
-                    let net = &net;
-                    scope.spawn(move || run_one(net, sc, make_policy(), i as u64))
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("thread")).collect()
-        });
+        // Fan the scenario runs out across the worker pool; results come
+        // back in scenario order, so the stats below are schedule-free.
+        let results: Vec<RunResult> =
+            run_sharded(scenarios.len(), |i| run_one(&net, &scenarios[i], make_policy(), i as u64));
 
         let saved: Vec<f64> = results.iter().map(|r| 100.0 * r.energy_saved_fraction()).collect();
         let viols: Vec<f64> = results.iter().map(|r| r.violations as f64).collect();

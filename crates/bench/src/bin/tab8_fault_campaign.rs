@@ -15,6 +15,11 @@
 //! * **full-chain** — scrub + shadow repair + snapshot + storage-reload
 //!   fallback: faults are absorbed and the drive completes cleanly.
 //!
+//! The seed × defense grid is fanned out with
+//! `reprune_bench::run_sharded`; each campaign run is a pure function of
+//! its (seed, defense) cell, so the merged table — and the bit-exact
+//! replay check at the end — are identical to a serial sweep.
+//!
 //! Run with: `cargo run --release -p reprune-bench --bin tab8_fault_campaign`
 
 use reprune::runtime::manager::{RuntimeManager, RuntimeManagerConfig};
@@ -22,7 +27,9 @@ use reprune::runtime::policy::{AdaptiveConfig, Policy};
 use reprune::runtime::record::RunResult;
 use reprune::runtime::{storm_events, FaultDefense, StormConfig};
 use reprune::scenario::{Scenario, ScenarioConfig, SegmentKind};
-use reprune_bench::{print_row, print_rule, standard_envelope, standard_ladder, trained_perception};
+use reprune_bench::{
+    print_row, print_rule, run_sharded, standard_envelope, standard_ladder, trained_perception,
+};
 use reprune::nn::Network;
 
 const CAMPAIGN_SEEDS: [u64; 2] = [80, 81];
@@ -78,26 +85,40 @@ fn main() {
     let mut totals: std::collections::BTreeMap<&str, (usize, usize, usize, usize)> =
         std::collections::BTreeMap::new();
     let mut full_chain_runs = Vec::new();
+
+    // Every (seed, defense) cell is independent: fan the whole campaign
+    // out at once and regroup by seed below.
+    type DefenseRow = (&'static str, fn() -> Policy, FaultDefense);
+    let defenses: [DefenseRow; 4] = [
+        ("no-pruning", || Policy::NoPruning, FaultDefense::FullChain),
+        ("no-defense", || Policy::adaptive(AdaptiveConfig::default()), FaultDefense::None),
+        (
+            "checksum-only",
+            || Policy::adaptive(AdaptiveConfig::default()),
+            FaultDefense::ChecksumOnly,
+        ),
+        (
+            "full-chain",
+            || Policy::adaptive(AdaptiveConfig::default()),
+            FaultDefense::FullChain,
+        ),
+    ];
+    let cells: Vec<(u64, usize)> = CAMPAIGN_SEEDS
+        .iter()
+        .flat_map(|&seed| (0..defenses.len()).map(move |d| (seed, d)))
+        .collect();
+    let mut results = run_sharded(cells.len(), |i| {
+        let (seed, d) = cells[i];
+        let (_, make_policy, defense) = defenses[d];
+        run(&net, &campaign(seed), make_policy(), defense)
+    })
+    .into_iter();
+
     for &seed in &CAMPAIGN_SEEDS {
-        let scenario = campaign(seed);
-        let rows: [(&str, RunResult); 4] = [
-            (
-                "no-pruning",
-                run(&net, &scenario, Policy::NoPruning, FaultDefense::FullChain),
-            ),
-            (
-                "no-defense",
-                run(&net, &scenario, adaptive(), FaultDefense::None),
-            ),
-            (
-                "checksum-only",
-                run(&net, &scenario, adaptive(), FaultDefense::ChecksumOnly),
-            ),
-            (
-                "full-chain",
-                run(&net, &scenario, adaptive(), FaultDefense::FullChain),
-            ),
-        ];
+        let rows: Vec<(&str, RunResult)> = defenses
+            .iter()
+            .map(|(name, _, _)| (*name, results.next().expect("one result per cell")))
+            .collect();
         for (name, r) in &rows {
             print_row(
                 &[

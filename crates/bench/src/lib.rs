@@ -4,7 +4,11 @@
 //! reproduced evaluation (see DESIGN.md §4 for the index and
 //! EXPERIMENTS.md for paper-vs-measured). This library holds the pieces
 //! they share: a standard trained perception model, the standard ladder /
-//! envelope, and text-table printing.
+//! envelope, text-table printing, the [`run_sharded`] worker pool the
+//! sweep binaries fan out over, and the [`perf`] measurement runner
+//! behind the kernel benchmark trajectory.
+
+pub mod perf;
 
 use reprune::nn::dataset::{SceneContext, SceneDataset};
 use reprune::nn::train::{train_classifier, TrainConfig};
@@ -88,6 +92,63 @@ pub fn print_rule(widths: &[usize]) {
     println!("{}", line.join("--"));
 }
 
+/// Fans `jobs` independent jobs across a scoped worker pool and returns
+/// the results **in job order**, regardless of which worker ran which job.
+///
+/// Workers pull the next job index from a shared atomic cursor, so the
+/// schedule is nondeterministic — but as long as `f` is a pure function
+/// of its index (per-job RNGs seeded from the index, no shared mutable
+/// state), the merged output is byte-identical to the serial
+/// `(0..jobs).map(f).collect()`. The sweep binaries rely on this to keep
+/// their shape checks and record-level determinism assertions intact
+/// while using every core.
+///
+/// With a single available core (or a single job) the pool degenerates to
+/// the serial loop — no threads are spawned.
+///
+/// # Panics
+///
+/// Propagates a panic from any job.
+pub fn run_sharded<T, F>(jobs: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = std::thread::available_parallelism()
+        .map_or(1, usize::from)
+        .min(jobs.max(1));
+    if workers <= 1 {
+        return (0..jobs).map(f).collect();
+    }
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(jobs);
+    slots.resize_with(jobs, || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut produced = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= jobs {
+                            break;
+                        }
+                        produced.push((i, f(i)));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        // Merge by index, not completion order.
+        for handle in handles {
+            for (i, value) in handle.join().expect("worker panicked") {
+                slots[i] = Some(value);
+            }
+        }
+    });
+    slots.into_iter().map(|s| s.expect("every job ran")).collect()
+}
+
 /// Mean and sample standard deviation of a slice (std 0 for n < 2).
 pub fn mean_std(values: &[f64]) -> (f64, f64) {
     if values.is_empty() {
@@ -113,6 +174,15 @@ mod tests {
         assert!((s - 1.0).abs() < 1e-12);
         assert_eq!(mean_std(&[]), (0.0, 0.0));
         assert_eq!(mean_std(&[5.0]), (5.0, 0.0));
+    }
+
+    #[test]
+    fn run_sharded_matches_serial_in_order() {
+        let parallel = run_sharded(17, |i| i * i + 3);
+        let serial: Vec<usize> = (0..17).map(|i| i * i + 3).collect();
+        assert_eq!(parallel, serial);
+        assert_eq!(run_sharded(0, |i| i), Vec::<usize>::new());
+        assert_eq!(run_sharded(1, |i| i + 1), vec![1]);
     }
 
     #[test]

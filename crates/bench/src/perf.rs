@@ -1,0 +1,175 @@
+//! Programmatic measurement runner for the kernel benchmark trajectory.
+//!
+//! The figure/table binaries print human tables; `perf_kernels` instead
+//! emits machine-readable JSON (`BENCH_kernels.json`) so kernel latency
+//! can be tracked as a trajectory across commits. This module wraps the
+//! criterion shim's sampling primitives ([`criterion::sample_batches`] /
+//! [`criterion::time_batch`]) with named stats and a hand-rolled JSON
+//! writer — no serde_json in the dependency set, and the format is flat
+//! enough that escaping ASCII identifiers is the only need.
+
+use criterion::{time_batch, SampleStats};
+
+/// Summary statistics for one named benchmark routine.
+#[derive(Debug, Clone)]
+pub struct KernelStat {
+    /// Benchmark identifier (stable across runs; used as the JSON key).
+    pub name: String,
+    /// Median of per-batch mean nanoseconds per iteration.
+    pub median_ns: f64,
+    /// 95th percentile of per-batch means.
+    pub p95_ns: f64,
+    /// Number of measured batches.
+    pub batches: usize,
+    /// Iterations per batch.
+    pub iters_per_batch: u32,
+}
+
+impl KernelStat {
+    /// Summarizes raw per-batch samples (for callers that interleave
+    /// several routines' batches themselves).
+    pub fn from_samples(name: &str, stats: &SampleStats, iters_per_batch: u32) -> Self {
+        KernelStat {
+            name: name.to_string(),
+            median_ns: stats.median_ns(),
+            p95_ns: stats.p95_ns(),
+            batches: stats.batch_ns.len(),
+            iters_per_batch,
+        }
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"name\":\"{}\",\"median_ns\":{:.1},\"p95_ns\":{:.1},\"batches\":{},\"iters_per_batch\":{}}}",
+            self.name, self.median_ns, self.p95_ns, self.batches, self.iters_per_batch
+        )
+    }
+}
+
+/// Measures one routine: a warmup batch, then `batches` batches of
+/// `iters_per_batch` calls.
+pub fn measure<O, F: FnMut() -> O>(
+    name: &str,
+    batches: usize,
+    iters_per_batch: u32,
+    routine: F,
+) -> KernelStat {
+    let stats = criterion::sample_batches(batches, iters_per_batch, routine);
+    KernelStat::from_samples(name, &stats, iters_per_batch)
+}
+
+/// Result of an interleaved A/B measurement: both sides' stats plus the
+/// noise-robust speedup estimate.
+#[derive(Debug, Clone)]
+pub struct PairStats {
+    /// Stats for the first routine.
+    pub a: KernelStat,
+    /// Stats for the second routine.
+    pub b: KernelStat,
+    /// Median over batches of the per-pair ratio `b_i / a_i`.
+    ///
+    /// Each B batch is divided by the A batch adjacent in time, so
+    /// slow-timescale noise (frequency transitions, co-tenant load,
+    /// thermal state) hits numerator and denominator in the same state
+    /// and cancels — much tighter run-to-run than the ratio of
+    /// independent medians.
+    pub ratio_b_over_a: f64,
+}
+
+/// Measures two routines with their batches interleaved (A,B,A,B,…) so
+/// slow drift on a noisy shared host (thermal throttling, co-tenant load)
+/// biases both sides equally. Use for paired comparisons whose *ratio* is
+/// the result — e.g. tiled vs naive matmul.
+pub fn measure_pair<OA, OB, FA, FB>(
+    name_a: &str,
+    name_b: &str,
+    batches: usize,
+    iters_per_batch: u32,
+    mut a: FA,
+    mut b: FB,
+) -> PairStats
+where
+    FA: FnMut() -> OA,
+    FB: FnMut() -> OB,
+{
+    // Warm both sides before either is measured.
+    time_batch(iters_per_batch, &mut a);
+    time_batch(iters_per_batch, &mut b);
+    let mut sa = SampleStats::default();
+    let mut sb = SampleStats::default();
+    for _ in 0..batches {
+        sa.batch_ns.push(time_batch(iters_per_batch, &mut a));
+        sb.batch_ns.push(time_batch(iters_per_batch, &mut b));
+    }
+    let ratios = SampleStats {
+        batch_ns: sa
+            .batch_ns
+            .iter()
+            .zip(&sb.batch_ns)
+            .map(|(na, nb)| nb / na)
+            .collect(),
+    };
+    PairStats {
+        a: KernelStat::from_samples(name_a, &sa, iters_per_batch),
+        b: KernelStat::from_samples(name_b, &sb, iters_per_batch),
+        ratio_b_over_a: ratios.median_ns(),
+    }
+}
+
+/// Renders the full benchmark report as pretty-printed JSON.
+///
+/// `derived` entries are `(key, raw JSON value)` pairs — the caller is
+/// responsible for the value being valid JSON (numbers, strings with
+/// quotes, arrays).
+pub fn report_json(mode: &str, isa: &str, stats: &[KernelStat], derived: &[(String, String)]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"reprune-kernel-bench-v1\",\n");
+    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    out.push_str(&format!("  \"isa\": \"{isa}\",\n"));
+    out.push_str("  \"entries\": [\n");
+    for (i, s) in stats.iter().enumerate() {
+        let sep = if i + 1 < stats.len() { "," } else { "" };
+        out.push_str(&format!("    {}{sep}\n", s.json()));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"derived\": {\n");
+    for (i, (k, v)) in derived.iter().enumerate() {
+        let sep = if i + 1 < derived.len() { "," } else { "" };
+        out.push_str(&format!("    \"{k}\": {v}{sep}\n"));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_names_and_counts() {
+        let s = measure("noop", 4, 8, || 1 + 1);
+        assert_eq!(s.name, "noop");
+        assert_eq!(s.batches, 4);
+        assert_eq!(s.iters_per_batch, 8);
+        assert!(s.median_ns >= 0.0 && s.p95_ns >= s.median_ns);
+    }
+
+    #[test]
+    fn pair_measures_both_sides() {
+        let pair = measure_pair("a", "b", 3, 4, || 0u64, || vec![0u8; 64]);
+        assert_eq!(pair.a.batches, 3);
+        assert_eq!(pair.b.batches, 3);
+        assert!(pair.ratio_b_over_a > 0.0);
+    }
+
+    #[test]
+    fn report_is_well_formed() {
+        let stats = vec![measure("x", 2, 2, || ())];
+        let derived = vec![("speedup".to_string(), "3.0".to_string())];
+        let json = report_json("quick", "portable", &stats, &derived);
+        assert!(json.contains("\"schema\": \"reprune-kernel-bench-v1\""));
+        assert!(json.contains("\"name\":\"x\""));
+        assert!(json.contains("\"speedup\": 3.0"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

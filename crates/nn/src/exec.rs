@@ -1,0 +1,102 @@
+//! Sparsity-aware execution plans and the scratch-arena inference path.
+//!
+//! [`ExecPlan`] is the packed row-index form of a structured pruning mask:
+//! for each prunable layer it lists the *live* output rows/channels, so
+//! pruned-level GEMMs iterate only the surviving work and latency tracks
+//! density (the Fig. 2 shape from the paper). [`Scratch`] owns every buffer
+//! the inference forward pass needs — ping-pong activations, the im2col
+//! patch matrix, and the GEMM packing panels — so a steady-state
+//! `forward_with` loop performs zero heap allocations after warmup.
+
+use crate::LayerId;
+use reprune_tensor::linalg::GemmScratch;
+use reprune_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Packed live-row lists per layer, derived from a structured pruning mask.
+///
+/// Layers without an entry execute densely. Row indices are strictly
+/// increasing `u32`s into `0..units` of that layer; `reprune-prune`
+/// produces plans from [`MaskSet`]s (a unit is dead only when *every*
+/// weight element of the unit is pruned, so partially pruned units stay
+/// live and correctness never depends on mask structure).
+///
+/// [`MaskSet`]: https://docs.rs/reprune-prune
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecPlan {
+    live: BTreeMap<LayerId, Vec<u32>>,
+}
+
+impl ExecPlan {
+    /// Creates an empty (fully dense) plan.
+    pub fn new() -> Self {
+        ExecPlan::default()
+    }
+
+    /// Registers the live rows for one layer, replacing any previous entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is not strictly increasing.
+    pub fn set_live_rows(&mut self, layer: LayerId, rows: Vec<u32>) {
+        assert!(
+            rows.windows(2).all(|w| w[0] < w[1]),
+            "live rows for {layer} must be strictly increasing"
+        );
+        self.live.insert(layer, rows);
+    }
+
+    /// The live rows for a layer, if it has a sparse entry.
+    pub fn live_rows(&self, layer: LayerId) -> Option<&[u32]> {
+        self.live.get(&layer).map(Vec::as_slice)
+    }
+
+    /// Number of layers with a sparse entry.
+    pub fn num_sparse_layers(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Whether the plan is fully dense.
+    pub fn is_dense(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// Iterates over `(layer, live rows)` entries in layer order.
+    pub fn iter(&self) -> impl Iterator<Item = (LayerId, &[u32])> {
+        self.live.iter().map(|(id, rows)| (*id, rows.as_slice()))
+    }
+}
+
+/// Reusable buffers for the allocation-free inference path.
+///
+/// Thread one `Scratch` per inference loop (it is cheap to create but the
+/// point is to keep it alive across ticks). [`Scratch::allocation_events`]
+/// counts every buffer growth; on a fixed workload it stops increasing
+/// after the first pass — the no-alloc-after-warmup tests key off this.
+#[derive(Debug, Default)]
+pub struct Scratch {
+    pub(crate) ping: Tensor,
+    pub(crate) pong: Tensor,
+    pub(crate) cols: Tensor,
+    pub(crate) gemm: GemmScratch,
+    pub(crate) tensor_allocs: usize,
+}
+
+impl Scratch {
+    /// Creates an empty arena; buffers grow to fit on first use.
+    pub fn new() -> Self {
+        Scratch::default()
+    }
+
+    /// Total buffer-growth (heap allocation) events so far, across
+    /// activation ping-pong, im2col, and GEMM packing buffers.
+    pub fn allocation_events(&self) -> usize {
+        self.tensor_allocs + self.gemm.allocation_events()
+    }
+
+    /// The output of the most recent `forward_with` call.
+    pub fn output(&self) -> &Tensor {
+        &self.ping
+    }
+}

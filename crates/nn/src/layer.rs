@@ -73,7 +73,7 @@ pub struct AdamState {
 
 /// One trainable parameter with its gradient accumulator and optimizer
 /// state.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Param {
     /// Current value.
     pub value: Tensor,
@@ -86,6 +86,23 @@ pub struct Param {
     /// Adam moment buffers.
     #[serde(skip)]
     pub adam: Option<AdamState>,
+    /// Retired gradient buffer recycled by the next `accumulate` so the
+    /// training loop stops re-allocating gradients every mini-batch.
+    /// Invisible to serialization and equality: purely a capacity cache.
+    #[serde(skip)]
+    spare: Option<Tensor>,
+}
+
+// Manual impl so the `spare` capacity cache never affects equality —
+// two parameters that trained identically must compare equal regardless
+// of which one recycled a buffer.
+impl PartialEq for Param {
+    fn eq(&self, other: &Self) -> bool {
+        self.value == other.value
+            && self.grad == other.grad
+            && self.velocity == other.velocity
+            && self.adam == other.adam
+    }
 }
 
 impl Param {
@@ -96,6 +113,7 @@ impl Param {
             grad: None,
             velocity: None,
             adam: None,
+            spare: None,
         }
     }
 
@@ -108,11 +126,11 @@ impl Param {
     /// Propagates tensor shape errors (cannot occur for well-formed
     /// layers).
     pub fn adam_step(&mut self, step: AdamStep, batch: usize) -> Result<()> {
-        let Some(grad) = self.grad.take() else {
+        let Some(mut g) = self.grad.take() else {
             return Ok(());
         };
         let scale = 1.0 / batch.max(1) as f32;
-        let mut g = grad.scale(scale);
+        g.map_inplace(|v| v * scale);
         if step.weight_decay > 0.0 {
             g.axpy(step.weight_decay, &self.value)?;
         }
@@ -134,6 +152,7 @@ impl Param {
             let v_hat = v / bc2;
             *x -= step.lr * m_hat / (v_hat.sqrt() + step.eps);
         }
+        self.spare = Some(g);
         Ok(())
     }
 
@@ -142,11 +161,18 @@ impl Param {
         self.grad = None;
     }
 
-    /// Adds `g` into the gradient accumulator.
+    /// Adds `g` into the gradient accumulator, recycling a retired
+    /// gradient buffer instead of allocating when one is available.
     pub fn accumulate(&mut self, g: &Tensor) -> Result<()> {
         match &mut self.grad {
             Some(acc) => acc.zip_inplace(g, |a, b| a + b)?,
-            None => self.grad = Some(g.clone()),
+            None => match self.spare.take() {
+                Some(mut buf) => {
+                    buf.copy_from(g);
+                    self.grad = Some(buf);
+                }
+                None => self.grad = Some(g.clone()),
+            },
         }
         Ok(())
     }
@@ -155,11 +181,11 @@ impl Param {
     /// the accumulator. A parameter with no accumulated gradient is left
     /// untouched.
     pub fn sgd_step(&mut self, step: SgdStep, batch: usize) -> Result<()> {
-        let Some(grad) = self.grad.take() else {
+        let Some(mut update) = self.grad.take() else {
             return Ok(());
         };
         let scale = 1.0 / batch.max(1) as f32;
-        let mut update = grad.scale(scale);
+        update.map_inplace(|v| v * scale);
         if step.weight_decay > 0.0 {
             update.axpy(step.weight_decay, &self.value)?;
         }
@@ -175,6 +201,7 @@ impl Param {
         } else {
             self.value.axpy(-step.lr, &update)?;
         }
+        self.spare = Some(update);
         Ok(())
     }
 }
@@ -295,16 +322,51 @@ impl Conv2d {
 
     fn forward(&mut self, x: &Tensor, train: bool) -> Result<Tensor> {
         let spec = self.spec();
-        let y = conv::conv2d(x, &self.weight.value, &self.bias.value, spec)?;
-        if train {
-            let dims = x.dims();
-            self.cached = Some(ConvCache {
-                cols: conv::im2col(x, spec)?,
-                in_dims: [dims[0], dims[1], dims[2]],
-                out_hw: spec.output_hw(dims[1], dims[2])?,
-            });
+        if !train {
+            return Ok(conv::conv2d(x, &self.weight.value, &self.bias.value, spec)?);
         }
-        Ok(y)
+        // Training path: unfold once into the (reused) cache buffer, then
+        // run the GEMM straight off it — no second im2col, no re-allocated
+        // patch matrix across mini-batches.
+        let dims = x.dims();
+        if dims.len() != 3 || dims[0] != self.in_channels() {
+            return Err(NnError::bad_architecture(format!(
+                "Conv2d expects ({},H,W) input, got {dims:?}",
+                self.in_channels()
+            )));
+        }
+        let mut cache = self.cached.take().unwrap_or_else(|| ConvCache {
+            cols: Tensor::default(),
+            in_dims: [0; 3],
+            out_hw: (0, 0),
+        });
+        conv::im2col_into(x, spec, &mut cache.cols)?;
+        cache.in_dims = [dims[0], dims[1], dims[2]];
+        cache.out_hw = spec.output_hw(dims[1], dims[2])?;
+        let (oh, ow) = cache.out_hw;
+        let oc = self.out_channels();
+        let k = self.in_channels() * self.kernel * self.kernel;
+        let mut out = Tensor::zeros(&[oc, oh, ow]);
+        let mut scratch = linalg::GemmScratch::new();
+        linalg::matmul_slices_into(
+            self.weight.value.data(),
+            oc,
+            k,
+            cache.cols.data(),
+            oh * ow,
+            None,
+            out.data_mut(),
+            &mut scratch,
+        );
+        let n = oh * ow;
+        let od = out.data_mut();
+        for (i, &b) in self.bias.value.data().iter().enumerate() {
+            for v in &mut od[i * n..(i + 1) * n] {
+                *v += b;
+            }
+        }
+        self.cached = Some(cache);
+        Ok(out)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
@@ -739,6 +801,98 @@ impl Layer {
             Layer::AvgPool2d(l) => l.forward(x, train),
             Layer::Flatten(l) => l.forward(x, train),
             Layer::Dropout(l) => l.forward(x, train),
+        }
+    }
+
+    /// Allocation-free inference forward: computes this layer's output
+    /// into `out`, reusing `cols` (im2col patches) and `gemm` (packing
+    /// panels) as needed. `live` carries the packed live-row indices from
+    /// an execution plan for prunable layers — pruned rows are skipped in
+    /// the GEMM and zero-filled before the bias, which is numerically
+    /// identical to dense execution over masked weights. Returns `true`
+    /// if any buffer had to grow (an allocation event).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the underlying tensor operations.
+    pub fn forward_infer_into(
+        &self,
+        x: &Tensor,
+        live: Option<&[u32]>,
+        cols: &mut Tensor,
+        gemm: &mut linalg::GemmScratch,
+        out: &mut Tensor,
+    ) -> Result<bool> {
+        match self {
+            Layer::Linear(l) => {
+                linalg::matvec_into(&l.weight.value, x, live, out)?;
+                for (o, &b) in out.data_mut().iter_mut().zip(l.bias.value.data()) {
+                    *o += b;
+                }
+                Ok(false)
+            }
+            Layer::Conv2d(l) => Ok(conv::conv2d_into(
+                x,
+                &l.weight.value,
+                &l.bias.value,
+                l.spec(),
+                live,
+                cols,
+                out,
+                gemm,
+            )?),
+            Layer::BatchNorm2d(l) => {
+                let dims = x.dims();
+                if dims.len() != 3 {
+                    return Err(NnError::bad_architecture(format!(
+                        "BatchNorm2d expects (C,H,W) input, got {dims:?}"
+                    )));
+                }
+                let (c, h, w) = (dims[0], dims[1], dims[2]);
+                let grew = out.reuse_as(dims);
+                let od = out.data_mut();
+                for ch in 0..c {
+                    let mean = l.running_mean.data()[ch];
+                    let var = l.running_var.data()[ch];
+                    let inv_std = 1.0 / (var + l.eps).sqrt();
+                    let g = l.gamma.value.data()[ch];
+                    let b = l.beta.value.data()[ch];
+                    let src = &x.data()[ch * h * w..(ch + 1) * h * w];
+                    let dst = &mut od[ch * h * w..(ch + 1) * h * w];
+                    for (o, &si) in dst.iter_mut().zip(src) {
+                        *o = g * ((si - mean) * inv_std) + b;
+                    }
+                }
+                Ok(grew)
+            }
+            Layer::Relu(_) => {
+                let grew = out.reuse_as(x.dims());
+                for (o, &xi) in out.data_mut().iter_mut().zip(x.data()) {
+                    *o = xi.max(0.0);
+                }
+                Ok(grew)
+            }
+            Layer::LeakyRelu(l) => {
+                let a = l.alpha;
+                let grew = out.reuse_as(x.dims());
+                for (o, &xi) in out.data_mut().iter_mut().zip(x.data()) {
+                    *o = if xi > 0.0 { xi } else { a * xi };
+                }
+                Ok(grew)
+            }
+            Layer::MaxPool2d(l) => Ok(conv::max_pool2d_into(x, l.kernel, l.stride, out)?),
+            Layer::AvgPool2d(l) => Ok(conv::avg_pool2d_into(x, l.kernel, l.stride, out)?),
+            Layer::Flatten(_) => {
+                let grew = out.reuse_as(&[x.len()]);
+                out.data_mut().copy_from_slice(x.data());
+                Ok(grew)
+            }
+            Layer::Dropout(_) => {
+                // Inference-mode dropout is the identity.
+                let grew = out.reuse_as(x.dims());
+                out.data_mut().copy_from_slice(x.data());
+                Ok(grew)
+            }
         }
     }
 

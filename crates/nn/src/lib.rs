@@ -39,6 +39,7 @@ mod error;
 mod network;
 
 pub mod dataset;
+pub mod exec;
 pub mod layer;
 pub mod loss;
 pub mod metrics;
@@ -47,6 +48,7 @@ pub mod serialize;
 pub mod train;
 
 pub use error::NnError;
+pub use exec::{ExecPlan, Scratch};
 pub use network::{LayerId, Network, PrunableKind, PrunableLayer};
 
 /// Crate-wide result alias.

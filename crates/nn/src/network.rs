@@ -1,3 +1,4 @@
+use crate::exec::{ExecPlan, Scratch};
 use crate::layer::{Layer, SgdStep};
 use crate::loss;
 use crate::{NnError, Result};
@@ -111,6 +112,67 @@ impl Network {
             cur = layer.forward(&cur, false)?;
         }
         Ok(cur)
+    }
+
+    /// Allocation-free, sparsity-aware inference through the scratch
+    /// arena: every activation, im2col patch matrix, and GEMM packing
+    /// buffer lives in `scratch` and is reused across calls, so a
+    /// steady-state loop performs zero heap allocations after warmup.
+    /// With a `plan`, prunable layers iterate only their live rows —
+    /// numerically identical to dense execution over masked weights, but
+    /// with latency that scales with density.
+    ///
+    /// The result is left in (and borrowed from) the arena.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors when the input does not fit the architecture.
+    pub fn forward_with<'s>(
+        &self,
+        x: &Tensor,
+        plan: Option<&ExecPlan>,
+        scratch: &'s mut Scratch,
+    ) -> Result<&'s Tensor> {
+        scratch.tensor_allocs += scratch.ping.copy_from(x) as usize;
+        let Scratch {
+            ping,
+            pong,
+            cols,
+            gemm,
+            tensor_allocs,
+        } = scratch;
+        for (i, layer) in self.layers.iter().enumerate() {
+            let live = plan.and_then(|p| p.live_rows(LayerId(i)));
+            let grew = layer.forward_infer_into(ping, live, cols, gemm, pong)?;
+            *tensor_allocs += grew as usize;
+            std::mem::swap(ping, pong);
+        }
+        Ok(&scratch.ping)
+    }
+
+    /// [`Network::predict`] through the scratch arena: allocation-free in
+    /// steady state and sparsity-aware when given a `plan`. The softmax is
+    /// computed in place on the arena's output buffer with exactly the
+    /// same operations as [`loss::softmax`], so predictions are bitwise
+    /// identical to the allocating path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors; errors on empty outputs.
+    pub fn predict_with(
+        &self,
+        x: &Tensor,
+        plan: Option<&ExecPlan>,
+        scratch: &mut Scratch,
+    ) -> Result<(usize, f32)> {
+        self.forward_with(x, plan, scratch)?;
+        let logits = &mut scratch.ping;
+        let m = logits.max()?;
+        logits.map_inplace(|v| (v - m).exp());
+        let z = logits.sum();
+        logits.map_inplace(|v| v / z);
+        let idx = logits.argmax()?;
+        Ok((idx, logits.data()[idx]))
     }
 
     /// Runs a training-mode forward pass (caches activations).

@@ -3,7 +3,7 @@
 use proptest::prelude::*;
 use reprune_nn::dataset::{BlobsDataset, SceneContext, SceneDataset};
 use reprune_nn::layer::SgdStep;
-use reprune_nn::{loss, models, serialize};
+use reprune_nn::{loss, models, serialize, Scratch};
 use reprune_tensor::rng::Prng;
 use reprune_tensor::Tensor;
 
@@ -112,4 +112,78 @@ proptest! {
             "one small gradient step must not increase this sample's loss: {before} -> {after}"
         );
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // The scratch-arena inference path must agree with the allocating
+    // forward pass bit-for-bit: every layer's `_into` variant performs the
+    // same operations in the same order, and `predict_with`'s in-place
+    // softmax replicates `loss::softmax` exactly.
+    #[test]
+    fn arena_forward_matches_allocating_forward(seed in any::<u64>()) {
+        let mut net = models::default_perception_cnn(seed).unwrap();
+        let mut rng = Prng::new(seed ^ 0xF00D);
+        let s = reprune_nn::dataset::SCENE_SIZE;
+        let x = Tensor::rand_uniform(&[1, s, s], -1.0, 1.0, &mut rng);
+        let (pred_alloc, conf_alloc) = net.predict(&x).unwrap();
+        let mut scratch = Scratch::new();
+        let (pred_arena, conf_arena) = net.predict_with(&x, None, &mut scratch).unwrap();
+        prop_assert_eq!(pred_alloc, pred_arena);
+        prop_assert_eq!(conf_alloc.to_bits(), conf_arena.to_bits());
+    }
+}
+
+/// Same equivalence on a *trained* CNN (single slow case rather than a
+/// property sweep): training changes the weight distribution, so this
+/// catches ordering bugs that random init might mask.
+#[test]
+fn arena_forward_matches_allocating_on_trained_cnn() {
+    use reprune_nn::train::{train_classifier, TrainConfig};
+    let data = SceneDataset::builder().samples(80).seed(5).build();
+    let mut net = models::default_perception_cnn(5).unwrap();
+    train_classifier(
+        &mut net,
+        data.samples(),
+        &TrainConfig { epochs: 2, batch_size: 16, lr: 0.04, seed: 5, ..TrainConfig::default() },
+    )
+    .unwrap();
+    let mut scratch = Scratch::new();
+    for sample in data.samples().iter().take(16) {
+        let (pred_alloc, conf_alloc) = net.predict(&sample.input).unwrap();
+        let (pred_arena, conf_arena) =
+            net.predict_with(&sample.input, None, &mut scratch).unwrap();
+        assert_eq!(pred_alloc, pred_arena);
+        assert_eq!(conf_alloc.to_bits(), conf_arena.to_bits());
+    }
+}
+
+/// The arena contract itself: after the first pass has grown every buffer,
+/// steady-state inference performs zero further heap allocations — across
+/// repeated ticks and input changes alike.
+#[test]
+fn steady_state_inference_does_not_allocate() {
+    let net = models::default_perception_cnn(9).unwrap();
+    let mut rng = Prng::new(1);
+    let s = reprune_nn::dataset::SCENE_SIZE;
+    let inputs: Vec<Tensor> = (0..4)
+        .map(|_| Tensor::rand_uniform(&[1, s, s], -1.0, 1.0, &mut rng))
+        .collect();
+    let mut scratch = Scratch::new();
+    for x in &inputs {
+        net.predict_with(x, None, &mut scratch).unwrap();
+    }
+    let warm = scratch.allocation_events();
+    assert!(warm > 0, "first pass must have grown the arena");
+    for _ in 0..5 {
+        for x in &inputs {
+            net.predict_with(x, None, &mut scratch).unwrap();
+        }
+    }
+    assert_eq!(
+        scratch.allocation_events(),
+        warm,
+        "steady-state inference must not allocate"
+    );
 }

@@ -15,6 +15,9 @@
 //!   [`reprune_nn::Network`] up and down the ladder, recording evicted
 //!   weights in a compact reversal log and restoring them in-place in
 //!   O(#evicted) time,
+//! * [`packed`] — compaction of mask sets into the packed live-row
+//!   [`reprune_nn::ExecPlan`] form the sparsity-aware compute engine
+//!   executes,
 //! * [`baseline`] — the restoration paths the paper compares against:
 //!   full-snapshot copy, irreversible prune + storage reload, and
 //!   fine-tuning recovery.
@@ -51,6 +54,7 @@ pub mod compact;
 pub mod criterion;
 pub mod ladder;
 pub mod mask;
+pub mod packed;
 pub mod pruner;
 pub mod schedule;
 pub mod stats;
@@ -60,6 +64,7 @@ pub use criterion::PruneCriterion;
 pub use error::PruneError;
 pub use ladder::{LadderConfig, SparsityLadder};
 pub use mask::{LayerMask, MaskSet};
+pub use packed::{exec_plan, ladder_plans};
 pub use pruner::{weights_checksum, LogPrecision, ReversiblePruner, Transition};
 pub use schedule::IterativeSchedule;
 

@@ -343,3 +343,39 @@ proptest! {
         prop_assert_eq!(&net, &original);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    // The compute-engine contract end to end: executing the packed plan
+    // (skipping dead GEMM rows) on a pruned network must be bit-identical
+    // to dense execution over the masked (zeroed) weights — pruned
+    // channels contribute exactly their bias either way.
+    #[test]
+    fn plan_execution_matches_dense_on_pruned_network(
+        seed in any::<u64>(),
+        frac in 0.0f64..1.0,
+    ) {
+        let mut net = models::default_perception_cnn(seed).unwrap();
+        let ladder = LadderConfig::new(vec![0.0, 0.25, 0.5, 0.75])
+            .criterion(PruneCriterion::ChannelL2)
+            .build(&net)
+            .unwrap();
+        let level = 1 + ((ladder.num_levels() - 1) as f64 * frac) as usize % (ladder.num_levels() - 1);
+        let plans = reprune_prune::ladder_plans(&net, &ladder).unwrap();
+        let mut pruner = ReversiblePruner::attach(&net, ladder).unwrap();
+        pruner.set_level(&mut net, level).unwrap();
+        prop_assert!(!plans[level].is_dense(), "channel pruning must pack rows");
+
+        let mut rng = Prng::new(seed ^ 0xCAFE);
+        let s = reprune_nn::dataset::SCENE_SIZE;
+        let x = Tensor::rand_uniform(&[1, s, s], -1.0, 1.0, &mut rng);
+        let mut dense_scratch = reprune_nn::Scratch::new();
+        let mut sparse_scratch = reprune_nn::Scratch::new();
+        let (pred_dense, conf_dense) = net.predict_with(&x, None, &mut dense_scratch).unwrap();
+        let (pred_sparse, conf_sparse) =
+            net.predict_with(&x, Some(&plans[level]), &mut sparse_scratch).unwrap();
+        prop_assert_eq!(pred_dense, pred_sparse);
+        prop_assert_eq!(conf_dense.to_bits(), conf_sparse.to_bits());
+    }
+}

@@ -7,13 +7,13 @@ use crate::policy::Policy;
 use crate::record::{RunResult, TickRecord};
 use crate::{Result, RuntimeError};
 use reprune_nn::dataset::{render_scene, SceneContext, SCENE_CLASSES};
-use reprune_nn::Network;
+use reprune_nn::{ExecPlan, Network, Scratch};
 use reprune_platform::profile::NetworkProfile;
 use reprune_platform::{
     Bytes, InferenceCost, Joules, Seconds, SocModel, StorageError, StorageHealth,
 };
 use reprune_prune::{
-    weights_checksum, PruneError, ReversiblePruner, SnapshotRestore, SparsityLadder,
+    ladder_plans, weights_checksum, PruneError, ReversiblePruner, SnapshotRestore, SparsityLadder,
 };
 use reprune_scenario::{FaultEvent, FaultKind, OddSpec, Scenario, Tick, Weather};
 use reprune_tensor::rng::Prng;
@@ -203,6 +203,12 @@ struct ChainReport {
 pub struct RuntimeManager {
     net: Network,
     pruner: ReversiblePruner,
+    /// Packed live-row execution plan per ladder level: pruned-level
+    /// inference iterates only surviving GEMM rows.
+    plans: Vec<ExecPlan>,
+    /// Arena for the allocation-free inference path; lives as long as the
+    /// manager so steady-state ticks reuse every buffer.
+    scratch: Scratch,
     config: RuntimeManagerConfig,
     knowledge: Vec<LevelKnowledge>,
     estimator: RiskEstimator,
@@ -294,6 +300,7 @@ impl RuntimeManager {
                 .sum::<usize>() as f64
                 * config.scale.factor) as u64,
         );
+        let plans = ladder_plans(&net, &ladder)?;
         let mirror_net = net.clone();
         let mirror_pruner = ReversiblePruner::attach(&mirror_net, ladder.clone())?;
         let mut pruner = ReversiblePruner::attach(&net, ladder)?;
@@ -311,6 +318,8 @@ impl RuntimeManager {
             mirror_checksum: sealed_checksum,
             net,
             pruner,
+            plans,
+            scratch: Scratch::new(),
             knowledge,
             pending: None,
             last_confidence: 1.0,
@@ -908,7 +917,9 @@ impl RuntimeManager {
         let context = weather_to_context(tick.weather);
         let label = self.frame_rng.next_below(SCENE_CLASSES);
         let sample = render_scene(label, context, &mut self.frame_rng);
-        let (pred, confidence) = self.net.predict(&sample.input)?;
+        let (pred, confidence) =
+            self.net
+                .predict_with(&sample.input, self.plans.get(lvl), &mut self.scratch)?;
         self.last_confidence = confidence as f64;
 
         // Ground truth (experiment-side, invisible to the defense): did

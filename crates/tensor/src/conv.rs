@@ -104,6 +104,41 @@ pub fn im2col(input: &Tensor, spec: Conv2dSpec) -> Result<Tensor> {
     Ok(out)
 }
 
+/// [`im2col`] into a caller-provided buffer, reusing its allocation when
+/// capacity allows. Returns `true` if the buffer had to grow.
+///
+/// # Errors
+///
+/// Same errors as [`im2col`].
+pub fn im2col_into(input: &Tensor, spec: Conv2dSpec, out: &mut Tensor) -> Result<bool> {
+    let (input, c, h, w) = require_chw(input, "im2col")?;
+    let (oh, ow) = spec.output_hw(h, w)?;
+    let rows = c * spec.kernel_h * spec.kernel_w;
+    let cols = oh * ow;
+    let grew = out.reuse_as(&[rows, cols]);
+    let id = input.data();
+    let od = out.data_mut();
+    for ch in 0..c {
+        for kh in 0..spec.kernel_h {
+            for kw in 0..spec.kernel_w {
+                let row = (ch * spec.kernel_h + kh) * spec.kernel_w + kw;
+                for oy in 0..oh {
+                    let iy = (oy * spec.stride + kh) as isize - spec.padding as isize;
+                    for ox in 0..ow {
+                        let ix = (ox * spec.stride + kw) as isize - spec.padding as isize;
+                        let col = oy * ow + ox;
+                        if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
+                            od[row * cols + col] =
+                                id[(ch * h + iy as usize) * w + ix as usize];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(grew)
+}
+
 /// Folds a `(C·kh·kw, oh·ow)` patch matrix back into a `(C,H,W)` image,
 /// accumulating overlapping contributions (the adjoint of [`im2col`]).
 ///
@@ -152,6 +187,38 @@ pub fn col2im(cols: &Tensor, c: usize, h: usize, w: usize, spec: Conv2dSpec) -> 
 ///
 /// Returns a shape/rank error if any operand disagrees with the geometry.
 pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: Conv2dSpec) -> Result<Tensor> {
+    let mut cols = Tensor::default();
+    let mut out = Tensor::default();
+    let mut scratch = linalg::GemmScratch::new();
+    conv2d_into(input, weight, bias, spec, None, &mut cols, &mut out, &mut scratch)?;
+    Ok(out)
+}
+
+/// [`conv2d`] into caller-provided buffers: `cols` receives the im2col
+/// patch matrix, `out` the `(OC,oh,ow)` result, and `scratch` the GEMM
+/// packing buffers — none allocate once warm. With `live_channels` (sorted
+/// output-channel indices from a structured pruning mask) only the live
+/// channels' GEMM rows are computed; pruned channels still receive their
+/// bias, exactly matching dense execution over masked (zeroed) weights.
+/// Returns `true` if any tensor buffer had to grow.
+///
+/// # Errors
+///
+/// Same errors as [`conv2d`].
+// Deliberate allow: the arena-style signature is the point — operands,
+// the sparse plan, and the three reusable buffers are each distinct
+// borrows a wrapper struct could not hand out simultaneously.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_into(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    spec: Conv2dSpec,
+    live_channels: Option<&[u32]>,
+    cols: &mut Tensor,
+    out: &mut Tensor,
+    scratch: &mut linalg::GemmScratch,
+) -> Result<bool> {
     let (_, c, h, w) = require_chw(input, "conv2d")?;
     if weight.shape().rank() != 4 {
         return Err(TensorError::RankMismatch {
@@ -177,17 +244,29 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: Conv2dSpec) 
         });
     }
     let (oh, ow) = spec.output_hw(h, w)?;
-    let cols = im2col(input, spec)?;
-    let wmat = weight.reshape(&[oc, c * spec.kernel_h * spec.kernel_w])?;
-    let mut out = linalg::matmul(&wmat, &cols)?; // (oc, oh*ow)
-    let od = out.data_mut();
+    let mut grew = im2col_into(input, spec, cols)?;
+    grew |= out.reuse_as(&[oc, oh, ow]);
     let n = oh * ow;
+    let k = c * spec.kernel_h * spec.kernel_w;
+    // The weight tensor is viewed directly as the (oc, k) GEMM lhs — no
+    // reshape clone on the hot path.
+    linalg::matmul_slices_into(
+        weight.data(),
+        oc,
+        k,
+        cols.data(),
+        n,
+        live_channels,
+        out.data_mut(),
+        scratch,
+    );
+    let od = out.data_mut();
     for (i, &b) in bias.data().iter().enumerate() {
         for v in &mut od[i * n..(i + 1) * n] {
             *v += b;
         }
     }
-    out.reshape(&[oc, oh, ow])
+    Ok(grew)
 }
 
 /// Result of a max-pooling pass: the pooled tensor plus, for each output
@@ -239,6 +318,44 @@ pub fn max_pool2d(input: &Tensor, kernel: usize, stride: usize) -> Result<MaxPoo
     Ok(MaxPoolOutput { output, argmax })
 }
 
+/// [`max_pool2d`] into a reused output buffer, without materializing the
+/// argmax bookkeeping (inference never needs it). Returns `true` if the
+/// buffer had to grow.
+///
+/// # Errors
+///
+/// Returns a rank/geometry error for invalid inputs.
+pub fn max_pool2d_into(
+    input: &Tensor,
+    kernel: usize,
+    stride: usize,
+    out: &mut Tensor,
+) -> Result<bool> {
+    let (input, c, h, w) = require_chw(input, "max_pool2d")?;
+    let spec = Conv2dSpec::square(kernel, stride, 0);
+    let (oh, ow) = spec.output_hw(h, w)?;
+    let grew = out.reuse_as(&[c, oh, ow]);
+    let id = input.data();
+    let od = out.data_mut();
+    for ch in 0..c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut best = f32::NEG_INFINITY;
+                for ky in 0..kernel {
+                    for kx in 0..kernel {
+                        let v = id[(ch * h + oy * stride + ky) * w + ox * stride + kx];
+                        if v > best {
+                            best = v;
+                        }
+                    }
+                }
+                od[(ch * oh + oy) * ow + ox] = best;
+            }
+        }
+    }
+    Ok(grew)
+}
+
 /// Average-pools a `(C,H,W)` image with a square window.
 ///
 /// # Errors
@@ -266,6 +383,41 @@ pub fn avg_pool2d(input: &Tensor, kernel: usize, stride: usize) -> Result<Tensor
         }
     }
     Ok(output)
+}
+
+/// [`avg_pool2d`] into a reused output buffer. Returns `true` if the
+/// buffer had to grow.
+///
+/// # Errors
+///
+/// Returns a rank/geometry error for invalid inputs.
+pub fn avg_pool2d_into(
+    input: &Tensor,
+    kernel: usize,
+    stride: usize,
+    out: &mut Tensor,
+) -> Result<bool> {
+    let (input, c, h, w) = require_chw(input, "avg_pool2d")?;
+    let spec = Conv2dSpec::square(kernel, stride, 0);
+    let (oh, ow) = spec.output_hw(h, w)?;
+    let grew = out.reuse_as(&[c, oh, ow]);
+    let id = input.data();
+    let od = out.data_mut();
+    let inv = 1.0 / (kernel * kernel) as f32;
+    for ch in 0..c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = 0.0;
+                for ky in 0..kernel {
+                    for kx in 0..kernel {
+                        acc += id[(ch * h + oy * stride + ky) * w + ox * stride + kx];
+                    }
+                }
+                od[(ch * oh + oy) * ow + ox] = acc * inv;
+            }
+        }
+    }
+    Ok(grew)
 }
 
 #[cfg(test)]

@@ -458,6 +458,31 @@ impl Tensor {
         Tensor::from_vec(data, &dims)
     }
 
+    /// Reshapes `self` in place to `dims`, zero-filling the data, reusing
+    /// the existing buffer when capacity allows. Returns `true` if the
+    /// buffer had to grow (a heap allocation event) — scratch arenas use
+    /// this to assert no-alloc-after-warmup.
+    pub fn reuse_as(&mut self, dims: &[usize]) -> bool {
+        let shape = Shape::new(dims);
+        let volume = shape.volume();
+        let grew = volume > self.data.capacity();
+        self.data.clear();
+        self.data.resize(volume, 0.0);
+        self.shape = shape;
+        grew
+    }
+
+    /// Makes `self` an exact copy of `src` (shape and data), reusing the
+    /// existing buffer when capacity allows. Returns `true` if the buffer
+    /// had to grow.
+    pub fn copy_from(&mut self, src: &Tensor) -> bool {
+        let grew = src.data.len() > self.data.capacity();
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+        self.shape = src.shape.clone();
+        grew
+    }
+
     /// Returns `true` if all elements of both tensors are within `tol`
     /// of each other and shapes match.
     pub fn approx_eq(&self, other: &Tensor, tol: f32) -> bool {

@@ -148,3 +148,95 @@ proptest! {
         prop_assert_eq!(s, (0..n).collect::<Vec<_>>());
     }
 }
+
+/// Random rectangular GEMM operands whose dims straddle the MR×NR tile
+/// boundaries (full tiles, edge tiles, and sub-tile shapes all occur).
+fn gemm_pair_strategy(max_dim: usize) -> impl Strategy<Value = (Tensor, Tensor)> {
+    (1..=max_dim, 1..=max_dim, 1..=max_dim).prop_flat_map(|(m, k, n)| {
+        (
+            prop::collection::vec(-4.0f32..4.0, m * k),
+            prop::collection::vec(-4.0f32..4.0, k * n),
+        )
+            .prop_map(move |(av, bv)| {
+                (
+                    Tensor::from_vec(av, &[m, k]).expect("sized"),
+                    Tensor::from_vec(bv, &[k, n]).expect("sized"),
+                )
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // The compute-engine equivalence contract: the register-tiled kernel
+    // must accumulate in the same order as the scalar reference, so the
+    // results agree bit-for-bit (±0.0 compares equal) on every shape —
+    // including edge tiles narrower than MR rows or NR columns.
+    #[test]
+    fn tiled_matmul_is_bit_exact_with_naive(ab in gemm_pair_strategy(40)) {
+        let (a, b) = ab;
+        let tiled = linalg::matmul(&a, &b).unwrap();
+        let naive = linalg::matmul_naive(&a, &b).unwrap();
+        prop_assert_eq!(tiled.dims(), naive.dims());
+        for (x, y) in tiled.data().iter().zip(naive.data()) {
+            prop_assert!(x == y, "tiled {} != naive {}", x, y);
+        }
+    }
+
+    // Packed-sparse execution must equal dense execution over a weight
+    // matrix whose dead rows are zeroed: live rows are computed from the
+    // same data in the same order, dead rows come out exactly zero.
+    #[test]
+    fn packed_rows_match_dense_over_masked_weights(
+        ab in gemm_pair_strategy(32),
+        seed in any::<u64>(),
+    ) {
+        let (a, b) = ab;
+        let (m, k) = (a.dims()[0], a.dims()[1]);
+        let mut rng = Prng::new(seed);
+        let live: Vec<u32> = (0..m as u32).filter(|_| rng.next_bool(0.6)).collect();
+        let mut masked = a.data().to_vec();
+        for r in 0..m {
+            if !live.contains(&(r as u32)) {
+                masked[r * k..(r + 1) * k].fill(0.0);
+            }
+        }
+        let masked = Tensor::from_vec(masked, &[m, k]).expect("sized");
+        let dense = linalg::matmul(&masked, &b).unwrap();
+
+        let mut out = Tensor::default();
+        let mut scratch = linalg::GemmScratch::new();
+        linalg::matmul_rows_into(&a, &b, &live, &mut out, &mut scratch).unwrap();
+        prop_assert_eq!(out.dims(), dense.dims());
+        for (x, y) in out.data().iter().zip(dense.data()) {
+            prop_assert!(x == y, "sparse {} != dense {}", x, y);
+        }
+    }
+
+    // Same contract for the matrix–vector path the Linear layers use.
+    #[test]
+    fn packed_matvec_matches_dense_over_masked_weights(
+        a in matrix_strategy(24),
+        seed in any::<u64>(),
+    ) {
+        let (m, k) = (a.dims()[0], a.dims()[1]);
+        let mut rng = Prng::new(seed);
+        let live: Vec<u32> = (0..m as u32).filter(|_| rng.next_bool(0.5)).collect();
+        let x = Tensor::rand_uniform(&[k], -2.0, 2.0, &mut rng);
+        let mut masked = a.data().to_vec();
+        for r in 0..m {
+            if !live.contains(&(r as u32)) {
+                masked[r * k..(r + 1) * k].fill(0.0);
+            }
+        }
+        let masked = Tensor::from_vec(masked, &[m, k]).expect("sized");
+        let dense = linalg::matvec(&masked, &x).unwrap();
+
+        let mut out = Tensor::default();
+        linalg::matvec_into(&a, &x, Some(&live), &mut out).unwrap();
+        for (s, d) in out.data().iter().zip(dense.data()) {
+            prop_assert!(s == d, "sparse {} != dense {}", s, d);
+        }
+    }
+}

@@ -3,6 +3,11 @@
 # Each binary prints its data and asserts the expected result shape.
 set -e
 cargo build --release -p reprune-bench
+echo "==================== perf_kernels ===================="
+# Kernel benchmark trajectory (full mode: asserts the tiled-vs-naive
+# speedup and density-latency shape, writes BENCH_kernels.json).
+./target/release/perf_kernels
+echo
 for b in fig1_accuracy_sparsity fig2_latency_energy fig3_timeline \
          fig4_recovery_cdf fig5_ablation fig6_platform_sweep \
          fig7_iterative_pruning fig8_estimator_ablation \

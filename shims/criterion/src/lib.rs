@@ -13,6 +13,71 @@
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
+/// Times one batch of `iters` calls and returns the mean nanoseconds per
+/// iteration. Building block for [`sample_batches`] and for callers that
+/// need custom interleaving (e.g. fair A/B comparison on a noisy host).
+pub fn time_batch<O, F: FnMut() -> O>(iters: u32, routine: &mut F) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(routine());
+    }
+    start.elapsed().as_nanos() as f64 / f64::from(iters.max(1))
+}
+
+/// Per-batch timing samples with order-statistic summaries.
+///
+/// Unlike the print-only [`Bencher`] path, this is a *programmatic* API:
+/// the perf-trajectory harness records medians and p95s into JSON rather
+/// than stdout.
+#[derive(Debug, Clone, Default)]
+pub struct SampleStats {
+    /// Mean nanoseconds per iteration, one entry per measured batch.
+    pub batch_ns: Vec<f64>,
+}
+
+impl SampleStats {
+    /// The `q`-quantile (0.0..=1.0) of the per-batch means, by
+    /// nearest-rank on the sorted samples. Returns 0.0 when empty.
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.batch_ns.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.batch_ns.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        sorted[idx]
+    }
+
+    /// Median nanoseconds per iteration.
+    pub fn median_ns(&self) -> f64 {
+        self.percentile(0.5)
+    }
+
+    /// 95th-percentile nanoseconds per iteration.
+    pub fn p95_ns(&self) -> f64 {
+        self.percentile(0.95)
+    }
+}
+
+/// Runs one warmup batch, then `batches` measured batches of
+/// `iters_per_batch` calls each, returning the per-batch means.
+pub fn sample_batches<O, F: FnMut() -> O>(
+    batches: usize,
+    iters_per_batch: u32,
+    mut routine: F,
+) -> SampleStats {
+    for _ in 0..iters_per_batch {
+        black_box(routine());
+    }
+    let mut stats = SampleStats {
+        batch_ns: Vec::with_capacity(batches),
+    };
+    for _ in 0..batches {
+        stats.batch_ns.push(time_batch(iters_per_batch, &mut routine));
+    }
+    stats
+}
+
 /// How `iter_batched` amortises setup; all variants behave the same
 /// here (one setup per measured iteration).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
