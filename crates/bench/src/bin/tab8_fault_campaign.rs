@@ -21,6 +21,16 @@
 //! replay check at the end — are identical to a serial sweep.
 //!
 //! Run with: `cargo run --release -p reprune-bench --bin tab8_fault_campaign`
+//!
+//! Flags:
+//!
+//! * `--trace PATH` — dump the full-chain run's stage-event trace for
+//!   the first seed as JSON-lines to `PATH`, after self-checking that
+//!   the `fault-detected` event count equals the run's detection
+//!   counter and that the bounded ring dropped nothing.
+//! * `--quick` — one seed and a short drive under a severe storm; skips
+//!   the shape checks and the replay (CI smoke-test mode). Default
+//!   output is unchanged.
 
 use reprune::runtime::manager::{RuntimeManager, RuntimeManagerConfig};
 use reprune::runtime::policy::{AdaptiveConfig, Policy};
@@ -34,15 +44,40 @@ use reprune::nn::Network;
 
 const CAMPAIGN_SEEDS: [u64; 2] = [80, 81];
 const DRIVE_S: f64 = 300.0;
+const QUICK_DRIVE_S: f64 = 60.0;
 
-fn campaign(seed: u64) -> Scenario {
+fn campaign(seed: u64, drive_s: f64, quick: bool) -> Scenario {
     let scenario = ScenarioConfig::new()
-        .duration_s(DRIVE_S)
+        .duration_s(drive_s)
         .seed(seed)
         .start_segment(SegmentKind::Urban)
         .generate();
-    let storm = storm_events(&StormConfig::mild(20.0, DRIVE_S - 20.0), seed);
+    // Quick mode compresses the drive; a mild storm rarely lands a fault
+    // in so short a window, so it uses the severe profile to keep the
+    // detection path (and the trace self-check) exercised.
+    let storm = if quick {
+        storm_events(&StormConfig::severe(10.0, drive_s - 10.0), seed)
+    } else {
+        storm_events(&StormConfig::mild(20.0, drive_s - 20.0), seed)
+    };
     scenario.with_faults(storm)
+}
+
+/// Dumps a run's trace as JSON-lines after self-checking the
+/// detection-counting invariant the trace is supposed to uphold.
+fn dump_trace(r: &RunResult, path: &str) {
+    assert_eq!(
+        r.trace_event_count("fault-detected"),
+        r.faults_detected,
+        "trace fault-detected events must equal the detection counter"
+    );
+    assert_eq!(r.trace_dropped, 0, "campaign trace must fit the ring");
+    std::fs::write(path, r.trace_json_lines()).expect("write trace");
+    println!(
+        "\nwrote {} trace events ({} detections) to {path}",
+        r.trace.len(),
+        r.faults_detected
+    );
 }
 
 fn run(net: &Network, scenario: &Scenario, policy: Policy, defense: FaultDefense) -> RunResult {
@@ -58,10 +93,19 @@ fn run(net: &Network, scenario: &Scenario, policy: Policy, defense: FaultDefense
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let trace_path = args
+        .iter()
+        .position(|a| a == "--trace")
+        .map(|i| args.get(i + 1).expect("--trace needs a path").clone());
+    let seeds: &[u64] = if quick { &CAMPAIGN_SEEDS[..1] } else { &CAMPAIGN_SEEDS };
+    let drive_s = if quick { QUICK_DRIVE_S } else { DRIVE_S };
+
     let (net, _) = trained_perception(80);
     println!(
-        "T8 (extension): fault campaign, {} urban drives of {DRIVE_S} s under a mild storm\n",
-        CAMPAIGN_SEEDS.len()
+        "T8 (extension): fault campaign, {} urban drives of {drive_s} s under a mild storm\n",
+        seeds.len()
     );
     let widths = [6, 14, 9, 7, 8, 8, 9, 8, 8, 6];
     print_row(
@@ -103,18 +147,18 @@ fn main() {
             FaultDefense::FullChain,
         ),
     ];
-    let cells: Vec<(u64, usize)> = CAMPAIGN_SEEDS
+    let cells: Vec<(u64, usize)> = seeds
         .iter()
         .flat_map(|&seed| (0..defenses.len()).map(move |d| (seed, d)))
         .collect();
     let mut results = run_sharded(cells.len(), |i| {
         let (seed, d) = cells[i];
         let (_, make_policy, defense) = defenses[d];
-        run(&net, &campaign(seed), make_policy(), defense)
+        run(&net, &campaign(seed, drive_s, quick), make_policy(), defense)
     })
     .into_iter();
 
-    for &seed in &CAMPAIGN_SEEDS {
+    for &seed in seeds {
         let rows: Vec<(&str, RunResult)> = defenses
             .iter()
             .map(|(name, _, _)| (*name, results.next().expect("one result per cell")))
@@ -153,9 +197,17 @@ fn main() {
         full_chain_runs.push(rows.into_iter().next_back().unwrap().1);
     }
 
+    if let Some(path) = &trace_path {
+        dump_trace(&full_chain_runs[0], path);
+    }
+    if quick {
+        println!("\nquick mode: shape checks and replay skipped.");
+        return;
+    }
+
     // Shape checks — the claims the table exists to make.
     let g = |n: &str| totals[n];
-    let ticks = (CAMPAIGN_SEEDS.len() as f64) * DRIVE_S * 10.0;
+    let ticks = (seeds.len() as f64) * drive_s * 10.0;
 
     // 1. Without a defense, corruption reaches the live weights and nobody
     //    notices: zero detections, non-zero silent-corruption inferences.
@@ -192,7 +244,7 @@ fn main() {
     // 5. Determinism: replaying the same seed reproduces the run bit-exactly.
     let replay = run(
         &net,
-        &campaign(CAMPAIGN_SEEDS[0]),
+        &campaign(seeds[0], drive_s, quick),
         adaptive(),
         FaultDefense::FullChain,
     );

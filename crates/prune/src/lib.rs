@@ -65,7 +65,7 @@ pub use error::PruneError;
 pub use ladder::{LadderConfig, SparsityLadder};
 pub use mask::{LayerMask, MaskSet};
 pub use packed::{exec_plan, ladder_plans};
-pub use pruner::{weights_checksum, LogPrecision, ReversiblePruner, Transition};
+pub use pruner::{weights_checksum, IntegrityStats, LogPrecision, ReversiblePruner, Transition};
 pub use schedule::IterativeSchedule;
 
 /// Crate-wide result alias.

@@ -266,6 +266,22 @@ fn segment_checksum(to_level: usize, layers: &[LayerDelta]) -> u64 {
     h
 }
 
+/// Counters of the pruner's integrity actions, for observability: how
+/// often each check ran and how often it caught corruption. Purely
+/// additive bookkeeping — no control decision reads these.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IntegrityStats {
+    /// Log segments whose checksum was verified by a successful pop.
+    pub pops_verified: u64,
+    /// Segments visited by incremental scrub steps.
+    pub scrub_checks: u64,
+    /// Segments rewritten from their shadow copy.
+    pub repairs: u64,
+    /// Checksum mismatches observed (on pop, scrub, or a corrupt shadow
+    /// source during repair).
+    pub corruption_hits: u64,
+}
+
 /// A reversible runtime pruner attached to one network.
 ///
 /// See the [crate-level example](crate) for typical use. The pruner
@@ -284,6 +300,7 @@ pub struct ReversiblePruner {
     verify_on_pop: bool,
     scrub_cursor: usize,
     shadow: Option<Vec<LevelDelta>>,
+    stats: IntegrityStats,
 }
 
 impl ReversiblePruner {
@@ -308,6 +325,7 @@ impl ReversiblePruner {
             verify_on_pop: true,
             scrub_cursor: 0,
             shadow: None,
+            stats: IntegrityStats::default(),
         })
     }
 
@@ -345,6 +363,7 @@ impl ReversiblePruner {
             verify_on_pop: true,
             scrub_cursor: 0,
             shadow: None,
+            stats: IntegrityStats::default(),
         })
     }
 
@@ -476,17 +495,22 @@ impl ReversiblePruner {
         let segment = self.log.len().checked_sub(1).ok_or_else(|| {
             PruneError::mask_mismatch("reversal log empty while above level 0")
         })?;
-        if self.verify_on_pop && !self.log[segment].verify() {
-            // Leave the log and level untouched: the caller decides
-            // whether to repair the segment or escalate to a coarser
-            // restore path.
-            let d = &self.log[segment];
-            return Err(PruneError::LogCorruption {
-                segment,
-                to_level: d.to_level,
-                expected: d.checksum,
-                actual: d.computed_checksum(),
-            });
+        if self.verify_on_pop {
+            if self.log[segment].verify() {
+                self.stats.pops_verified += 1;
+            } else {
+                // Leave the log and level untouched: the caller decides
+                // whether to repair the segment or escalate to a coarser
+                // restore path.
+                self.stats.corruption_hits += 1;
+                let d = &self.log[segment];
+                return Err(PruneError::LogCorruption {
+                    segment,
+                    to_level: d.to_level,
+                    expected: d.checksum,
+                    actual: d.computed_checksum(),
+                });
+            }
         }
         let delta = self.log.pop().expect("segment index checked above");
         if let Some(shadow) = &mut self.shadow {
@@ -571,6 +595,11 @@ impl ReversiblePruner {
         self.log.len()
     }
 
+    /// Integrity-action counters accumulated since attach.
+    pub fn integrity_stats(&self) -> IntegrityStats {
+        self.stats
+    }
+
     /// Whether pops verify segment checksums before applying deltas.
     pub fn verifies_on_pop(&self) -> bool {
         self.verify_on_pop
@@ -636,10 +665,12 @@ impl ReversiblePruner {
         }
         let segment = self.scrub_cursor % self.log.len();
         self.scrub_cursor = (segment + 1) % self.log.len();
-        let d = &self.log[segment];
-        if d.verify() {
+        self.stats.scrub_checks += 1;
+        if self.log[segment].verify() {
             Ok(Some(segment))
         } else {
+            self.stats.corruption_hits += 1;
+            let d = &self.log[segment];
             Err(PruneError::LogCorruption {
                 segment,
                 to_level: d.to_level,
@@ -658,19 +689,22 @@ impl ReversiblePruner {
     /// the shadow copy itself no longer verifies (both copies hit —
     /// escalate to a snapshot or storage restore).
     pub fn repair_segment(&mut self, segment: usize) -> Result<()> {
-        let shadow = self.shadow.as_ref().ok_or_else(|| PruneError::NotRestorable {
-            message: "shadow-copy mode is off; cannot repair log in place".into(),
-        })?;
-        if segment >= self.log.len() || segment >= shadow.len() {
-            return Err(PruneError::NotRestorable {
-                message: format!(
-                    "segment {segment} out of range (log has {})",
-                    self.log.len()
-                ),
-            });
-        }
-        let src = &shadow[segment];
+        let src = {
+            let shadow = self.shadow.as_ref().ok_or_else(|| PruneError::NotRestorable {
+                message: "shadow-copy mode is off; cannot repair log in place".into(),
+            })?;
+            if segment >= self.log.len() || segment >= shadow.len() {
+                return Err(PruneError::NotRestorable {
+                    message: format!(
+                        "segment {segment} out of range (log has {})",
+                        self.log.len()
+                    ),
+                });
+            }
+            shadow[segment].clone()
+        };
         if !src.verify() {
+            self.stats.corruption_hits += 1;
             return Err(PruneError::LogCorruption {
                 segment,
                 to_level: src.to_level,
@@ -678,7 +712,8 @@ impl ReversiblePruner {
                 actual: src.computed_checksum(),
             });
         }
-        self.log[segment] = src.clone();
+        self.log[segment] = src;
+        self.stats.repairs += 1;
         Ok(())
     }
 

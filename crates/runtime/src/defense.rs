@@ -1,0 +1,191 @@
+//! Fault application and the armed integrity defense.
+//!
+//! Two halves live here, both operating purely on `(Knowledge, Plant)`:
+//!
+//! * [`inject_scheduled`] — the *environment* side: realizes scheduled
+//!   [`FaultEvent`]s against the live system (fault windows, storage
+//!   faults, log and weight bit-flips).
+//! * [`verify_integrity`] — the *Analyze* side: the background scrub and
+//!   the sealed whole-weights checksum, escalating through the restore
+//!   chain when something is wrong.
+
+use crate::faults::{self, FaultDefense, FaultPlan, OperatingState};
+use crate::knowledge::Knowledge;
+use crate::plant::Plant;
+use crate::restore::{ChainReport, RestoreChain};
+use crate::trace::{ChainHop, DetectionSource, StageId, TickTrace, TraceEventKind};
+use crate::Result;
+use reprune_prune::{weights_checksum, PruneError};
+use reprune_scenario::{FaultEvent, FaultKind, Tick};
+use reprune_tensor::rng::Prng;
+
+/// Stable kebab-case name of a fault family (for trace events).
+pub fn fault_kind_name(kind: &FaultKind) -> &'static str {
+    match kind {
+        FaultKind::SensorBlackout { .. } => "sensor-blackout",
+        FaultKind::ConfidenceDropout { .. } => "confidence-dropout",
+        FaultKind::StorageTransient { .. } => "storage-transient",
+        FaultKind::StoragePermanent => "storage-permanent",
+        FaultKind::StorageDegraded { .. } => "storage-degraded",
+        FaultKind::ExecOverrun { .. } => "exec-overrun",
+        FaultKind::LogBitFlip { .. } => "log-bit-flip",
+        FaultKind::WeightBitFlip { .. } => "weight-bit-flip",
+    }
+}
+
+/// Fires every scheduled fault event due at or before `tick.t` against
+/// the live system and folds the effective injection count into the
+/// knowledge base.
+pub fn inject_scheduled(
+    plan: &mut Option<FaultPlan>,
+    k: &mut Knowledge,
+    plant: &mut Plant,
+    armed: bool,
+    tick: &Tick,
+    trace: &mut TickTrace,
+) {
+    if let Some(p) = plan.as_mut() {
+        let fired = p.fire_until(tick.t);
+        for ev in fired {
+            let before = k.tick.injected;
+            apply_fault(k, plant, &ev, p.rng_mut(), armed, trace);
+            trace.record(
+                tick.t,
+                StageId::Environment,
+                TraceEventKind::FaultInjected {
+                    kind: fault_kind_name(&ev.kind),
+                    landed: k.tick.injected - before,
+                },
+            );
+        }
+    }
+    k.faults_injected += k.tick.injected as usize;
+}
+
+/// Realizes one scheduled fault event against the live system.
+///
+/// Window faults are self-announcing: an armed health monitor notices
+/// them at onset. Bit-flips are only caught by checksums.
+pub fn apply_fault(
+    k: &mut Knowledge,
+    plant: &mut Plant,
+    ev: &FaultEvent,
+    rng: &mut Prng,
+    armed: bool,
+    trace: &mut TickTrace,
+) {
+    // Shared onset bookkeeping for the self-announcing window faults.
+    macro_rules! announce {
+        () => {{
+            k.tick.injected += 1;
+            if armed {
+                k.tick.detected = true;
+                k.note_detected(ev.start_s, StageId::Monitor, DetectionSource::WindowOnset, trace);
+            }
+        }};
+    }
+    match ev.kind {
+        FaultKind::SensorBlackout { duration_s } => {
+            k.sensor_fault_until = k.sensor_fault_until.max(ev.start_s + duration_s);
+            announce!();
+        }
+        FaultKind::ConfidenceDropout { duration_s } => {
+            k.confidence_fault_until = k.confidence_fault_until.max(ev.start_s + duration_s);
+            announce!();
+        }
+        FaultKind::StorageTransient { duration_s } => {
+            plant.storage.inject_transient(ev.start_s, duration_s);
+            announce!();
+        }
+        FaultKind::StoragePermanent => {
+            plant.storage.fail_permanently();
+            announce!();
+        }
+        FaultKind::StorageDegraded {
+            bandwidth_factor,
+            duration_s,
+        } => {
+            plant
+                .storage
+                .inject_degradation(ev.start_s, duration_s, bandwidth_factor);
+            announce!();
+        }
+        FaultKind::ExecOverrun {
+            extra_ms,
+            duration_s,
+        } => {
+            k.overrun_until = k.overrun_until.max(ev.start_s + duration_s);
+            k.overrun_extra_s = extra_ms / 1000.0;
+            announce!();
+        }
+        FaultKind::LogBitFlip { flips } => {
+            for _ in 0..flips {
+                if plant.pruner.inject_log_bitflip(rng) {
+                    k.tick.injected += 1;
+                }
+            }
+        }
+        FaultKind::WeightBitFlip { flips } => {
+            // The in-RAM snapshot occupies as much DRAM as the live
+            // weights, so an upset is equally likely to land in
+            // either region (the snapshot damage only surfaces when
+            // the snapshot hop is used).
+            for _ in 0..flips {
+                if rng.next_bool(0.5) {
+                    k.snapshot_flips += 1;
+                    k.tick.injected += 1;
+                } else if faults::inject_weight_bitflip(&mut plant.net, rng) {
+                    k.tick.injected += 1;
+                }
+            }
+        }
+    }
+}
+
+/// The defense half of the Analyze stage: one incremental scrub step
+/// over the reversal log (full chain only) and the sealed whole-weights
+/// checksum verification, with escalation through the restore chain.
+///
+/// # Errors
+///
+/// Propagates non-recoverable restore errors.
+pub fn verify_integrity(
+    k: &mut Knowledge,
+    plant: &mut Plant,
+    chain: &RestoreChain,
+    tick: &Tick,
+    trace: &mut TickTrace,
+) -> Result<()> {
+    if chain.defense == FaultDefense::FullChain && k.pending_reload.is_none() {
+        if let Err(PruneError::LogCorruption { segment, .. }) = plant.pruner.scrub_step() {
+            k.tick.detected = true;
+            k.note_detected(tick.t, StageId::Analyze, DetectionSource::Scrub, trace);
+            k.enter_state(OperatingState::Degraded, tick.t, trace);
+            if plant.pruner.repair_segment(segment).is_ok() {
+                k.tick.repaired = true;
+                k.note_repaired(tick.t, StageId::Analyze, ChainHop::ShadowRepair, trace);
+            } else {
+                k.log_bad = true;
+            }
+        }
+    }
+    if chain.defense != FaultDefense::None
+        && k.pending_reload.is_none()
+        && !k.integrity_bad
+        && weights_checksum(&plant.net) != k.sealed_checksum
+    {
+        k.tick.detected = true;
+        k.note_detected(tick.t, StageId::Analyze, DetectionSource::SealedChecksum, trace);
+        k.integrity_bad = true;
+        k.enter_state(OperatingState::Degraded, tick.t, trace);
+        if chain.defense == FaultDefense::FullChain {
+            let mut rep = ChainReport::default();
+            chain.fallback_snapshot(k, plant, tick.t, &mut rep, trace)?;
+            k.absorb(rep);
+        } else {
+            // Detected but unrepairable: force minimal risk.
+            k.enter_state(OperatingState::MinimalRisk, tick.t, trace);
+        }
+    }
+    Ok(())
+}

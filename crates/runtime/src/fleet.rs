@@ -34,6 +34,32 @@ pub struct FleetMember {
 }
 
 impl FleetMember {
+    /// Builds a member from a runtime's profiled knowledge base
+    /// ([`crate::manager::RuntimeManager::knowledge`]), pairing the
+    /// per-level energy profile measured at attach time with a
+    /// caller-supplied utility profile (e.g. validation accuracy per
+    /// level).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::BadConfig`] under the same consistency
+    /// rules as [`FleetMember::validate`].
+    pub fn from_knowledge(
+        name: impl Into<String>,
+        envelope: SafetyEnvelope,
+        levels: &[crate::knowledge::LevelKnowledge],
+        utility_per_level: Vec<f64>,
+    ) -> Result<Self> {
+        let member = FleetMember {
+            name: name.into(),
+            envelope,
+            energy_per_level: levels.iter().map(|lk| lk.inference.energy).collect(),
+            utility_per_level,
+        };
+        member.validate()?;
+        Ok(member)
+    }
+
     /// Validates internal consistency.
     ///
     /// # Errors
@@ -295,5 +321,34 @@ mod tests {
     fn input_validation() {
         assert!(plan_budget(&[], &[], None).is_err());
         assert!(plan_budget(&[perception()], &[0.1, 0.2], None).is_err());
+    }
+
+    #[test]
+    fn from_knowledge_mirrors_profiled_energy() {
+        use reprune_platform::{InferenceCost, Seconds};
+        let lk = |level: usize, energy: f64| crate::knowledge::LevelKnowledge {
+            level,
+            sparsity: 0.3 * level as f64,
+            inference: InferenceCost {
+                latency: Seconds(0.01),
+                energy: Joules(energy),
+                macs: 1_000,
+                bytes_moved: reprune_platform::Bytes(4_096),
+            },
+            log_entries: level * 100,
+        };
+        let levels = [lk(0, 10.0), lk(1, 7.0), lk(2, 4.0), lk(3, 2.0)];
+        let env = SafetyEnvelope::evenly_spaced(4, 0.6).unwrap();
+        let m = FleetMember::from_knowledge(
+            "perception",
+            env.clone(),
+            &levels,
+            vec![0.95, 0.93, 0.88, 0.60],
+        )
+        .unwrap();
+        assert_eq!(m.energy_per_level, vec![Joules(10.0), Joules(7.0), Joules(4.0), Joules(2.0)]);
+        assert!(m.validate().is_ok());
+        // Mismatched utility profile is rejected at construction.
+        assert!(FleetMember::from_knowledge("bad", env, &levels, vec![0.9, 0.8]).is_err());
     }
 }

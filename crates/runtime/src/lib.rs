@@ -5,44 +5,65 @@
 //! benign and snaps it back to full capacity — through the reversal log —
 //! the moment risk rises.
 //!
-//! The classic MAPE-K stages map onto the modules:
+//! The MAPE-K stages are explicit, trait-backed, and swappable
+//! (DESIGN.md §10):
 //!
-//! * **Monitor** — [`monitor::RiskEstimator`] fuses a noisy context-risk
-//!   sensor with the model's own confidence signal,
-//! * **Analyze** — [`envelope::SafetyEnvelope`] turns estimated risk into
-//!   the maximum ladder level safety permits,
-//! * **Plan** — [`policy::Policy`] chooses the target level (with
-//!   hysteresis and dwell so the system does not oscillate),
-//! * **Execute** — [`manager::RuntimeManager`] applies the transition via
-//!   the chosen restore mechanism and charges its platform cost,
-//! * **Knowledge** — per-level inference costs and restore prices are
-//!   profiled once at attach time ([`manager::LevelKnowledge`]).
+//! * **Monitor** — [`stages::Monitor`] (default:
+//!   [`monitor::RiskEstimator`] fusing a noisy context-risk sensor with
+//!   the model's own confidence signal, plus fault-window health),
+//! * **Analyze** — [`stages::Analyze`] (default: the armed integrity
+//!   defense in [`defense`], plus [`envelope::SafetyEnvelope`] turning
+//!   estimated risk into the maximum ladder level safety permits),
+//! * **Plan** — [`stages::Plan`] (default: [`policy::Policy`] choosing
+//!   the target level with hysteresis and dwell, capped by the
+//!   degradation state machine),
+//! * **Execute** — [`stages::Execute`] (default: the restore fallback
+//!   chain in [`restore`] driving the reversible pruner),
+//! * **Knowledge** — [`knowledge::Knowledge`] owns *all* cross-stage
+//!   state; per-level costs are profiled once at attach time
+//!   ([`manager::LevelKnowledge`]). The managed element itself lives in
+//!   [`plant::Plant`].
 //!
-//! [`manager::RuntimeManager::run`] drives a full
-//! [`reprune_scenario::Scenario`] and returns per-tick records plus the
-//! violation / energy / recovery aggregates every end-to-end experiment
-//! reports.
+//! [`manager::RuntimeManager::run`] composes the stages in a fixed
+//! order, drives a full [`reprune_scenario::Scenario`], and returns
+//! per-tick records, the violation / energy / recovery aggregates every
+//! end-to-end experiment reports, and a bounded structured
+//! [`trace::TickTrace`] of typed stage events (dumpable as JSON-lines
+//! from the bench bins).
 
 #![deny(missing_docs)]
 
 mod error;
 
+pub mod defense;
 pub mod envelope;
 pub mod faults;
 pub mod fleet;
+pub mod knowledge;
 pub mod manager;
 pub mod monitor;
+pub mod plant;
 pub mod policy;
 pub mod record;
+pub mod restore;
+pub mod stages;
+pub mod trace;
 
 pub use envelope::SafetyEnvelope;
 pub use faults::{storm_events, FaultDefense, FaultPlan, OperatingState, StormConfig};
 pub use fleet::{plan_budget, BudgetPlan, FleetMember};
 pub use error::RuntimeError;
-pub use manager::{DeploymentScale, RestoreMechanism, RuntimeManager, RuntimeManagerConfig};
+pub use knowledge::{Knowledge, LevelKnowledge, TickBudget};
+pub use manager::{weather_to_context, DeploymentScale, RuntimeManager, RuntimeManagerConfig};
 pub use monitor::RiskEstimator;
+pub use plant::{Perception, Plant};
 pub use policy::Policy;
 pub use record::{RunResult, TickRecord};
+pub use restore::{ChainReport, RestoreChain, RestoreMechanism};
+pub use stages::{Analysis, Analyze, Directive, Execute, Monitor, Plan};
+pub use trace::{
+    ChainHop, DetectionSource, StageId, TickTrace, TraceEvent, TraceEventKind,
+};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, RuntimeError>;

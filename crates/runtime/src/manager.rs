@@ -1,51 +1,42 @@
-//! The Execute stage and the full MAPE-K loop.
+//! The MAPE-K runtime manager: pure orchestration over the stages.
+//!
+//! [`RuntimeManager::step`] wires the pipeline in a fixed order —
+//! environment fault injection, Monitor health, Execute reload/restore
+//! servicing, Analyze integrity + assessment, Plan, Execute, perception,
+//! state relaxation, record assembly — and owns no control logic of its
+//! own. The logic lives in the stage implementations
+//! ([`crate::stages`]), the restore chain ([`crate::restore`]), the
+//! defense ([`crate::defense`]), and the shared [`Knowledge`] base.
 
 use crate::envelope::SafetyEnvelope;
-use crate::faults::{self, FaultDefense, FaultPlan, OperatingState};
+use crate::faults::{FaultDefense, FaultPlan, OperatingState};
+use crate::knowledge::Knowledge;
 use crate::monitor::{RiskEstimator, RiskEstimatorConfig};
+use crate::plant::Plant;
 use crate::policy::Policy;
 use crate::record::{RunResult, TickRecord};
-use crate::{Result, RuntimeError};
-use reprune_nn::dataset::{render_scene, SceneContext, SCENE_CLASSES};
-use reprune_nn::{ExecPlan, Network, Scratch};
+use crate::restore::RestoreChain;
+use crate::stages::{
+    Analyze, ChainExecutor, DefaultAnalyze, DefaultMonitor, DefaultPlanner, Execute, Monitor, Plan,
+};
+use crate::trace::TickTrace;
+use crate::{defense, Result, RuntimeError};
+use reprune_nn::{Network, Scratch};
 use reprune_platform::profile::NetworkProfile;
-use reprune_platform::{
-    Bytes, InferenceCost, Joules, Seconds, SocModel, StorageError, StorageHealth,
-};
+use reprune_platform::{Bytes, Seconds, SocModel, StorageHealth};
 use reprune_prune::{
-    ladder_plans, weights_checksum, PruneError, ReversiblePruner, SnapshotRestore, SparsityLadder,
+    ladder_plans, weights_checksum, IntegrityStats, ReversiblePruner, SnapshotRestore,
+    SparsityLadder,
 };
-use reprune_scenario::{FaultEvent, FaultKind, OddSpec, Scenario, Tick, Weather};
+use reprune_scenario::{OddSpec, Scenario, Tick};
 use reprune_tensor::rng::Prng;
 use serde::{Deserialize, Serialize};
 
-/// How the runtime restores capacity when it lowers the ladder level.
-///
-/// All three mechanisms end in the same weights (the simulator uses the
-/// reversal log for state in every case); they differ in the *platform
-/// cost* charged and therefore in how long the network stays degraded —
-/// which is exactly what experiment F4 measures.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum RestoreMechanism {
-    /// The paper's reversal log: O(#evicted) scattered writes.
-    DeltaLog,
-    /// Full in-RAM snapshot copy.
-    Snapshot,
-    /// Reload the model image from storage (the conventional baseline for
-    /// irreversible pruning).
-    StorageReload,
-}
-
-impl std::fmt::Display for RestoreMechanism {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let s = match self {
-            RestoreMechanism::DeltaLog => "delta-log",
-            RestoreMechanism::Snapshot => "snapshot",
-            RestoreMechanism::StorageReload => "storage-reload",
-        };
-        write!(f, "{s}")
-    }
-}
+pub use crate::knowledge::LevelKnowledge;
+pub use crate::restore::RestoreMechanism;
+// Moved to `reprune_scenario` next to `Weather`; re-exported here for
+// compatibility with pre-refactor import paths.
+pub use reprune_scenario::weather_to_context;
 
 /// Scale factor mapping the tiny trainable reference model to a
 /// deployment-scale perception network (DESIGN.md §5): MACs, weight
@@ -63,20 +54,6 @@ impl Default for DeploymentScale {
         // network — ResNet-18 class, the size automotive stacks deploy.
         DeploymentScale { factor: 150.0 }
     }
-}
-
-/// Pre-profiled cost of running at one ladder level (the MAPE-K Knowledge
-/// base).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct LevelKnowledge {
-    /// Ladder level.
-    pub level: usize,
-    /// Nominal sparsity.
-    pub sparsity: f64,
-    /// Deployment-scale inference cost at this level.
-    pub inference: InferenceCost,
-    /// Reversal-log entries held when parked at this level (scaled).
-    pub log_entries: usize,
 }
 
 /// Configuration of the runtime manager.
@@ -102,6 +79,8 @@ pub struct RuntimeManagerConfig {
     /// How much of the fault-tolerance machinery is armed
     /// (see [`FaultDefense`]).
     pub defense: FaultDefense,
+    /// Capacity of the tick-event trace ring buffer.
+    pub trace_capacity: usize,
 }
 
 impl RuntimeManagerConfig {
@@ -117,6 +96,7 @@ impl RuntimeManagerConfig {
             frame_seed: 0,
             odd: OddSpec::permissive(),
             defense: FaultDefense::FullChain,
+            trace_capacity: crate::trace::DEFAULT_TRACE_CAPACITY,
         }
     }
 
@@ -161,108 +141,35 @@ impl RuntimeManagerConfig {
         self.defense = defense;
         self
     }
-}
 
-/// Maps scenario weather to the dataset rendering context.
-pub fn weather_to_context(weather: Weather) -> SceneContext {
-    match weather {
-        Weather::Clear => SceneContext::Clear,
-        Weather::Rain => SceneContext::Rain,
-        Weather::Night => SceneContext::Night,
-        Weather::Fog => SceneContext::Fog,
+    /// Sets the trace ring-buffer capacity.
+    pub fn trace_capacity(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
+        self
     }
 }
 
-struct PendingRestore {
-    target: usize,
-    ready_at: f64,
-}
-
-/// Ladder cap applied while [`OperatingState::Degraded`]: no pruning
-/// deeper than one level until the system is verified clean.
-const DEGRADED_MAX_LEVEL: usize = 1;
-
-/// Initial retry backoff after a refused storage reload, seconds.
-const RELOAD_BACKOFF_MIN_S: f64 = 0.2;
-
-/// Backoff ceiling for storage-reload retries, seconds.
-const RELOAD_BACKOFF_MAX_S: f64 = 6.4;
-
-/// What repair/fallback hops charged during one tick, and whether
-/// detection or repair fired.
-#[derive(Default)]
-struct ChainReport {
-    latency: Seconds,
-    energy: Joules,
-    detected: bool,
-    repaired: bool,
-}
-
-/// The MAPE-K runtime manager: owns the network, the reversible pruner,
-/// and the control loop that drives them through a scenario.
+/// The MAPE-K runtime manager: owns the plant, the knowledge base, the
+/// four stages, and the control loop that drives them through a
+/// scenario.
 pub struct RuntimeManager {
-    net: Network,
-    pruner: ReversiblePruner,
-    /// Packed live-row execution plan per ladder level: pruned-level
-    /// inference iterates only surviving GEMM rows.
-    plans: Vec<ExecPlan>,
-    /// Arena for the allocation-free inference path; lives as long as the
-    /// manager so steady-state ticks reuse every buffer.
-    scratch: Scratch,
     config: RuntimeManagerConfig,
-    knowledge: Vec<LevelKnowledge>,
-    estimator: RiskEstimator,
-    frame_rng: Prng,
-    pending: Option<PendingRestore>,
-    last_confidence: f64,
-    model_bytes: Bytes,
-    transitions: usize,
-    // --- Fault campaign state. ---
+    plant: Plant,
+    knowledge: Knowledge,
+    chain: RestoreChain,
+    monitor: Box<dyn Monitor>,
+    analyzer: Box<dyn Analyze>,
+    planner: Box<dyn Plan>,
+    executor: Box<dyn Execute>,
     plan: Option<FaultPlan>,
-    storage: StorageHealth,
-    /// Base weight image captured at attach: serves both as the in-RAM
-    /// snapshot fallback and as the (pristine) storage model image.
-    snapshot: SnapshotRestore,
-    /// Bit-flips that have landed in the in-RAM snapshot region; applied
-    /// to the restored weights when the snapshot hop is used.
-    snapshot_flips: u32,
-    /// RNG realizing snapshot-region corruption deterministically.
-    corruption_rng: Prng,
-    op_state: OperatingState,
-    /// Sealed whole-weights checksum, re-verified every tick when the
-    /// defense includes checksums; resealed after every trusted
-    /// transition.
-    sealed_checksum: u64,
-    /// Live weights are known to disagree with the sealed checksum.
-    integrity_bad: bool,
-    /// The reversal log holds a detected-but-unrepaired corrupt segment.
-    log_bad: bool,
-    /// Ground-truth twin: same commanded levels, never faulted. A tick's
-    /// inference is *corrupt* iff the live weights differ from the twin's.
-    mirror_net: Network,
-    mirror_pruner: ReversiblePruner,
-    mirror_checksum: u64,
-    manual_sensor_failed: bool,
-    manual_confidence_failed: bool,
-    sensor_fault_until: f64,
-    confidence_fault_until: f64,
-    overrun_until: f64,
-    overrun_extra_s: f64,
-    reload_wanted: bool,
-    pending_reload: Option<f64>,
-    reload_backoff_s: f64,
-    next_reload_attempt_s: f64,
-    faults_injected: usize,
-    faults_detected: usize,
-    faults_repaired: usize,
-    fault_onset: Option<f64>,
-    fault_recoveries: Vec<f64>,
+    trace: TickTrace,
 }
 
 impl RuntimeManager {
     /// Attaches the runtime to a trained network with a pre-built ladder.
     ///
-    /// Profiles every ladder level once (the Knowledge base).
+    /// Profiles every ladder level once (the Knowledge base) and
+    /// installs the default stage implementations.
     ///
     /// # Errors
     ///
@@ -281,12 +188,12 @@ impl RuntimeManager {
             )));
         }
         let input_dims = [1, reprune_nn::dataset::SCENE_SIZE, reprune_nn::dataset::SCENE_SIZE];
-        let mut knowledge = Vec::with_capacity(ladder.num_levels());
+        let mut levels = Vec::with_capacity(ladder.num_levels());
         for k in 0..ladder.num_levels() {
             let level = ladder.level(k)?;
             let profile = NetworkProfile::of_masked(&net, &input_dims, Some(&level.masks))?
                 .scaled(config.scale.factor);
-            knowledge.push(LevelKnowledge {
+            levels.push(LevelKnowledge {
                 level: k,
                 sparsity: level.sparsity,
                 inference: config.soc.inference_cost(&profile),
@@ -311,8 +218,7 @@ impl RuntimeManager {
         }
         let snapshot = SnapshotRestore::capture(&net);
         let sealed_checksum = weights_checksum(&net);
-        Ok(RuntimeManager {
-            estimator: RiskEstimator::new(config.estimator),
+        let plant = Plant {
             frame_rng: Prng::new(config.frame_seed),
             corruption_rng: Prng::new(config.frame_seed ^ 0xc0_44u64),
             mirror_checksum: sealed_checksum,
@@ -320,58 +226,88 @@ impl RuntimeManager {
             pruner,
             plans,
             scratch: Scratch::new(),
-            knowledge,
-            pending: None,
-            last_confidence: 1.0,
-            model_bytes,
-            transitions: 0,
-            plan: None,
-            storage: StorageHealth::new(),
             snapshot,
-            snapshot_flips: 0,
-            op_state: OperatingState::Normal,
-            sealed_checksum,
-            integrity_bad: false,
-            log_bad: false,
             mirror_net,
             mirror_pruner,
-            manual_sensor_failed: false,
-            manual_confidence_failed: false,
-            sensor_fault_until: f64::NEG_INFINITY,
-            confidence_fault_until: f64::NEG_INFINITY,
-            overrun_until: f64::NEG_INFINITY,
-            overrun_extra_s: 0.0,
-            reload_wanted: false,
-            pending_reload: None,
-            reload_backoff_s: RELOAD_BACKOFF_MIN_S,
-            next_reload_attempt_s: f64::NEG_INFINITY,
-            faults_injected: 0,
-            faults_detected: 0,
-            faults_repaired: 0,
-            fault_onset: None,
-            fault_recoveries: Vec::new(),
+            storage: StorageHealth::new(),
+        };
+        let knowledge = Knowledge::new(levels, model_bytes, sealed_checksum);
+        let chain = RestoreChain {
+            mechanism: config.mechanism,
+            scale_factor: config.scale.factor,
+            soc: config.soc.clone(),
+            model_bytes,
+            defense: config.defense,
+        };
+        let armed = config.defense != FaultDefense::None;
+        Ok(RuntimeManager {
+            monitor: Box::new(DefaultMonitor::new(RiskEstimator::new(config.estimator), armed)),
+            analyzer: Box::new(DefaultAnalyze::new(config.envelope.clone(), config.odd.clone())),
+            planner: Box::new(DefaultPlanner::new(config.policy.clone(), config.envelope.clone())),
+            executor: Box::new(ChainExecutor),
+            plant,
+            knowledge,
+            chain,
+            plan: None,
+            trace: TickTrace::new(config.trace_capacity),
             config,
         })
     }
 
     /// The per-level Knowledge base.
     pub fn knowledge(&self) -> &[LevelKnowledge] {
+        &self.knowledge.levels
+    }
+
+    /// The full cross-stage knowledge base.
+    pub fn knowledge_state(&self) -> &Knowledge {
         &self.knowledge
     }
 
     /// Current effective ladder level.
     pub fn current_level(&self) -> usize {
-        self.pruner.current_level()
+        self.plant.pruner.current_level()
     }
 
     /// Shared access to the managed network.
     pub fn network(&self) -> &Network {
-        &self.net
+        &self.plant.net
     }
 
     /// Number of ladder transitions executed so far.
     pub fn transitions(&self) -> usize {
-        self.transitions
+        self.knowledge.transitions
+    }
+
+    /// The structured stage-event trace recorded so far.
+    pub fn trace(&self) -> &TickTrace {
+        &self.trace
+    }
+
+    /// Integrity-action counters of the reversible pruner (verified
+    /// pops, scrub checks, shadow repairs, corruption hits).
+    pub fn pruner_integrity(&self) -> IntegrityStats {
+        self.plant.pruner.integrity_stats()
+    }
+
+    /// Replaces the Monitor stage (per-fleet-member estimators).
+    pub fn set_monitor(&mut self, monitor: Box<dyn Monitor>) {
+        self.monitor = monitor;
+    }
+
+    /// Replaces the Analyze stage.
+    pub fn set_analyzer(&mut self, analyzer: Box<dyn Analyze>) {
+        self.analyzer = analyzer;
+    }
+
+    /// Replaces the Plan stage.
+    pub fn set_planner(&mut self, planner: Box<dyn Plan>) {
+        self.planner = planner;
+    }
+
+    /// Replaces the Execute stage.
+    pub fn set_executor(&mut self, executor: Box<dyn Execute>) {
+        self.executor = executor;
     }
 
     /// Injects or clears a risk-sensor failure (failure injection for
@@ -379,15 +315,13 @@ impl RuntimeManager {
     /// toward the configured fail-safe risk, which makes the adaptive
     /// policy restore capacity.
     pub fn set_sensor_failed(&mut self, failed: bool) {
-        self.manual_sensor_failed = failed;
-        self.estimator.set_sensor_failed(failed);
+        self.knowledge.manual_sensor_failed = failed;
     }
 
     /// Injects or clears a confidence-signal dropout. While failed, the
     /// Monitor charges the worst-case confidence deficit (fail-safe).
     pub fn set_confidence_failed(&mut self, failed: bool) {
-        self.manual_confidence_failed = failed;
-        self.estimator.set_confidence_failed(failed);
+        self.knowledge.manual_confidence_failed = failed;
     }
 
     /// Installs a fault campaign to execute against the next run. Pass
@@ -400,337 +334,28 @@ impl RuntimeManager {
 
     /// Current rung of the degradation state machine.
     pub fn op_state(&self) -> OperatingState {
-        self.op_state
+        self.knowledge.op_state
     }
 
     /// Health of the model-image storage device.
     pub fn storage(&self) -> &StorageHealth {
-        &self.storage
+        &self.plant.storage
     }
 
     /// Effective fault injections so far (windows at onset; bit-flips
     /// that actually landed).
     pub fn faults_injected(&self) -> usize {
-        self.faults_injected
+        self.knowledge.faults_injected
     }
 
     /// Faults the armed defense noticed.
     pub fn faults_detected(&self) -> usize {
-        self.faults_detected
+        self.knowledge.faults_detected
     }
 
     /// Faults resolved by repair or a successful fallback restore.
     pub fn faults_repaired(&self) -> usize {
-        self.faults_repaired
-    }
-
-    fn restore_latency(&self, entries_restored: usize) -> Seconds {
-        match self.config.mechanism {
-            RestoreMechanism::DeltaLog => self
-                .config
-                .soc
-                .delta_restore_latency((entries_restored as f64 * self.config.scale.factor) as usize),
-            RestoreMechanism::Snapshot => {
-                self.config.soc.snapshot_restore_latency(self.model_bytes)
-            }
-            RestoreMechanism::StorageReload => {
-                self.config.soc.storage_reload_latency(self.model_bytes)
-            }
-        }
-    }
-
-    fn restore_energy(&self, entries_restored: usize) -> Joules {
-        match self.config.mechanism {
-            RestoreMechanism::DeltaLog => self
-                .config
-                .soc
-                .delta_restore_energy((entries_restored as f64 * self.config.scale.factor) as usize),
-            RestoreMechanism::Snapshot => {
-                let lat = self.config.soc.snapshot_restore_latency(self.model_bytes);
-                Joules(
-                    2.0 * self.model_bytes.as_f64() * self.config.soc.energy_per_dram_byte
-                        + lat.0 * self.config.soc.idle_power_watts,
-                )
-            }
-            RestoreMechanism::StorageReload => {
-                self.config.soc.storage_reload_energy(self.model_bytes)
-            }
-        }
-    }
-
-    /// Reseals the whole-weights checksum after a trusted transition.
-    fn reseal(&mut self) {
-        self.sealed_checksum = weights_checksum(&self.net);
-    }
-
-    /// Whether any self-announcing fault window is active at `t`.
-    fn windows_active(&self, t: f64) -> bool {
-        t < self.sensor_fault_until
-            || t < self.confidence_fault_until
-            || t < self.overrun_until
-            || self.storage.is_unavailable_at(t)
-            || self.storage.bandwidth_factor_at(t) < 1.0
-    }
-
-    /// Escalates the degradation state machine (never de-escalates).
-    fn enter_state(&mut self, state: OperatingState, t: f64) {
-        if state > self.op_state {
-            if self.op_state == OperatingState::Normal && self.fault_onset.is_none() {
-                self.fault_onset = Some(t);
-            }
-            self.op_state = state;
-        }
-    }
-
-    /// De-escalates once the triggering conditions have cleared:
-    /// `MinimalRisk → Degraded` when full capacity is reached and
-    /// verified, `Degraded → Normal` when nothing is unresolved and no
-    /// fault window is active.
-    fn relax_state(&mut self, t: f64) {
-        // A bit-exact level-0 state clears a weights-integrity flag even
-        // without the repair chain: the attach-time base checksum is a
-        // known-good reference at full capacity.
-        if self.integrity_bad
-            && self.pending_reload.is_none()
-            && self.pruner.current_level() == 0
-            && self.pruner.verify_restored(&self.net).is_ok()
-        {
-            self.integrity_bad = false;
-            self.reseal();
-        }
-        let unresolved = self.integrity_bad
-            || self.log_bad
-            || self.reload_wanted
-            || self.pending_reload.is_some();
-        if self.op_state == OperatingState::MinimalRisk
-            && !unresolved
-            && self.pruner.current_level() == 0
-        {
-            self.op_state = OperatingState::Degraded;
-        }
-        if self.op_state == OperatingState::Degraded && !unresolved && !self.windows_active(t) {
-            self.op_state = OperatingState::Normal;
-            if let Some(onset) = self.fault_onset.take() {
-                self.fault_recoveries.push(t - onset);
-            }
-        }
-    }
-
-    /// Realizes one scheduled fault event against the live system.
-    fn apply_fault(
-        &mut self,
-        ev: &FaultEvent,
-        rng: &mut Prng,
-        injected: &mut u32,
-        detected: &mut bool,
-    ) {
-        // Window faults are self-announcing: an armed health monitor
-        // notices them at onset. Bit-flips are only caught by checksums.
-        let armed = self.config.defense != FaultDefense::None;
-        let mut announce = |this: &mut Self| {
-            *injected += 1;
-            if armed {
-                *detected = true;
-                this.faults_detected += 1;
-            }
-        };
-        match ev.kind {
-            FaultKind::SensorBlackout { duration_s } => {
-                self.sensor_fault_until = self.sensor_fault_until.max(ev.start_s + duration_s);
-                announce(self);
-            }
-            FaultKind::ConfidenceDropout { duration_s } => {
-                self.confidence_fault_until =
-                    self.confidence_fault_until.max(ev.start_s + duration_s);
-                announce(self);
-            }
-            FaultKind::StorageTransient { duration_s } => {
-                self.storage.inject_transient(ev.start_s, duration_s);
-                announce(self);
-            }
-            FaultKind::StoragePermanent => {
-                self.storage.fail_permanently();
-                announce(self);
-            }
-            FaultKind::StorageDegraded {
-                bandwidth_factor,
-                duration_s,
-            } => {
-                self.storage
-                    .inject_degradation(ev.start_s, duration_s, bandwidth_factor);
-                announce(self);
-            }
-            FaultKind::ExecOverrun {
-                extra_ms,
-                duration_s,
-            } => {
-                self.overrun_until = self.overrun_until.max(ev.start_s + duration_s);
-                self.overrun_extra_s = extra_ms / 1000.0;
-                announce(self);
-            }
-            FaultKind::LogBitFlip { flips } => {
-                for _ in 0..flips {
-                    if self.pruner.inject_log_bitflip(rng) {
-                        *injected += 1;
-                    }
-                }
-            }
-            FaultKind::WeightBitFlip { flips } => {
-                // The in-RAM snapshot occupies as much DRAM as the live
-                // weights, so an upset is equally likely to land in
-                // either region (the snapshot damage only surfaces when
-                // the snapshot hop is used).
-                for _ in 0..flips {
-                    if rng.next_bool(0.5) {
-                        self.snapshot_flips += 1;
-                        *injected += 1;
-                    } else if faults::inject_weight_bitflip(&mut self.net, rng) {
-                        *injected += 1;
-                    }
-                }
-            }
-        }
-    }
-
-    /// Applies `target` through the restore fallback chain:
-    /// delta restore → shadow repair + retry → in-RAM snapshot →
-    /// storage reload (scheduled with backoff by the caller's tick loop).
-    fn set_level_chain(&mut self, target: usize, t: f64) -> Result<ChainReport> {
-        let mut rep = ChainReport::default();
-        let mut repairs = 0usize;
-        loop {
-            match self.pruner.set_level(&mut self.net, target) {
-                Ok(tr) => {
-                    if tr.from != tr.to {
-                        self.transitions += 1;
-                        self.reseal();
-                    }
-                    return Ok(rep);
-                }
-                Err(PruneError::LogCorruption { segment, .. }) => {
-                    rep.detected = true;
-                    if !self.log_bad {
-                        self.faults_detected += 1;
-                    }
-                    self.enter_state(OperatingState::Degraded, t);
-                    if self.config.defense != FaultDefense::FullChain {
-                        // Checksum-only: detected but unrepairable. The
-                        // log below the corrupt segment is unusable, so
-                        // full capacity is unreachable: minimal risk.
-                        self.log_bad = true;
-                        self.enter_state(OperatingState::MinimalRisk, t);
-                        return Ok(rep);
-                    }
-                    repairs += 1;
-                    if repairs <= self.pruner.log_segments() + 1
-                        && self.pruner.repair_segment(segment).is_ok()
-                    {
-                        // Hop 2: shadow-copy repair, then retry the
-                        // delta restore. The repair rewrites the
-                        // segment, priced as one more delta pass.
-                        rep.repaired = true;
-                        self.faults_repaired += 1;
-                        self.log_bad = false;
-                        rep.latency += self.config.soc.delta_restore_latency(
-                            (self.entries_between(target, self.pruner.current_level()) as f64
-                                * self.config.scale.factor) as usize,
-                        );
-                        continue;
-                    }
-                    // Hop 3: in-RAM snapshot (storage reload inside if
-                    // the snapshot is itself corrupt).
-                    self.log_bad = true;
-                    self.fallback_snapshot(t, &mut rep)?;
-                    return Ok(rep);
-                }
-                Err(e) => return Err(e.into()),
-            }
-        }
-    }
-
-    /// Hop 3 of the chain: full restore from the in-RAM snapshot. Falls
-    /// through to a storage reload when the snapshot region was hit by
-    /// bit-flips (caught by the attach-time base checksum).
-    fn fallback_snapshot(&mut self, t: f64, rep: &mut ChainReport) -> Result<()> {
-        let lat = self.config.soc.snapshot_restore_latency(self.model_bytes);
-        rep.latency += lat;
-        rep.energy += Joules(
-            2.0 * self.model_bytes.as_f64() * self.config.soc.energy_per_dram_byte
-                + lat.0 * self.config.soc.idle_power_watts,
-        );
-        self.snapshot.restore(&mut self.net)?;
-        // The snapshot region is DRAM too: flips that landed there
-        // surface in the restored copy.
-        for _ in 0..self.snapshot_flips {
-            faults::inject_weight_bitflip(&mut self.net, &mut self.corruption_rng);
-        }
-        match self.pruner.adopt_full_restore(&self.net) {
-            Ok(()) => {
-                self.transitions += 1;
-                self.log_bad = false;
-                self.integrity_bad = false;
-                self.reseal();
-                rep.repaired = true;
-                self.faults_repaired += 1;
-                Ok(())
-            }
-            Err(PruneError::IntegrityViolation { .. }) => {
-                // Hop 4: the snapshot is corrupt too — reload the model
-                // image from storage.
-                rep.detected = true;
-                self.faults_detected += 1;
-                self.integrity_bad = true;
-                self.enter_state(OperatingState::MinimalRisk, t);
-                self.reload_wanted = true;
-                self.try_storage_reload(t, rep);
-                Ok(())
-            }
-            Err(e) => Err(e.into()),
-        }
-    }
-
-    /// Hop 4: schedule a full model-image reload from storage, backing
-    /// off exponentially (bounded) while the device refuses reads.
-    fn try_storage_reload(&mut self, t: f64, rep: &mut ChainReport) {
-        if self.pending_reload.is_some() {
-            return;
-        }
-        match self
-            .storage
-            .read_latency(&self.config.soc, self.model_bytes, t)
-        {
-            Ok(lat) => {
-                rep.latency += lat;
-                rep.energy += self.config.soc.storage_reload_energy(self.model_bytes);
-                self.pending_reload = Some(t + lat.0);
-                self.reload_backoff_s = RELOAD_BACKOFF_MIN_S;
-            }
-            Err(StorageError::TransientFailure) => {
-                self.next_reload_attempt_s = t + self.reload_backoff_s;
-                self.reload_backoff_s = (self.reload_backoff_s * 2.0).min(RELOAD_BACKOFF_MAX_S);
-            }
-            Err(StorageError::PermanentFailure) => {
-                // No reload will ever succeed; the state machine keeps
-                // the system parked in minimal risk.
-                self.next_reload_attempt_s = f64::INFINITY;
-            }
-        }
-    }
-
-    /// Completes a scheduled storage reload: the image that crossed the
-    /// storage bus is pristine, so this always rebases cleanly.
-    fn complete_storage_reload(&mut self) -> Result<()> {
-        self.snapshot.restore(&mut self.net)?;
-        self.pruner.adopt_full_restore(&self.net)?;
-        self.transitions += 1;
-        self.reload_wanted = false;
-        self.integrity_bad = false;
-        self.log_bad = false;
-        // Reloading also refreshes the in-RAM snapshot copy.
-        self.snapshot_flips = 0;
-        self.reseal();
-        self.faults_repaired += 1;
-        Ok(())
+        self.knowledge.faults_repaired
     }
 
     /// Runs one MAPE-K iteration for a scenario tick, returning the
@@ -740,257 +365,104 @@ impl RuntimeManager {
     ///
     /// Propagates pruning/inference errors.
     pub fn step(&mut self, tick: &Tick, dt: f64) -> Result<TickRecord> {
-        let mut transition_latency = Seconds::ZERO;
-        let mut transition_energy = Joules::ZERO;
-        // Work done synchronously inside this tick, counted against the
-        // control deadline (scheduled multi-tick restores are not).
-        let mut sync_latency = 0.0f64;
-        let mut tick_injected = 0u32;
-        let mut tick_detected = false;
-        let mut tick_repaired = false;
-
-        // --- Fault injection: fire scheduled events up to this tick. ---
-        if let Some(mut plan) = self.plan.take() {
-            for ev in plan.fire_until(tick.t) {
-                self.apply_fault(&ev, plan.rng_mut(), &mut tick_injected, &mut tick_detected);
-            }
-            self.plan = Some(plan);
-        }
-        self.faults_injected += tick_injected as usize;
-        // Monitor channels follow manual overrides OR scheduled windows.
-        self.estimator
-            .set_sensor_failed(self.manual_sensor_failed || tick.t < self.sensor_fault_until);
-        self.estimator.set_confidence_failed(
-            self.manual_confidence_failed || tick.t < self.confidence_fault_until,
+        let (k, plant, chain, trace) = (
+            &mut self.knowledge,
+            &mut self.plant,
+            &self.chain,
+            &mut self.trace,
         );
-        // An armed health monitor pins the system at least at Degraded
-        // while any fault window is active.
-        if self.config.defense != FaultDefense::None && self.windows_active(tick.t) {
-            self.enter_state(OperatingState::Degraded, tick.t);
-        }
+        k.begin_tick();
 
-        // --- Complete or retry a pending storage reload. ---
-        if let Some(ready) = self.pending_reload {
-            if tick.t + 1e-9 >= ready {
-                self.pending_reload = None;
-                self.complete_storage_reload()?;
-                tick_repaired = true;
-            }
-        }
-        if self.reload_wanted
-            && self.pending_reload.is_none()
-            && tick.t >= self.next_reload_attempt_s
-        {
-            let mut rep = ChainReport::default();
-            self.try_storage_reload(tick.t, &mut rep);
-            transition_latency += rep.latency;
-            transition_energy += rep.energy;
-        }
+        // Environment: fire scheduled fault events up to this tick.
+        let armed = self.config.defense != FaultDefense::None;
+        defense::inject_scheduled(&mut self.plan, k, plant, armed, tick, trace);
 
-        // --- Defense: background scrub + sealed-checksum verification. ---
-        if self.config.defense == FaultDefense::FullChain && self.pending_reload.is_none() {
-            if let Err(PruneError::LogCorruption { segment, .. }) = self.pruner.scrub_step() {
-                tick_detected = true;
-                self.faults_detected += 1;
-                self.enter_state(OperatingState::Degraded, tick.t);
-                if self.pruner.repair_segment(segment).is_ok() {
-                    tick_repaired = true;
-                    self.faults_repaired += 1;
-                } else {
-                    self.log_bad = true;
-                }
-            }
-        }
-        if self.config.defense != FaultDefense::None
-            && self.pending_reload.is_none()
-            && !self.integrity_bad
-            && weights_checksum(&self.net) != self.sealed_checksum
-        {
-            tick_detected = true;
-            self.faults_detected += 1;
-            self.integrity_bad = true;
-            self.enter_state(OperatingState::Degraded, tick.t);
-            if self.config.defense == FaultDefense::FullChain {
-                let mut rep = ChainReport::default();
-                self.fallback_snapshot(tick.t, &mut rep)?;
-                transition_latency += rep.latency;
-                transition_energy += rep.energy;
-                sync_latency += rep.latency.0;
-                tick_repaired |= rep.repaired;
-            } else {
-                // Detected but unrepairable: force minimal risk.
-                self.enter_state(OperatingState::MinimalRisk, tick.t);
-            }
-        }
+        // Monitor: channel health and fault-window escalation.
+        self.monitor.observe_health(k, plant, tick, trace);
 
-        // --- Complete a pending (multi-tick) ladder restore. ---
-        if self.pending_reload.is_none() {
-            if let Some(p) = &self.pending {
-                if tick.t + 1e-9 >= p.ready_at {
-                    let target = p.target;
-                    self.pending = None;
-                    let rep = self.set_level_chain(target, tick.t)?;
-                    transition_latency += rep.latency;
-                    transition_energy += rep.energy;
-                    sync_latency += rep.latency.0;
-                    tick_detected |= rep.detected;
-                    tick_repaired |= rep.repaired;
-                }
-            }
-        }
+        // Execute (async half): complete or retry a pending storage
+        // reload before anything else touches the weights.
+        self.executor.service_reload(k, plant, chain, tick, trace)?;
+
+        // Analyze (defense half): background scrub + sealed checksum.
+        self.analyzer.verify_integrity(k, plant, chain, tick, trace)?;
+
+        // Execute (async half): complete a due multi-tick ladder restore.
+        self.executor.service_restore(k, plant, chain, tick, trace)?;
 
         // Monitor: fuse risk sensor + last confidence.
-        let estimated = self.estimator.observe(tick.risk, self.last_confidence);
+        let estimated = self.monitor.estimate(k, tick);
 
-        // Analyze + Plan (degradation states cap the planned level).
-        let current = self.effective_level();
-        let inside_odd = self.config.odd.contains(tick);
-        let planned = if inside_odd {
-            self.config.policy.decide(&self.config.envelope, estimated, tick.risk, current)
-        } else {
-            // Outside the ODD the safety case does not cover degraded
-            // perception: minimal-risk response is full capacity.
-            0
-        };
-        let target = match self.op_state {
-            OperatingState::Normal => planned,
-            OperatingState::Degraded => planned.min(DEGRADED_MAX_LEVEL),
-            OperatingState::MinimalRisk => 0,
-        };
+        // Analyze: ODD membership and envelope cap.
+        let analysis = self.analyzer.assess(k, tick, estimated);
 
-        // Execute (blocked while a full storage reload is in flight).
-        if self.pending_reload.is_some() {
-            // Nothing: the network serves as-is until the image arrives.
-        } else if self.pending.is_none() && target != self.pruner.current_level() {
-            if target > self.pruner.current_level() {
-                // Pruning deeper: in-place mask application, sub-tick cost.
-                let before = self.pruner.log_entries();
-                let t = self.pruner.set_level(&mut self.net, target)?;
-                if t.from != t.to {
-                    self.transitions += 1;
-                }
-                self.reseal();
-                let pushed = self.pruner.log_entries() - before;
-                let lat = self
-                    .config
-                    .soc
-                    .delta_restore_latency((pushed as f64 * self.config.scale.factor) as usize);
-                transition_latency += lat;
-                sync_latency += lat.0;
-                transition_energy += self.restore_energy(pushed);
-            } else {
-                // Restoring capacity: charge the configured mechanism.
-                let entries = self.entries_between(target, self.pruner.current_level());
-                let latency = self.restore_latency(entries);
-                transition_latency += latency;
-                transition_energy += self.restore_energy(entries);
-                if latency.0 <= dt {
-                    sync_latency += latency.0;
-                    let rep = self.set_level_chain(target, tick.t)?;
-                    transition_latency += rep.latency;
-                    transition_energy += rep.energy;
-                    sync_latency += rep.latency.0;
-                    tick_detected |= rep.detected;
-                    tick_repaired |= rep.repaired;
-                } else {
-                    self.pending = Some(PendingRestore {
-                        target,
-                        ready_at: tick.t + latency.0,
-                    });
-                }
-            }
-        } else if let Some(p) = &mut self.pending {
-            // A deeper emergency while already restoring: retarget lower.
-            if target < p.target {
-                p.target = target;
-            }
-        }
+        // Plan: level selection under the degradation caps.
+        let current = plant.pruner.current_level();
+        let directive = self.planner.plan(k, &analysis, current, tick, trace);
+
+        // Execute: drive the pruner toward the target.
+        self.executor
+            .apply(k, plant, chain, &directive, tick, dt, trace)?;
 
         // Ground-truth twin follows the same effective level, fault-free.
-        let lvl = self.pruner.current_level();
-        if self.mirror_pruner.current_level() != lvl {
-            self.mirror_pruner.set_level(&mut self.mirror_net, lvl)?;
-            self.mirror_checksum = weights_checksum(&self.mirror_net);
-        }
+        plant.sync_mirror()?;
 
         // Perception: render a frame for the current context and classify.
-        let context = weather_to_context(tick.weather);
-        let label = self.frame_rng.next_below(SCENE_CLASSES);
-        let sample = render_scene(label, context, &mut self.frame_rng);
-        let (pred, confidence) =
-            self.net
-                .predict_with(&sample.input, self.plans.get(lvl), &mut self.scratch)?;
-        self.last_confidence = confidence as f64;
-
-        // Ground truth (experiment-side, invisible to the defense): did
-        // this inference run on weights that differ from the twin's?
-        let corrupt_inference = weights_checksum(&self.net) != self.mirror_checksum;
+        let seen = plant.infer(tick.weather)?;
+        k.last_confidence = seen.confidence;
 
         // De-escalate once fault triggers have cleared.
-        self.relax_state(tick.t);
+        k.relax_state(plant, tick.t, trace);
 
-        let effective = self.effective_level();
-        let k = &self.knowledge[effective];
-        let overrun = if tick.t < self.overrun_until {
-            self.overrun_extra_s
+        // Record assembly.
+        let effective = plant.pruner.current_level();
+        let lk = k.levels[effective].clone();
+        let overrun = if tick.t < k.overrun_until {
+            k.overrun_extra_s
         } else {
             0.0
         };
-        let inference_latency = Seconds(k.inference.latency.0 + overrun);
-        let max_allowed = self.config.envelope.max_level(tick.risk);
-        let violation = effective > max_allowed
-            || (!inside_odd && effective > 0)
-            || (self.op_state == OperatingState::MinimalRisk
-                && (effective > 0 || self.integrity_bad));
+        let inference_latency = Seconds(lk.inference.latency.0 + overrun);
+        let violation = effective > analysis.max_allowed_level
+            || (!analysis.inside_odd && effective > 0)
+            || (k.op_state == OperatingState::MinimalRisk && (effective > 0 || k.integrity_bad));
+        let deadline_miss = inference_latency.0 + k.tick.sync_latency_s > dt;
+        if deadline_miss {
+            k.note_deadline_miss(
+                tick.t,
+                inference_latency.0 + k.tick.sync_latency_s,
+                dt,
+                trace,
+            );
+        }
         Ok(TickRecord {
             t: tick.t,
             true_risk: tick.risk,
             estimated_risk: estimated,
             level: effective,
-            sparsity: k.sparsity,
-            max_allowed_level: max_allowed,
-            odd_exit: !inside_odd,
+            sparsity: lk.sparsity,
+            max_allowed_level: analysis.max_allowed_level,
+            odd_exit: !analysis.inside_odd,
             violation,
-            correct: pred == label,
-            confidence: confidence as f64,
-            inference_energy: k.inference.energy,
+            correct: seen.pred == seen.label,
+            confidence: seen.confidence,
+            inference_energy: lk.inference.energy,
             inference_latency,
-            transition_energy,
-            transition_latency,
+            transition_energy: k.tick.transition_energy,
+            transition_latency: k.tick.transition_latency,
             segment: tick.segment,
             weather: tick.weather,
-            op_state: self.op_state,
-            faults_injected: tick_injected,
-            fault_detected: tick_detected,
-            fault_repaired: tick_repaired,
-            corrupt_inference,
-            deadline_miss: inference_latency.0 + sync_latency > dt,
+            op_state: k.op_state,
+            faults_injected: k.tick.injected,
+            fault_detected: k.tick.detected,
+            fault_repaired: k.tick.repaired,
+            corrupt_inference: seen.corrupt_inference,
+            deadline_miss,
         })
     }
 
-    /// Level currently *effective* for safety purposes: while a restore is
-    /// pending the network still runs degraded.
-    fn effective_level(&self) -> usize {
-        self.pruner.current_level()
-    }
-
-    fn entries_between(&self, low: usize, high: usize) -> usize {
-        let a = self
-            .pruner
-            .ladder()
-            .level(low)
-            .map(|l| l.masks.pruned_count())
-            .unwrap_or(0);
-        let b = self
-            .pruner
-            .ladder()
-            .level(high)
-            .map(|l| l.masks.pruned_count())
-            .unwrap_or(0);
-        b.saturating_sub(a)
-    }
-
-    /// Drives a whole scenario, returning per-tick records and aggregates.
+    /// Drives a whole scenario, returning per-tick records, aggregates,
+    /// and the stage-event trace.
     ///
     /// # Errors
     ///
@@ -1003,11 +475,11 @@ impl RuntimeManager {
         }
         let dt = scenario.config().dt_s;
         let mut records = Vec::with_capacity(scenario.ticks().len());
-        let mut total_energy = Joules::ZERO;
+        let mut total_energy = reprune_platform::Joules::ZERO;
         let mut violations = 0usize;
         let mut recovery_latencies = Vec::new();
         let mut recovery_start: Option<f64> = None;
-        let dense = self.knowledge[0].inference.energy;
+        let dense = self.knowledge.levels[0].inference.energy;
         for tick in scenario.ticks() {
             let rec = self.step(tick, dt)?;
             total_energy += rec.inference_energy + rec.transition_energy;
@@ -1022,599 +494,21 @@ impl RuntimeManager {
             records.push(rec);
         }
         Ok(RunResult {
-            policy: self.config.policy.name(),
+            policy: self.planner.policy_name(),
             mechanism: self.config.mechanism.to_string(),
             defense: self.config.defense.to_string(),
             dense_energy: dense * records.len() as f64,
             total_energy,
             violations,
             recovery_latencies,
-            transitions: self.transitions,
-            faults_injected: self.faults_injected,
-            faults_detected: self.faults_detected,
-            faults_repaired: self.faults_repaired,
-            fault_recovery_latencies: self.fault_recoveries.clone(),
+            transitions: self.knowledge.transitions,
+            faults_injected: self.knowledge.faults_injected,
+            faults_detected: self.knowledge.faults_detected,
+            faults_repaired: self.knowledge.faults_repaired,
+            fault_recovery_latencies: self.knowledge.fault_recoveries.clone(),
+            trace_dropped: self.trace.dropped(),
+            trace: self.trace.drain(),
             records,
         })
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::faults::StormConfig;
-    use crate::policy::AdaptiveConfig;
-    use reprune_nn::models;
-    use reprune_prune::{LadderConfig, PruneCriterion};
-    use reprune_scenario::{ScenarioConfig, SegmentKind};
-
-    fn ladder_net() -> (Network, SparsityLadder) {
-        let net = models::default_perception_cnn(1).unwrap();
-        let ladder = LadderConfig::new(vec![0.0, 0.3, 0.6, 0.9])
-            .criterion(PruneCriterion::ChannelL2)
-            .build(&net)
-            .unwrap();
-        (net, ladder)
-    }
-
-    fn env() -> SafetyEnvelope {
-        SafetyEnvelope::new(vec![0.6, 0.4, 0.2]).unwrap()
-    }
-
-    fn manager(policy: Policy, mech: RestoreMechanism) -> RuntimeManager {
-        let (net, ladder) = ladder_net();
-        RuntimeManager::attach(
-            net,
-            ladder,
-            RuntimeManagerConfig::new(policy, env()).mechanism(mech),
-        )
-        .unwrap()
-    }
-
-    fn calm_scenario(seed: u64) -> Scenario {
-        ScenarioConfig::new()
-            .duration_s(30.0)
-            .seed(seed)
-            .start_segment(SegmentKind::Highway)
-            .event_rate_scale(0.0)
-            .fixed_weather(Weather::Clear)
-            .generate()
-    }
-
-    #[test]
-    fn attach_validates_envelope_size() {
-        let (net, ladder) = ladder_net();
-        let bad_env = SafetyEnvelope::new(vec![0.5]).unwrap(); // 2 levels vs 4
-        assert!(RuntimeManager::attach(
-            net,
-            ladder,
-            RuntimeManagerConfig::new(Policy::NoPruning, bad_env)
-        )
-        .is_err());
-    }
-
-    #[test]
-    fn knowledge_costs_decrease_with_level() {
-        let m = manager(Policy::NoPruning, RestoreMechanism::DeltaLog);
-        let k = m.knowledge();
-        assert_eq!(k.len(), 4);
-        for pair in k.windows(2) {
-            assert!(pair[1].inference.energy.0 < pair[0].inference.energy.0);
-            assert!(pair[1].log_entries > pair[0].log_entries);
-        }
-        assert_eq!(k[0].log_entries, 0);
-    }
-
-    #[test]
-    fn no_pruning_never_violates_and_saves_nothing() {
-        let mut m = manager(Policy::NoPruning, RestoreMechanism::DeltaLog);
-        let r = m.run(&calm_scenario(1)).unwrap();
-        assert_eq!(r.violations, 0);
-        assert!(r.energy_saved_fraction().abs() < 1e-9);
-        assert!(r.records.iter().all(|rec| rec.level == 0));
-    }
-
-    #[test]
-    fn adaptive_prunes_on_calm_highway() {
-        let mut m = manager(
-            Policy::adaptive(AdaptiveConfig {
-                hysteresis: 0.05,
-                dwell_ticks: 5,
-            }),
-            RestoreMechanism::DeltaLog,
-        );
-        let r = m.run(&calm_scenario(2)).unwrap();
-        // Highway clear risk = 0.10 → deepest level permitted is 3.
-        assert!(r.mean_sparsity() > 0.3, "mean sparsity {}", r.mean_sparsity());
-        assert!(r.energy_saved_fraction() > 0.2, "saved {}", r.energy_saved_fraction());
-        assert!(r.transitions >= 3);
-    }
-
-    #[test]
-    fn static_aggressive_violates_in_urban_risk() {
-        let mut m = manager(Policy::Static { level: 3 }, RestoreMechanism::DeltaLog);
-        let busy = ScenarioConfig::new()
-            .duration_s(60.0)
-            .seed(3)
-            .start_segment(SegmentKind::Intersection)
-            .event_rate_scale(2.0)
-            .generate();
-        let r = m.run(&busy).unwrap();
-        assert!(r.violations > 0, "static-aggressive must violate in traffic");
-    }
-
-    #[test]
-    fn oracle_never_violates_with_delta_restore() {
-        let mut m = manager(Policy::Oracle, RestoreMechanism::DeltaLog);
-        let busy = ScenarioConfig::new()
-            .duration_s(120.0)
-            .seed(4)
-            .event_rate_scale(2.0)
-            .generate();
-        let r = m.run(&busy).unwrap();
-        assert_eq!(
-            r.violations, 0,
-            "oracle + instant restore is violation-free by construction"
-        );
-    }
-
-    #[test]
-    fn reload_mechanism_delays_recovery() {
-        // Same oracle policy; reload restoration takes >1 tick at
-        // deployment scale, so demand spikes produce violation ticks.
-        let busy = ScenarioConfig::new()
-            .duration_s(300.0)
-            .seed(5)
-            .event_rate_scale(3.0)
-            .generate();
-        let mut fast = manager(Policy::Oracle, RestoreMechanism::DeltaLog);
-        let mut slow = manager(Policy::Oracle, RestoreMechanism::StorageReload);
-        let rf = fast.run(&busy).unwrap();
-        let rs = slow.run(&busy).unwrap();
-        assert!(
-            rs.violations > rf.violations,
-            "reload {} must out-violate delta {}",
-            rs.violations,
-            rf.violations
-        );
-    }
-
-    #[test]
-    fn run_is_deterministic() {
-        let s = calm_scenario(7);
-        let run = |seed| {
-            let (net, ladder) = ladder_net();
-            let mut m = RuntimeManager::attach(
-                net,
-                ladder,
-                RuntimeManagerConfig::new(
-                    Policy::adaptive(AdaptiveConfig::default()),
-                    env(),
-                )
-                .frame_seed(seed),
-            )
-            .unwrap();
-            m.run(&s).unwrap()
-        };
-        assert_eq!(run(9), run(9));
-        assert_ne!(run(9).records, run(10).records);
-    }
-
-    #[test]
-    fn pending_restore_retargets_on_deeper_emergency() {
-        // With the slow reload mechanism, a restore spans multiple ticks;
-        // if a deeper emergency arrives mid-restore, the pending target
-        // must drop further instead of being ignored.
-        let mut m = manager(Policy::Oracle, RestoreMechanism::StorageReload);
-        let mk = |t: f64, risk: f64| reprune_scenario::Tick {
-            t,
-            segment: SegmentKind::Highway,
-            weather: Weather::Clear,
-            risk,
-            active_events: 0,
-        };
-        let dt = 0.1;
-        // Calm: oracle walks to the deepest level immediately.
-        for i in 0..3 {
-            m.step(&mk(i as f64 * dt, 0.05), dt).unwrap();
-        }
-        assert_eq!(m.current_level(), 3);
-        // Moderate risk demands level 1 → slow restore begins (200 ms).
-        m.step(&mk(0.3, 0.45), dt).unwrap();
-        assert_eq!(m.current_level(), 3, "restore still in flight");
-        // Mid-restore the risk spikes to critical: pending target must
-        // retarget to level 0.
-        m.step(&mk(0.4, 0.9), dt).unwrap();
-        // Let the (retargeted) restore complete.
-        for i in 5..12 {
-            m.step(&mk(i as f64 * dt, 0.9), dt).unwrap();
-        }
-        assert_eq!(
-            m.current_level(),
-            0,
-            "the completed restore must honor the deeper emergency target"
-        );
-    }
-
-    #[test]
-    fn odd_exit_forces_full_capacity() {
-        // Night weather is outside the conservative ODD: even on a calm
-        // highway the runtime must refuse to prune.
-        let (net, ladder) = ladder_net();
-        let mut m = RuntimeManager::attach(
-            net,
-            ladder,
-            RuntimeManagerConfig::new(
-                Policy::adaptive(AdaptiveConfig {
-                    hysteresis: 0.0,
-                    dwell_ticks: 1,
-                }),
-                env(),
-            )
-            .odd(reprune_scenario::OddSpec::conservative()),
-        )
-        .unwrap();
-        let night = ScenarioConfig::new()
-            .duration_s(30.0)
-            .seed(13)
-            .start_segment(SegmentKind::Highway)
-            .event_rate_scale(0.0)
-            .fixed_weather(Weather::Night)
-            .generate();
-        let r = m.run(&night).unwrap();
-        assert_eq!(r.odd_exit_ticks(), r.records.len(), "whole drive is out of ODD");
-        assert!(r.records.iter().all(|rec| rec.level == 0));
-        assert_eq!(r.violations, 0, "full capacity outside the ODD is compliant");
-        // Same drive in clear weather is inside the ODD and prunes freely.
-        let clear = ScenarioConfig::new()
-            .duration_s(30.0)
-            .seed(13)
-            .start_segment(SegmentKind::Highway)
-            .event_rate_scale(0.0)
-            .fixed_weather(Weather::Clear)
-            .generate();
-        let (net2, ladder2) = ladder_net();
-        let mut m2 = RuntimeManager::attach(
-            net2,
-            ladder2,
-            RuntimeManagerConfig::new(
-                Policy::adaptive(AdaptiveConfig {
-                    hysteresis: 0.0,
-                    dwell_ticks: 1,
-                }),
-                env(),
-            )
-            .odd(reprune_scenario::OddSpec::conservative()),
-        )
-        .unwrap();
-        let rc = m2.run(&clear).unwrap();
-        assert_eq!(rc.odd_exit_ticks(), 0);
-        assert!(rc.mean_sparsity() > 0.0, "inside the ODD pruning proceeds");
-    }
-
-    #[test]
-    fn sensor_blackout_restores_capacity() {
-        let mut m = manager(
-            Policy::adaptive(AdaptiveConfig {
-                hysteresis: 0.05,
-                dwell_ticks: 5,
-            }),
-            RestoreMechanism::DeltaLog,
-        );
-        let calm = calm_scenario(11);
-        let dt = calm.config().dt_s;
-        // Let it prune on the calm highway.
-        for tick in calm.ticks().iter().take(150) {
-            m.step(tick, dt).unwrap();
-        }
-        assert!(m.current_level() > 0, "should have pruned when calm");
-        // Sensor blackout: the fail-safe estimate must drive a restore
-        // within a few ticks even though the true risk stays low.
-        m.set_sensor_failed(true);
-        for tick in calm.ticks().iter().skip(150).take(30) {
-            m.step(tick, dt).unwrap();
-        }
-        assert_eq!(m.current_level(), 0, "blackout must restore full capacity");
-        // Recovery: pruning resumes after the sensor returns.
-        m.set_sensor_failed(false);
-        for tick in calm.ticks().iter().skip(180).take(120) {
-            m.step(tick, dt).unwrap();
-        }
-        assert!(m.current_level() > 0, "pruning should resume after recovery");
-    }
-
-    fn busy_scenario(seed: u64) -> Scenario {
-        ScenarioConfig::new()
-            .duration_s(120.0)
-            .seed(seed)
-            .event_rate_scale(2.0)
-            .generate()
-    }
-
-    fn log_flip_campaign() -> Vec<FaultEvent> {
-        [10.0, 30.0, 50.0, 70.0, 90.0]
-            .iter()
-            .map(|&t| FaultEvent {
-                start_s: t,
-                kind: FaultKind::LogBitFlip { flips: 3 },
-            })
-            .collect()
-    }
-
-    fn fault_manager(policy: Policy, defense: FaultDefense) -> RuntimeManager {
-        let (net, ladder) = ladder_net();
-        RuntimeManager::attach(
-            net,
-            ladder,
-            RuntimeManagerConfig::new(policy, env()).defense(defense),
-        )
-        .unwrap()
-    }
-
-    #[test]
-    fn full_chain_repairs_log_bitflips_with_zero_silent_corruption() {
-        // The acceptance campaign: bit-flips land in the reversal log
-        // while the oracle policy is actively pruning/restoring through
-        // risk spikes. The full chain must detect, repair, and finish
-        // the drive without ever serving corrupted weights.
-        let s = busy_scenario(21).with_faults(log_flip_campaign());
-        let mut m = fault_manager(Policy::Oracle, FaultDefense::FullChain);
-        let r = m.run(&s).unwrap();
-        assert!(r.faults_injected > 0, "campaign must land flips");
-        assert!(r.faults_detected >= 1, "scrub/verify must notice");
-        assert!(r.faults_repaired >= 1, "shadow repair must fire");
-        assert_eq!(r.corrupt_inference_ticks(), 0, "no corrupt inference");
-        assert_eq!(r.silent_corruption_ticks(), 0);
-        assert_eq!(r.violations, 0, "oracle + full chain stays compliant");
-    }
-
-    #[test]
-    fn no_defense_serves_corruption_silently() {
-        let s = busy_scenario(21).with_faults(log_flip_campaign());
-        let mut m = fault_manager(Policy::Oracle, FaultDefense::None);
-        let r = m.run(&s).unwrap();
-        assert!(r.faults_injected > 0);
-        assert_eq!(r.faults_detected, 0, "no checks, no detections");
-        assert!(
-            r.corrupt_inference_ticks() > 0,
-            "corrupted deltas must reach the live weights"
-        );
-        assert_eq!(
-            r.silent_corruption_ticks(),
-            r.corrupt_inference_ticks(),
-            "without a defense, every corrupt tick is silent"
-        );
-        assert!(r.records.iter().all(|rec| rec.op_state == OperatingState::Normal));
-    }
-
-    #[test]
-    fn checksum_only_detects_but_parks_in_minimal_risk() {
-        let s = busy_scenario(21).with_faults(log_flip_campaign());
-        let mut m = fault_manager(Policy::Oracle, FaultDefense::ChecksumOnly);
-        let r = m.run(&s).unwrap();
-        assert!(r.faults_detected >= 1, "verify-on-pop must notice");
-        assert_eq!(r.faults_repaired, 0, "nothing to repair with");
-        assert_eq!(
-            r.corrupt_inference_ticks(),
-            0,
-            "detection alone still refuses corrupted restores"
-        );
-        assert!(
-            r.minimal_risk_ticks() > 0,
-            "unrepairable log must park the system in minimal risk"
-        );
-        assert!(
-            r.violations > 0,
-            "stuck pruned in minimal risk is flagged, not hidden"
-        );
-    }
-
-    #[test]
-    fn weight_bitflips_trigger_snapshot_fallback() {
-        let faults = vec![FaultEvent {
-            start_s: 12.0,
-            kind: FaultKind::WeightBitFlip { flips: 8 },
-        }];
-        let s = calm_scenario(3).with_faults(faults);
-        let mut m = fault_manager(
-            Policy::adaptive(AdaptiveConfig {
-                hysteresis: 0.05,
-                dwell_ticks: 5,
-            }),
-            FaultDefense::FullChain,
-        );
-        let r = m.run(&s).unwrap();
-        assert!(r.faults_injected >= 1);
-        assert!(r.faults_detected >= 1, "sealed checksum must notice");
-        assert!(r.faults_repaired >= 1, "snapshot restore must resolve it");
-        assert_eq!(r.silent_corruption_ticks(), 0);
-        assert_eq!(
-            m.op_state(),
-            OperatingState::Normal,
-            "system must recover to Normal"
-        );
-        assert!(r.mean_time_to_recover().is_some());
-    }
-
-    #[test]
-    fn snapshot_corruption_escalates_to_storage_reload_with_backoff() {
-        // Storage goes dark, then a burst of RAM flips hits both the
-        // live weights and the snapshot region: the snapshot hop fails
-        // its integrity check and the chain must fall through to a
-        // storage reload, retrying with backoff until the outage ends.
-        let faults = vec![
-            FaultEvent {
-                start_s: 5.0,
-                kind: FaultKind::StorageTransient { duration_s: 10.0 },
-            },
-            FaultEvent {
-                start_s: 6.0,
-                kind: FaultKind::WeightBitFlip { flips: 12 },
-            },
-        ];
-        let s = ScenarioConfig::new()
-            .duration_s(40.0)
-            .seed(5)
-            .start_segment(SegmentKind::Highway)
-            .event_rate_scale(0.0)
-            .fixed_weather(Weather::Clear)
-            .generate()
-            .with_faults(faults);
-        let mut m = fault_manager(
-            Policy::adaptive(AdaptiveConfig {
-                hysteresis: 0.05,
-                dwell_ticks: 5,
-            }),
-            FaultDefense::FullChain,
-        );
-        let r = m.run(&s).unwrap();
-        assert!(r.faults_detected >= 2, "live + snapshot corruption noticed");
-        assert!(
-            r.minimal_risk_ticks() > 0,
-            "waiting on storage must be minimal-risk, not business as usual"
-        );
-        assert!(
-            r.corrupt_inference_ticks() > 0,
-            "the wait is served on corrupt weights — but loudly"
-        );
-        assert_eq!(r.silent_corruption_ticks(), 0);
-        assert_eq!(
-            m.op_state(),
-            OperatingState::Normal,
-            "reload after the outage must fully recover the system"
-        );
-    }
-
-    #[test]
-    fn fault_campaign_is_deterministic() {
-        let storm = crate::faults::storm_events(&StormConfig::severe(10.0, 100.0), 77);
-        let s = busy_scenario(9).with_faults(storm);
-        let run = || {
-            let mut m = fault_manager(
-                Policy::adaptive(AdaptiveConfig::default()),
-                FaultDefense::FullChain,
-            );
-            m.run(&s).unwrap()
-        };
-        let a = run();
-        let b = run();
-        assert_eq!(a.records, b.records, "same seed, same campaign, same run");
-        assert_eq!(a.faults_injected, b.faults_injected);
-        assert_eq!(a.faults_detected, b.faults_detected);
-        assert_eq!(a.silent_corruption_ticks(), 0, "full chain never silent");
-    }
-
-    #[test]
-    fn scheduled_sensor_blackout_restores_capacity_and_degrades() {
-        let faults = vec![FaultEvent {
-            start_s: 15.0,
-            kind: FaultKind::SensorBlackout { duration_s: 6.0 },
-        }];
-        let s = calm_scenario(11).with_faults(faults);
-        let mut m = fault_manager(
-            Policy::adaptive(AdaptiveConfig {
-                hysteresis: 0.05,
-                dwell_ticks: 5,
-            }),
-            FaultDefense::FullChain,
-        );
-        let r = m.run(&s).unwrap();
-        let during: Vec<_> = r
-            .records
-            .iter()
-            .filter(|rec| rec.t >= 15.0 && rec.t < 21.0)
-            .collect();
-        assert!(
-            during.iter().any(|rec| rec.level == 0),
-            "fail-safe estimate must force a restore during the blackout"
-        );
-        assert!(
-            during.iter().all(|rec| rec.op_state == OperatingState::Degraded),
-            "blackout window is a Degraded episode"
-        );
-        assert_eq!(m.op_state(), OperatingState::Normal, "recovers after window");
-        assert!(
-            r.records.last().unwrap().level > 0,
-            "pruning resumes once the sensor returns"
-        );
-    }
-
-    #[test]
-    fn exec_overrun_flags_deadline_misses() {
-        let faults = vec![FaultEvent {
-            start_s: 10.0,
-            kind: FaultKind::ExecOverrun {
-                extra_ms: 150.0,
-                duration_s: 3.0,
-            },
-        }];
-        let s = calm_scenario(4).with_faults(faults);
-        let mut m = fault_manager(Policy::NoPruning, FaultDefense::FullChain);
-        let r = m.run(&s).unwrap();
-        let window = r
-            .records
-            .iter()
-            .filter(|rec| rec.t >= 10.0 && rec.t < 13.0)
-            .count();
-        assert!(window > 0);
-        assert!(
-            r.deadline_miss_ticks() >= window,
-            "a 150 ms overrun on a 100 ms period must miss every tick: {} < {window}",
-            r.deadline_miss_ticks()
-        );
-        let clean = fault_manager(Policy::NoPruning, FaultDefense::FullChain)
-            .run(&calm_scenario(4))
-            .unwrap();
-        assert_eq!(clean.deadline_miss_ticks(), 0, "no faults, no misses");
-    }
-
-    #[test]
-    fn confidence_dropout_raises_estimated_risk() {
-        let faults = vec![FaultEvent {
-            start_s: 15.0,
-            kind: FaultKind::ConfidenceDropout { duration_s: 5.0 },
-        }];
-        let s = calm_scenario(8).with_faults(faults);
-        let mut m = fault_manager(
-            Policy::adaptive(AdaptiveConfig {
-                hysteresis: 0.05,
-                dwell_ticks: 5,
-            }),
-            FaultDefense::FullChain,
-        );
-        let r = m.run(&s).unwrap();
-        let before: f64 = r
-            .records
-            .iter()
-            .filter(|rec| rec.t >= 10.0 && rec.t < 15.0)
-            .map(|rec| rec.estimated_risk)
-            .sum::<f64>()
-            / 50.0;
-        let during: f64 = r
-            .records
-            .iter()
-            .filter(|rec| rec.t >= 16.0 && rec.t < 20.0)
-            .map(|rec| rec.estimated_risk)
-            .sum::<f64>()
-            / 40.0;
-        assert!(
-            during > before + 0.02,
-            "worst-case confidence deficit must lift the estimate: {before} -> {during}"
-        );
-    }
-
-    #[test]
-    fn weather_mapping_total() {
-        assert_eq!(weather_to_context(Weather::Clear), SceneContext::Clear);
-        assert_eq!(weather_to_context(Weather::Rain), SceneContext::Rain);
-        assert_eq!(weather_to_context(Weather::Night), SceneContext::Night);
-        assert_eq!(weather_to_context(Weather::Fog), SceneContext::Fog);
-    }
-
-    #[test]
-    fn mechanism_display() {
-        assert_eq!(RestoreMechanism::DeltaLog.to_string(), "delta-log");
-        assert_eq!(RestoreMechanism::Snapshot.to_string(), "snapshot");
-        assert_eq!(RestoreMechanism::StorageReload.to_string(), "storage-reload");
     }
 }

@@ -1,6 +1,7 @@
 //! Per-tick records and whole-run aggregates.
 
 use crate::faults::OperatingState;
+use crate::trace::TraceEvent;
 use reprune_platform::{Joules, Seconds};
 use reprune_scenario::{SegmentKind, Weather};
 use serde::{Deserialize, Serialize};
@@ -86,6 +87,12 @@ pub struct RunResult {
     /// Completed fault episodes (state machine leaves Normal → returns
     /// to Normal), seconds — the mean is the MTTR headline.
     pub fault_recovery_latencies: Vec<f64>,
+    /// Structured stage-event trace of the run (oldest events first;
+    /// bounded by the configured ring capacity).
+    pub trace: Vec<TraceEvent>,
+    /// Trace events evicted because the ring buffer was full (0 means
+    /// the trace is complete).
+    pub trace_dropped: u64,
 }
 
 impl RunResult {
@@ -281,6 +288,22 @@ impl RunResult {
         out
     }
 
+    /// Number of trace events whose kind name equals `name` (e.g.
+    /// `"fault-detected"`).
+    pub fn trace_event_count(&self, name: &str) -> usize {
+        self.trace.iter().filter(|e| e.kind.name() == name).count()
+    }
+
+    /// Renders the whole trace as JSON-lines (one event per line).
+    pub fn trace_json_lines(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.trace {
+            out.push_str(&ev.to_json_line());
+            out.push('\n');
+        }
+        out
+    }
+
     /// Histogram of ticks per ladder level.
     pub fn level_histogram(&self) -> Vec<(usize, usize)> {
         let max = self.records.iter().map(|r| r.level).max().unwrap_or(0);
@@ -338,6 +361,8 @@ mod tests {
             faults_detected: 0,
             faults_repaired: 0,
             fault_recovery_latencies: Vec::new(),
+            trace: Vec::new(),
+            trace_dropped: 0,
             records,
         }
     }

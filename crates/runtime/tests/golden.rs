@@ -1,0 +1,130 @@
+//! Golden-output regression gate for the MAPE-K pipeline.
+//!
+//! The fixture under `tests/fixtures/golden_run.txt` was captured from
+//! the pre-refactor monolithic `RuntimeManager::step()`. The decomposed
+//! Monitor → Analyze → Plan → Execute pipeline must reproduce every
+//! [`TickRecord`] and every aggregate bit for bit: floats are rendered
+//! with `{:?}` (shortest round-trip), so any drift in RNG draw order,
+//! accumulation order, or control flow shows up as a diff.
+//!
+//! Regenerate (only when a behavior change is *intended* and reviewed):
+//! `REGEN_GOLDEN=1 cargo test -p reprune-runtime --test golden`
+
+use reprune_nn::models;
+use reprune_prune::{LadderConfig, PruneCriterion};
+use reprune_runtime::policy::AdaptiveConfig;
+use reprune_runtime::{
+    storm_events, FaultDefense, Policy, RunResult, RuntimeManager, RuntimeManagerConfig,
+    SafetyEnvelope, StormConfig,
+};
+use reprune_scenario::ScenarioConfig;
+use std::fmt::Write as _;
+
+/// A short but eventful drive: a severe fault storm over a busy scenario
+/// with the adaptive policy and the full defense chain, so the fixture
+/// exercises pruning, restoring, detection, repair, snapshot fallback,
+/// and the degradation state machine.
+fn golden_run() -> RunResult {
+    let net = models::default_perception_cnn(1).expect("reference model builds");
+    let ladder = LadderConfig::new(vec![0.0, 0.3, 0.6, 0.9])
+        .criterion(PruneCriterion::ChannelL2)
+        .build(&net)
+        .expect("ladder builds");
+    let envelope = SafetyEnvelope::new(vec![0.6, 0.4, 0.2]).expect("envelope is valid");
+    let storm = storm_events(&StormConfig::severe(10.0, 50.0), 77);
+    let scenario = ScenarioConfig::new()
+        .duration_s(60.0)
+        .seed(21)
+        .event_rate_scale(2.0)
+        .generate()
+        .with_faults(storm);
+    let mut mgr = RuntimeManager::attach(
+        net,
+        ladder,
+        RuntimeManagerConfig::new(Policy::adaptive(AdaptiveConfig::default()), envelope)
+            .defense(FaultDefense::FullChain)
+            .frame_seed(5),
+    )
+    .expect("attach");
+    mgr.run(&scenario).expect("run")
+}
+
+/// Renders the result in a deterministic, full-precision text form.
+/// Only fields that existed before the refactor are included, so the
+/// fixture stays valid as observability-only fields (e.g. the trace)
+/// are added to `RunResult`.
+fn render(r: &RunResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "policy={} mechanism={} defense={}", r.policy, r.mechanism, r.defense);
+    let _ = writeln!(out, "total_energy={:?}", r.total_energy.0);
+    let _ = writeln!(out, "dense_energy={:?}", r.dense_energy.0);
+    let _ = writeln!(out, "violations={}", r.violations);
+    let _ = writeln!(out, "transitions={}", r.transitions);
+    let _ = writeln!(
+        out,
+        "faults injected={} detected={} repaired={}",
+        r.faults_injected, r.faults_detected, r.faults_repaired
+    );
+    let _ = writeln!(out, "recovery_latencies={:?}", r.recovery_latencies);
+    let _ = writeln!(out, "fault_recovery_latencies={:?}", r.fault_recovery_latencies);
+    for rec in &r.records {
+        let _ = writeln!(
+            out,
+            "t={:?} risk={:?} est={:?} level={} sparsity={:?} max={} odd_exit={} viol={} \
+             correct={} conf={:?} ie={:?} il={:?} te={:?} tl={:?} seg={:?} wx={:?} op={:?} \
+             inj={} det={} rep={} corrupt={} miss={}",
+            rec.t,
+            rec.true_risk,
+            rec.estimated_risk,
+            rec.level,
+            rec.sparsity,
+            rec.max_allowed_level,
+            rec.odd_exit as u8,
+            rec.violation as u8,
+            rec.correct as u8,
+            rec.confidence,
+            rec.inference_energy.0,
+            rec.inference_latency.0,
+            rec.transition_energy.0,
+            rec.transition_latency.0,
+            rec.segment,
+            rec.weather,
+            rec.op_state,
+            rec.faults_injected,
+            rec.fault_detected as u8,
+            rec.fault_repaired as u8,
+            rec.corrupt_inference as u8,
+            rec.deadline_miss as u8,
+        );
+    }
+    out
+}
+
+#[test]
+fn golden_fixture_matches() {
+    let rendered = render(&golden_run());
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/golden_run.txt");
+    if std::env::var_os("REGEN_GOLDEN").is_some() {
+        std::fs::create_dir_all(std::path::Path::new(path).parent().unwrap()).unwrap();
+        std::fs::write(path, &rendered).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(path)
+        .expect("fixture missing — run with REGEN_GOLDEN=1 to capture");
+    if rendered != expected {
+        // Point at the first diverging line instead of dumping both runs.
+        let (mut line, mut a, mut b) = (0usize, "", "");
+        for (i, (x, y)) in rendered.lines().zip(expected.lines()).enumerate() {
+            if x != y {
+                (line, a, b) = (i + 1, x, y);
+                break;
+            }
+        }
+        panic!(
+            "golden run diverged from the pre-refactor fixture at line {line}:\n  got:      {a}\n  expected: {b}\n\
+             ({} vs {} lines total)",
+            rendered.lines().count(),
+            expected.lines().count()
+        );
+    }
+}

@@ -38,4 +38,4 @@ mod risk;
 pub use events::{EventKind, FaultEvent, FaultKind, RiskEvent};
 pub use generator::{Scenario, ScenarioConfig, Tick};
 pub use odd::OddSpec;
-pub use risk::{SegmentKind, Weather};
+pub use risk::{weather_to_context, SegmentKind, Weather};

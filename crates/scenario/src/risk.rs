@@ -140,6 +140,17 @@ impl std::fmt::Display for Weather {
     }
 }
 
+/// Maps scenario weather to the dataset rendering context.
+pub fn weather_to_context(weather: Weather) -> reprune_nn::dataset::SceneContext {
+    use reprune_nn::dataset::SceneContext;
+    match weather {
+        Weather::Clear => SceneContext::Clear,
+        Weather::Rain => SceneContext::Rain,
+        Weather::Night => SceneContext::Night,
+        Weather::Fog => SceneContext::Fog,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -180,5 +191,14 @@ mod tests {
     fn displays() {
         assert_eq!(SegmentKind::Urban.to_string(), "urban");
         assert_eq!(Weather::Fog.to_string(), "fog");
+    }
+
+    #[test]
+    fn weather_mapping_total() {
+        use reprune_nn::dataset::SceneContext;
+        assert_eq!(weather_to_context(Weather::Clear), SceneContext::Clear);
+        assert_eq!(weather_to_context(Weather::Rain), SceneContext::Rain);
+        assert_eq!(weather_to_context(Weather::Night), SceneContext::Night);
+        assert_eq!(weather_to_context(Weather::Fog), SceneContext::Fog);
     }
 }

@@ -93,6 +93,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         100.0 * r.energy_saved_fraction()
     );
 
+    // The structured stage-event trace records the same story tick by
+    // tick; show the last few events and the pruner's own integrity
+    // counters.
+    println!("\ntrace tail ({} events recorded, {} dropped):", r.trace.len(), r.trace_dropped);
+    for ev in r.trace.iter().rev().take(8).collect::<Vec<_>>().into_iter().rev() {
+        println!("  {}", ev.to_json_line());
+    }
+    let stats = mgr.pruner_integrity();
+    println!("\npruner integrity counters:");
+    println!("  pops verified          {}", stats.pops_verified);
+    println!("  scrub checks           {}", stats.scrub_checks);
+    println!("  shadow repairs         {}", stats.repairs);
+    println!("  corruption hits        {}", stats.corruption_hits);
+    assert_eq!(
+        r.trace_event_count("fault-detected"),
+        r.faults_detected,
+        "the trace records exactly one event per counted detection"
+    );
+
     assert_eq!(
         r.silent_corruption_ticks(),
         0,
