@@ -36,15 +36,23 @@ fn random_tensor(dims: &[usize], rng: &mut Prng) -> Tensor {
     Tensor::from_vec(data, dims).expect("volume matches dims")
 }
 
+/// Median restore_roundtrip_L3 before the restore fast path (arena
+/// segments + blocked checksums + pooled buffers), measured on this
+/// reference configuration. The `restore_l3_speedup` derived entry and
+/// the full-mode ≥4x assertion are relative to this number.
+const RESTORE_L3_BASELINE_NS: f64 = 1_344_830.2;
+
 struct Cfg {
     quick: bool,
     out_path: String,
+    out_restore_path: String,
     /// Square matmul sizes (n for n×n×n), ascending; the last is the
     /// headline tiled-vs-naive comparison.
     matmul_sizes: Vec<(usize, u32)>, // (n, iters_per_batch)
     batches: usize,
     conv_iters: u32,
-    restore_iters: u32,
+    restore_batches: usize,
+    checksum_iters: u32,
     tick_iters: u32,
     steady_ticks: usize,
 }
@@ -52,22 +60,28 @@ struct Cfg {
 fn parse_args() -> Cfg {
     let mut quick = false;
     let mut out_path = String::from("BENCH_kernels.json");
+    let mut out_restore_path = String::from("BENCH_restore.json");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => quick = true,
             "--out" => out_path = args.next().expect("--out needs a path"),
-            other => panic!("unknown argument {other:?} (expected --quick / --out <path>)"),
+            "--out-restore" => out_restore_path = args.next().expect("--out-restore needs a path"),
+            other => panic!(
+                "unknown argument {other:?} (expected --quick / --out <path> / --out-restore <path>)"
+            ),
         }
     }
     if quick {
         Cfg {
             quick,
             out_path,
+            out_restore_path,
             matmul_sizes: vec![(48, 8), (96, 4)],
             batches: 5,
             conv_iters: 20,
-            restore_iters: 2,
+            restore_batches: 8,
+            checksum_iters: 10,
             tick_iters: 5,
             steady_ticks: 12,
         }
@@ -75,10 +89,12 @@ fn parse_args() -> Cfg {
         Cfg {
             quick,
             out_path,
+            out_restore_path,
             matmul_sizes: vec![(64, 40), (128, 10), (256, 4)],
             batches: 25,
             conv_iters: 200,
-            restore_iters: 4,
+            restore_batches: 40,
+            checksum_iters: 50,
             tick_iters: 40,
             steady_ticks: 60,
         }
@@ -140,19 +156,105 @@ fn main() {
         }));
     }
 
-    // --- 3. Restore-from-log round trip on the reference CNN. ---
-    {
+    // --- 3. Restore fast path: round trips, checksums, segment ops. ---
+    //
+    // Everything here also lands in the dedicated restore report
+    // (`BENCH_restore.json`) so the prune/restore trajectory is tracked
+    // independently of the compute-kernel trajectory.
+    let mut rstats: Vec<KernelStat> = Vec::new();
+    let mut rderived: Vec<(String, String)> = Vec::new();
+    let (restore_l3_median, checksum_speedup) = {
         let mut net = models::default_perception_cnn(11).expect("reference model builds");
         let ladder = LadderConfig::new(vec![0.0, 0.3, 0.6, 0.9])
             .criterion(PruneCriterion::ChannelL2)
             .build(&net)
             .expect("ladder builds");
         let mut pruner = ReversiblePruner::attach(&net, ladder).expect("attach");
-        stats.push(measure("restore_roundtrip_L3", cfg.batches, cfg.restore_iters, || {
-            pruner.set_level(&mut net, 3).expect("prune to top");
-            pruner.set_level(&mut net, 0).expect("restore from log");
-        }));
-    }
+
+        // Round trip to every ladder level. One round trip per batch
+        // (iters = 1): each sample is one full prune-and-restore, and
+        // the ladder is back at level 0 between samples by construction.
+        let mut restore_l3_median = 0.0;
+        for level in 1..=3usize {
+            let mut samples = criterion::SampleStats::default();
+            // Warmup: populate the segment pools before timing.
+            pruner.set_level(&mut net, level).expect("warmup prune");
+            pruner.set_level(&mut net, 0).expect("warmup restore");
+            for _ in 0..cfg.restore_batches {
+                samples.batch_ns.push(criterion::time_batch(1, &mut || {
+                    pruner.set_level(&mut net, level).expect("prune");
+                    pruner.set_level(&mut net, 0).expect("restore from log");
+                }));
+            }
+            let stat =
+                KernelStat::from_samples(&format!("restore_roundtrip_L{level}"), &samples, 1);
+            println!("  restore round trip L{level}: {:.0} ns", stat.median_ns);
+            if level == 3 {
+                restore_l3_median = stat.median_ns;
+                stats.push(stat.clone());
+            }
+            rstats.push(stat);
+        }
+
+        // Segment pack (push to L3) and apply (pop to L0), timed
+        // separately with the inverse transition untimed between
+        // samples so each sample isolates one direction.
+        let mut pack = criterion::SampleStats::default();
+        let mut apply = criterion::SampleStats::default();
+        for _ in 0..cfg.restore_batches {
+            pack.batch_ns.push(criterion::time_batch(1, &mut || {
+                pruner.set_level(&mut net, 3).expect("pack segments")
+            }));
+            apply.batch_ns.push(criterion::time_batch(1, &mut || {
+                pruner.set_level(&mut net, 0).expect("apply segments")
+            }));
+        }
+        for (name, samples) in [("segment_pack_L3", &pack), ("segment_apply_L3", &apply)] {
+            let stat = KernelStat::from_samples(name, samples, 1);
+            println!("  {name}: {:.0} ns", stat.median_ns);
+            rstats.push(stat);
+        }
+
+        // Steady state: with the pools warm, further ladder cycles must
+        // not allocate (mirrors the nn `Scratch` invariant).
+        let alloc_before = pruner.allocation_events();
+        for _ in 0..cfg.steady_ticks {
+            pruner.set_level(&mut net, 3).expect("steady prune");
+            pruner.set_level(&mut net, 0).expect("steady restore");
+        }
+        let pruner_alloc_delta = pruner.allocation_events() - alloc_before;
+        rderived.push((
+            "steady_state_pruner_alloc_events".to_string(),
+            pruner_alloc_delta.to_string(),
+        ));
+        assert_eq!(pruner_alloc_delta, 0, "steady-state ladder cycles must not allocate");
+
+        // Blocked (v2) vs scalar FNV (v1) full-model checksum,
+        // interleaved so the ratio is drift-immune.
+        let pair = measure_pair(
+            "checksum_weights_blocked",
+            "checksum_weights_fnv",
+            cfg.batches,
+            cfg.checksum_iters,
+            || reprune::prune::weights_checksum(&net),
+            || reprune::prune::weights_checksum_fnv(&net),
+        );
+        let checksum_speedup = pair.ratio_b_over_a;
+        println!(
+            "  checksum: blocked {:.0} ns, fnv {:.0} ns ({checksum_speedup:.2}x)",
+            pair.a.median_ns, pair.b.median_ns
+        );
+        rstats.push(pair.a);
+        rstats.push(pair.b);
+        (restore_l3_median, checksum_speedup)
+    };
+    let restore_l3_speedup = RESTORE_L3_BASELINE_NS / restore_l3_median;
+    rderived.push((
+        "restore_l3_baseline_ns".to_string(),
+        format!("{RESTORE_L3_BASELINE_NS:.1}"),
+    ));
+    rderived.push(("restore_l3_speedup".to_string(), format!("{restore_l3_speedup:.3}")));
+    rderived.push(("checksum_speedup".to_string(), format!("{checksum_speedup:.3}")));
 
     // --- 4. End-to-end tick per ladder density (1.00 -> 0.25). ---
     let (tick_medians, densities, alloc_delta) = {
@@ -229,9 +331,21 @@ fn main() {
     // Deterministic invariant: holds in both modes, noise-free.
     assert_eq!(alloc_delta, 0, "steady-state inference must not allocate");
 
+    // Restore cost relative to one full-density inference tick — the
+    // headline "near-tick-cost restore" number.
+    let restore_to_tick_ratio = restore_l3_median / tick_medians[0];
+    rderived.push((
+        "restore_to_tick_ratio".to_string(),
+        format!("{restore_to_tick_ratio:.3}"),
+    ));
+    println!(
+        "  restore L3 = {restore_to_tick_ratio:.2}x one full-density tick \
+         ({restore_l3_speedup:.2}x over pre-fast-path baseline)"
+    );
+
     if !cfg.quick {
         // Timing assertions only in full mode; quick/CI fails on panic,
-        // not on a shared runner's timing noise.
+        // not on a noisy-runner timing regression.
         assert!(
             last_speedup >= 3.0,
             "tiled matmul must be >= 3x naive at {last_size}³ (got {last_speedup:.2}x)"
@@ -242,9 +356,22 @@ fn main() {
                 "tick latency must strictly decrease with density: {tick_medians:?}"
             );
         }
+        assert!(
+            restore_l3_speedup >= 4.0,
+            "restore_roundtrip_L3 must be >= 4x the pre-fast-path baseline \
+             (got {restore_l3_speedup:.2}x, median {restore_l3_median:.0} ns)"
+        );
+        assert!(
+            checksum_speedup >= 4.0,
+            "blocked checksum must be >= 4x scalar FNV (got {checksum_speedup:.2}x)"
+        );
     }
 
     let json = report_json(mode, isa, &stats, &derived);
     std::fs::write(&cfg.out_path, &json).expect("write benchmark report");
     println!("wrote {} ({} entries)", cfg.out_path, stats.len());
+
+    let rjson = report_json(mode, isa, &rstats, &rderived);
+    std::fs::write(&cfg.out_restore_path, &rjson).expect("write restore report");
+    println!("wrote {} ({} entries)", cfg.out_restore_path, rstats.len());
 }

@@ -319,6 +319,23 @@ impl Network {
         }
     }
 
+    /// Mutable weight slices of every prunable layer at once.
+    ///
+    /// The returned borrows are disjoint, so callers can hand each slice
+    /// to a different worker thread — the reversal log's parallel
+    /// restore path scatters one layer's evicted weights per worker.
+    pub fn prunable_weights_mut(&mut self) -> Vec<(LayerId, &mut [f32])> {
+        self.layers
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(i, layer)| match layer {
+                Layer::Linear(l) => Some((LayerId(i), l.weight.value.data_mut())),
+                Layer::Conv2d(l) => Some((LayerId(i), l.weight.value.data_mut())),
+                _ => None,
+            })
+            .collect()
+    }
+
     /// Fraction of weight elements that are exactly zero, across all
     /// prunable layers (the realized unstructured sparsity).
     pub fn sparsity(&self) -> f64 {

@@ -50,6 +50,7 @@ mod error;
 mod f16;
 
 pub mod baseline;
+pub mod checksum;
 pub mod compact;
 pub mod criterion;
 pub mod ladder;
@@ -65,7 +66,11 @@ pub use error::PruneError;
 pub use ladder::{LadderConfig, SparsityLadder};
 pub use mask::{LayerMask, MaskSet};
 pub use packed::{exec_plan, ladder_plans};
-pub use pruner::{weights_checksum, IntegrityStats, LogPrecision, ReversiblePruner, Transition};
+pub use checksum::{BlockedHasher, ChecksumVersion};
+pub use pruner::{
+    weights_checksum, weights_checksum_fnv, IntegrityStats, LogPrecision, ReversiblePruner,
+    Transition,
+};
 pub use schedule::IterativeSchedule;
 
 /// Crate-wide result alias.

@@ -14,7 +14,30 @@
 //! Both directions cost O(#weights that change level), not O(model size),
 //! and need no storage I/O or retraining. A checksum captured at attach
 //! time lets callers prove a full restore is bit-exact.
+//!
+//! # The restore fast path
+//!
+//! Because a restore is the runtime's *emergency* transition (a safety
+//! context switch back to full capacity), the data path is built to be
+//! near-tick-cost:
+//!
+//! * each segment is one contiguous **arena** — a single index vector, a
+//!   single value vector, and a per-layer span table — so capture and
+//!   apply are linear scans with no per-layer allocation;
+//! * segment buffers are **pooled**: a popped segment's buffers are
+//!   reused by the next push, so steady-state prune/restore cycles
+//!   allocate nothing after one full warm-up cycle
+//!   ([`ReversiblePruner::allocation_events`] proves it);
+//! * the per-level index sets are **precomputed at attach time** from the
+//!   nested masks, so a push never re-derives set differences;
+//! * checksums use the word-wide blocked hash of [`crate::checksum`]
+//!   (sealed segments carry a [`ChecksumVersion`], so logs written under
+//!   the scalar-FNV V1 scheme keep verifying);
+//! * large multi-layer segments can be applied by **scoped worker
+//!   threads**, one per layer span, with a deterministic single-thread
+//!   fallback that writes byte-identical results.
 
+use crate::checksum::{fnv1a_u32, BlockedHasher, ChecksumVersion, FNV_OFFSET};
 use crate::f16::{f16_bits_to_f32, f32_to_f16_bits, round_through_f16};
 use crate::ladder::SparsityLadder;
 use crate::{PruneError, Result};
@@ -80,6 +103,20 @@ impl DeltaValues {
         }
     }
 
+    fn clear(&mut self) {
+        match self {
+            DeltaValues::Exact(vs) => vs.clear(),
+            DeltaValues::Half(vs) => vs.clear(),
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        match self {
+            DeltaValues::Exact(vs) => vs.capacity(),
+            DeltaValues::Half(vs) => vs.capacity(),
+        }
+    }
+
     /// Decoded value at position `i`.
     pub fn get(&self, i: usize) -> f32 {
         match self {
@@ -111,6 +148,9 @@ impl DeltaValues {
 }
 
 /// Evicted weights of one layer for one ladder transition.
+///
+/// This is the construction/view form; [`LevelDelta::new`] packs a set
+/// of these into the contiguous arena the log actually stores.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LayerDelta {
     /// The layer the entries belong to.
@@ -138,48 +178,229 @@ impl LayerDelta {
     }
 }
 
+/// One layer's contiguous range inside a segment arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct LayerSpan {
+    layer: LayerId,
+    start: usize,
+    end: usize,
+}
+
+/// Borrowed view of an arena value range, in the log's precision.
+enum ValueSlice<'a> {
+    Exact(&'a [f32]),
+    Half(&'a [u16]),
+}
+
+/// Scatters one span's evicted values back into a layer's weight slice.
+fn apply_span(indices: &[u32], values: ValueSlice<'_>, data: &mut [f32]) {
+    match values {
+        ValueSlice::Exact(vs) => {
+            for (&i, &v) in indices.iter().zip(vs) {
+                data[i as usize] = v;
+            }
+        }
+        ValueSlice::Half(vs) => {
+            for (&i, &v) in indices.iter().zip(vs) {
+                data[i as usize] = f16_bits_to_f32(v);
+            }
+        }
+    }
+}
+
 /// All weights evicted when stepping from ladder level `k` to `k+1`.
+///
+/// Stored as a single arena: one index vector and one value vector for
+/// the whole segment, with a span table mapping contiguous ranges to
+/// layers. Capture and apply are then linear passes over two buffers,
+/// and the buffers themselves are pooled and reused across cycles.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LevelDelta {
     /// The level this delta raised the network *to*.
     pub to_level: usize,
-    /// Per-layer evicted weights.
-    pub layers: Vec<LayerDelta>,
-    /// FNV-1a checksum over the segment's contents, captured when the
-    /// segment was pushed. Lets a scrub pass or a restore detect that
-    /// stored deltas were corrupted in place.
+    spans: Vec<LayerSpan>,
+    indices: Vec<u32>,
+    values: DeltaValues,
+    /// Checksum over the segment's contents, captured when the segment
+    /// was sealed. Lets a scrub pass or a restore detect that stored
+    /// deltas were corrupted in place.
     pub checksum: u64,
+    version: ChecksumVersion,
 }
 
 impl LevelDelta {
-    /// Builds a segment and seals it with its content checksum.
+    /// Builds a segment from per-layer deltas and seals it with the
+    /// current-generation ([`ChecksumVersion::V2Blocked`]) checksum.
     pub fn new(to_level: usize, layers: Vec<LayerDelta>) -> Self {
-        let checksum = segment_checksum(to_level, &layers);
-        LevelDelta {
+        let precision = layers
+            .iter()
+            .map(|l| match l.values {
+                DeltaValues::Exact(_) => LogPrecision::Exact,
+                DeltaValues::Half(_) => LogPrecision::Half,
+            })
+            .next()
+            .unwrap_or(LogPrecision::Exact);
+        let total = layers.iter().map(LayerDelta::len).sum();
+        let mut d = LevelDelta {
             to_level,
-            layers,
-            checksum,
+            spans: Vec::with_capacity(layers.len()),
+            indices: Vec::with_capacity(total),
+            values: DeltaValues::with_capacity(precision, total),
+            checksum: 0,
+            version: ChecksumVersion::V2Blocked,
+        };
+        for l in &layers {
+            let start = d.indices.len();
+            d.indices.extend_from_slice(&l.indices);
+            match (&mut d.values, &l.values) {
+                (DeltaValues::Exact(dst), DeltaValues::Exact(src)) => dst.extend_from_slice(src),
+                (DeltaValues::Half(dst), DeltaValues::Half(src)) => dst.extend_from_slice(src),
+                // Mixed-precision input: decode through f32.
+                (dst, src) => {
+                    for i in 0..src.len() {
+                        dst.push(src.get(i));
+                    }
+                }
+            }
+            d.spans.push(LayerSpan {
+                layer: l.layer,
+                start,
+                end: d.indices.len(),
+            });
+        }
+        d.seal(ChecksumVersion::V2Blocked);
+        d
+    }
+
+    /// An empty, unsealed segment with no capacity yet.
+    fn with_precision(precision: LogPrecision) -> Self {
+        LevelDelta {
+            to_level: 0,
+            spans: Vec::new(),
+            indices: Vec::new(),
+            values: DeltaValues::with_capacity(precision, 0),
+            checksum: 0,
+            version: ChecksumVersion::V2Blocked,
+        }
+    }
+
+    /// Clears contents for refilling, keeping buffer capacity.
+    fn reset(&mut self, to_level: usize) {
+        self.to_level = to_level;
+        self.spans.clear();
+        self.indices.clear();
+        self.values.clear();
+        self.checksum = 0;
+    }
+
+    /// Copies `src`'s contents into self, reusing existing capacity.
+    fn copy_from(&mut self, src: &LevelDelta) {
+        self.to_level = src.to_level;
+        self.spans.clear();
+        self.spans.extend_from_slice(&src.spans);
+        self.indices.clear();
+        self.indices.extend_from_slice(&src.indices);
+        match (&mut self.values, &src.values) {
+            (DeltaValues::Exact(dst), DeltaValues::Exact(s)) => {
+                dst.clear();
+                dst.extend_from_slice(s);
+            }
+            (DeltaValues::Half(dst), DeltaValues::Half(s)) => {
+                dst.clear();
+                dst.extend_from_slice(s);
+            }
+            (dst, s) => *dst = s.clone(),
+        }
+        self.checksum = src.checksum;
+        self.version = src.version;
+    }
+
+    /// Buffer capacities, used to detect (re)allocation in the pools.
+    fn capacity_sig(&self) -> (usize, usize, usize) {
+        (
+            self.spans.capacity(),
+            self.indices.capacity(),
+            self.values.capacity(),
+        )
+    }
+
+    fn value_slice(&self, start: usize, end: usize) -> ValueSlice<'_> {
+        match &self.values {
+            DeltaValues::Exact(vs) => ValueSlice::Exact(&vs[start..end]),
+            DeltaValues::Half(vs) => ValueSlice::Half(&vs[start..end]),
         }
     }
 
     /// Total bytes of this delta.
     pub fn bytes(&self) -> usize {
-        self.layers.iter().map(LayerDelta::bytes).sum()
+        self.indices.len() * std::mem::size_of::<u32>() + self.values.bytes()
     }
 
     /// Total weight entries recorded.
     pub fn len(&self) -> usize {
-        self.layers.iter().map(LayerDelta::len).sum()
+        self.indices.len()
     }
 
     /// Whether the delta records no entries.
     pub fn is_empty(&self) -> bool {
-        self.layers.iter().all(LayerDelta::is_empty)
+        self.indices.is_empty()
     }
 
-    /// Checksum of the segment's *current* contents.
+    /// The algorithm that sealed this segment's checksum.
+    pub fn version(&self) -> ChecksumVersion {
+        self.version
+    }
+
+    /// Seals the segment under `version`.
+    fn seal(&mut self, version: ChecksumVersion) {
+        self.version = version;
+        self.checksum = self.compute_with(version);
+    }
+
+    fn compute_with(&self, version: ChecksumVersion) -> u64 {
+        match version {
+            ChecksumVersion::V1Fnv => {
+                let mut h = fnv1a_u32(FNV_OFFSET, self.to_level as u32);
+                for span in &self.spans {
+                    h = fnv1a_u32(h, span.layer.0 as u32);
+                    for &i in &self.indices[span.start..span.end] {
+                        h = fnv1a_u32(h, i);
+                    }
+                    match self.value_slice(span.start, span.end) {
+                        ValueSlice::Exact(vs) => {
+                            for v in vs {
+                                h = fnv1a_u32(h, v.to_bits());
+                            }
+                        }
+                        ValueSlice::Half(vs) => {
+                            for &v in vs {
+                                h = fnv1a_u32(h, v as u32);
+                            }
+                        }
+                    }
+                }
+                h
+            }
+            ChecksumVersion::V2Blocked => {
+                let mut h = BlockedHasher::new();
+                h.write_u32(self.to_level as u32);
+                for span in &self.spans {
+                    h.write_u32(span.layer.0 as u32);
+                    h.write_u32_slice(&self.indices[span.start..span.end]);
+                    match self.value_slice(span.start, span.end) {
+                        ValueSlice::Exact(vs) => h.write_f32_slice(vs),
+                        ValueSlice::Half(vs) => h.write_u16_slice(vs),
+                    }
+                }
+                h.finish()
+            }
+        }
+    }
+
+    /// Checksum of the segment's *current* contents, computed with the
+    /// algorithm that sealed it.
     pub fn computed_checksum(&self) -> u64 {
-        segment_checksum(self.to_level, &self.layers)
+        self.compute_with(self.version)
     }
 
     /// Whether the current contents still match the sealed checksum.
@@ -208,58 +429,36 @@ impl Transition {
     }
 }
 
-const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
-
-fn fnv1a_byte(h: u64, b: u8) -> u64 {
-    (h ^ b as u64).wrapping_mul(FNV_PRIME)
-}
-
-fn fnv1a_u32(mut h: u64, x: u32) -> u64 {
-    for b in x.to_le_bytes() {
-        h = fnv1a_byte(h, b);
-    }
-    h
-}
-
-/// FNV-1a over the bit patterns of all prunable weights.
+/// Blocked hash over the bit patterns of all prunable weights.
 ///
 /// This is the integrity primitive of the whole restore story: the
 /// pruner seals it at attach time, [`ReversiblePruner::verify_restored`]
 /// compares against it after a full restore, and the runtime's fault
 /// defenses recompute it against live weights to detect in-RAM bit
-/// flips that no log checksum can see.
+/// flips that no log checksum can see. Digests are only ever compared
+/// against digests from this same function, so the algorithm behind it
+/// is free to change; [`weights_checksum_fnv`] keeps the original
+/// scalar FNV-1a walk as the slow oracle.
 pub fn weights_checksum(net: &Network) -> u64 {
+    let mut h = BlockedHasher::new();
+    for meta in net.prunable_layers() {
+        if let Ok(w) = net.weight(meta.id) {
+            h.write_f32_slice(w.data());
+        }
+    }
+    h.finish()
+}
+
+/// Scalar FNV-1a over the bit patterns of all prunable weights — the
+/// original byte-at-a-time implementation, retained as the
+/// bit-exactness oracle and the baseline the checksum benchmarks
+/// compare against.
+pub fn weights_checksum_fnv(net: &Network) -> u64 {
     let mut h: u64 = FNV_OFFSET;
     for meta in net.prunable_layers() {
         if let Ok(w) = net.weight(meta.id) {
             for &x in w.data() {
                 h = fnv1a_u32(h, x.to_bits());
-            }
-        }
-    }
-    h
-}
-
-/// FNV-1a over one reversal-log segment: its target level, each layer's
-/// id, and every (index, value-bits) pair.
-fn segment_checksum(to_level: usize, layers: &[LayerDelta]) -> u64 {
-    let mut h = fnv1a_u32(FNV_OFFSET, to_level as u32);
-    for layer in layers {
-        h = fnv1a_u32(h, layer.layer.0 as u32);
-        for &i in &layer.indices {
-            h = fnv1a_u32(h, i);
-        }
-        match &layer.values {
-            DeltaValues::Exact(vs) => {
-                for v in vs {
-                    h = fnv1a_u32(h, v.to_bits());
-                }
-            }
-            DeltaValues::Half(vs) => {
-                for &v in vs {
-                    h = fnv1a_u32(h, v as u32);
-                }
             }
         }
     }
@@ -282,6 +481,20 @@ pub struct IntegrityStats {
     pub corruption_hits: u64,
 }
 
+/// Indices evicted per layer when stepping one ladder level up,
+/// precomputed at attach time so a push never re-derives the mask
+/// difference sets on the hot path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct TransitionPlan {
+    layers: Vec<(LayerId, Vec<u32>)>,
+    entries: usize,
+}
+
+/// Segments smaller than this apply serially even when worker threads
+/// are available: below it, thread spawn overhead exceeds the scatter
+/// cost. Tunable via [`ReversiblePruner::set_parallel_apply_threshold`].
+const PARALLEL_APPLY_MIN_ENTRIES: usize = 32 * 1024;
+
 /// A reversible runtime pruner attached to one network.
 ///
 /// See the [crate-level example](crate) for typical use. The pruner
@@ -301,6 +514,12 @@ pub struct ReversiblePruner {
     scrub_cursor: usize,
     shadow: Option<Vec<LevelDelta>>,
     stats: IntegrityStats,
+    plans: Vec<TransitionPlan>,
+    pool: Vec<LevelDelta>,
+    shadow_pool: Vec<LevelDelta>,
+    seal_version: ChecksumVersion,
+    parallel_threshold: usize,
+    alloc_events: usize,
 }
 
 impl ReversiblePruner {
@@ -316,6 +535,7 @@ impl ReversiblePruner {
             level.masks.validate_against(net)?;
         }
         ladder.verify_nesting()?;
+        let plans = Self::build_plans(&ladder)?;
         Ok(ReversiblePruner {
             ladder,
             log: Vec::new(),
@@ -326,6 +546,12 @@ impl ReversiblePruner {
             scrub_cursor: 0,
             shadow: None,
             stats: IntegrityStats::default(),
+            plans,
+            pool: Vec::new(),
+            shadow_pool: Vec::new(),
+            seal_version: ChecksumVersion::V2Blocked,
+            parallel_threshold: PARALLEL_APPLY_MIN_ENTRIES,
+            alloc_events: 0,
         })
     }
 
@@ -354,6 +580,7 @@ impl ReversiblePruner {
                 data[i] = round_through_f16(data[i]);
             }
         }
+        let plans = Self::build_plans(&ladder)?;
         Ok(ReversiblePruner {
             ladder,
             log: Vec::new(),
@@ -364,7 +591,39 @@ impl ReversiblePruner {
             scrub_cursor: 0,
             shadow: None,
             stats: IntegrityStats::default(),
+            plans,
+            pool: Vec::new(),
+            shadow_pool: Vec::new(),
+            seal_version: ChecksumVersion::V2Blocked,
+            parallel_threshold: PARALLEL_APPLY_MIN_ENTRIES,
+            alloc_events: 0,
         })
+    }
+
+    /// Precomputes the per-transition eviction index sets from the
+    /// nested masks (one plan per upward step `k -> k+1`).
+    fn build_plans(ladder: &SparsityLadder) -> Result<Vec<TransitionPlan>> {
+        let mut plans = Vec::with_capacity(ladder.num_levels().saturating_sub(1));
+        for k in 0..ladder.num_levels().saturating_sub(1) {
+            let cur_masks = &ladder.level(k)?.masks;
+            let next_masks = &ladder.level(k + 1)?.masks;
+            let mut layers = Vec::new();
+            let mut entries = 0usize;
+            for next_mask in next_masks.iter() {
+                let id = next_mask.layer;
+                let newly: Vec<usize> = match cur_masks.get(id) {
+                    Some(cur) => cur.newly_pruned_in(next_mask)?,
+                    None => next_mask.pruned_indices().collect(),
+                };
+                if newly.is_empty() {
+                    continue;
+                }
+                entries += newly.len();
+                layers.push((id, newly.into_iter().map(|i| i as u32).collect()));
+            }
+            plans.push(TransitionPlan { layers, entries });
+        }
+        Ok(plans)
     }
 
     /// The log's value precision.
@@ -411,6 +670,42 @@ impl ReversiblePruner {
         level.masks.pruned_count() * self.precision.entry_bytes()
     }
 
+    /// Buffer (re)allocations performed by the segment pools since
+    /// attach: fresh segment buffers plus any capacity growth while
+    /// refilling a pooled one. Mirrors the nn `Scratch`
+    /// `allocation_events` pattern — after one full prune/restore
+    /// warm-up cycle, steady-state cycling must not move this counter.
+    pub fn allocation_events(&self) -> usize {
+        self.alloc_events
+    }
+
+    /// The checksum algorithm used to seal *new* segments.
+    pub fn seal_version(&self) -> ChecksumVersion {
+        self.seal_version
+    }
+
+    /// Switches the algorithm used to seal new segments. Segments
+    /// already on the log keep verifying under the version that sealed
+    /// them, so a mid-flight upgrade (or downgrade, for oracle runs)
+    /// never invalidates the existing log.
+    pub fn set_seal_version(&mut self, version: ChecksumVersion) {
+        self.seal_version = version;
+    }
+
+    /// Minimum segment entries before a pop applies layer spans on
+    /// worker threads.
+    pub fn parallel_apply_threshold(&self) -> usize {
+        self.parallel_threshold
+    }
+
+    /// Overrides the parallel-apply threshold. `0` forces the scoped
+    /// worker path for every multi-layer segment; `usize::MAX` forces
+    /// the serial path. Both produce byte-identical weights — the spans
+    /// write disjoint index sets.
+    pub fn set_parallel_apply_threshold(&mut self, entries: usize) {
+        self.parallel_threshold = entries;
+    }
+
     /// Moves the network to ladder level `target`, pruning or restoring
     /// as needed, and returns what the transition touched.
     ///
@@ -453,40 +748,57 @@ impl ReversiblePruner {
 
     fn push_one_level(&mut self, net: &mut Network) -> Result<usize> {
         let next = self.current + 1;
-        let cur_masks = self.ladder.level(self.current)?.masks.clone();
-        let next_masks = self.ladder.level(next)?.masks.clone();
-        let mut layers = Vec::new();
-        let mut count = 0usize;
-        for next_mask in next_masks.iter() {
-            let id = next_mask.layer;
-            let newly = match cur_masks.get(id) {
-                Some(cur) => cur.newly_pruned_in(next_mask)?,
-                None => next_mask.pruned_indices().collect(),
-            };
-            if newly.is_empty() {
-                continue;
+        let plan = &self.plans[self.current];
+        let mut seg = self
+            .pool
+            .pop()
+            .unwrap_or_else(|| LevelDelta::with_precision(self.precision));
+        let cap = seg.capacity_sig();
+        seg.reset(next);
+        for (id, idxs) in &plan.layers {
+            let data = net.weight_mut(*id)?.data_mut();
+            let start = seg.indices.len();
+            seg.indices.extend_from_slice(idxs);
+            match &mut seg.values {
+                DeltaValues::Exact(vs) => {
+                    for &i in idxs {
+                        let w = &mut data[i as usize];
+                        vs.push(*w);
+                        *w = 0.0;
+                    }
+                }
+                DeltaValues::Half(vs) => {
+                    for &i in idxs {
+                        let w = &mut data[i as usize];
+                        vs.push(f32_to_f16_bits(*w));
+                        *w = 0.0;
+                    }
+                }
             }
-            let w = net.weight_mut(id)?;
-            let data = w.data_mut();
-            let mut indices = Vec::with_capacity(newly.len());
-            let mut values = DeltaValues::with_capacity(self.precision, newly.len());
-            for i in newly {
-                indices.push(i as u32);
-                values.push(data[i]);
-                data[i] = 0.0;
-            }
-            count += indices.len();
-            layers.push(LayerDelta {
-                layer: id,
-                indices,
-                values,
+            seg.spans.push(LayerSpan {
+                layer: *id,
+                start,
+                end: seg.indices.len(),
             });
         }
-        let delta = LevelDelta::new(next, layers);
-        if let Some(shadow) = &mut self.shadow {
-            shadow.push(delta.clone());
+        seg.seal(self.seal_version);
+        if seg.capacity_sig() != cap {
+            self.alloc_events += 1;
         }
-        self.log.push(delta);
+        let count = seg.len();
+        if let Some(shadow) = &mut self.shadow {
+            let mut sh = self
+                .shadow_pool
+                .pop()
+                .unwrap_or_else(|| LevelDelta::with_precision(self.precision));
+            let sh_cap = sh.capacity_sig();
+            sh.copy_from(&seg);
+            if sh.capacity_sig() != sh_cap {
+                self.alloc_events += 1;
+            }
+            shadow.push(sh);
+        }
+        self.log.push(seg);
         self.current = next;
         Ok(count)
     }
@@ -514,19 +826,59 @@ impl ReversiblePruner {
         }
         let delta = self.log.pop().expect("segment index checked above");
         if let Some(shadow) = &mut self.shadow {
-            shadow.pop();
-        }
-        let mut count = 0usize;
-        for layer_delta in &delta.layers {
-            let w = net.weight_mut(layer_delta.layer)?;
-            let data = w.data_mut();
-            for (pos, &i) in layer_delta.indices.iter().enumerate() {
-                data[i as usize] = layer_delta.values.get(pos);
+            if let Some(sh) = shadow.pop() {
+                self.shadow_pool.push(sh);
             }
-            count += layer_delta.indices.len();
         }
+        let count = delta.len();
+        Self::apply_segment(&delta, net, self.parallel_threshold)?;
         self.current -= 1;
+        // The pop mirrors the push order, so LIFO reuse hands each
+        // future push a buffer already sized for its level.
+        self.pool.push(delta);
         Ok(count)
+    }
+
+    /// Writes a popped segment's values back into the network —
+    /// serially, or with one scoped worker per layer span when the
+    /// segment is large enough to amortize thread spawns. The spans
+    /// target disjoint layers, so both paths are byte-identical.
+    fn apply_segment(delta: &LevelDelta, net: &mut Network, threshold: usize) -> Result<()> {
+        let workers = std::thread::available_parallelism().map_or(1, usize::from);
+        if delta.spans.len() > 1 && workers > 1 && delta.len() >= threshold {
+            let mut slices = net.prunable_weights_mut();
+            let mut jobs: Vec<(&LayerSpan, &mut [f32])> = Vec::with_capacity(delta.spans.len());
+            for span in &delta.spans {
+                let pos = slices
+                    .iter()
+                    .position(|(id, _)| *id == span.layer)
+                    .ok_or_else(|| {
+                        PruneError::mask_mismatch(format!(
+                            "layer {} missing from network during restore",
+                            span.layer
+                        ))
+                    })?;
+                let (_, data) = slices.swap_remove(pos);
+                jobs.push((span, data));
+            }
+            std::thread::scope(|scope| {
+                for (span, data) in jobs {
+                    let indices = &delta.indices[span.start..span.end];
+                    let values = delta.value_slice(span.start, span.end);
+                    scope.spawn(move || apply_span(indices, values, data));
+                }
+            });
+        } else {
+            for span in &delta.spans {
+                let data = net.weight_mut(span.layer)?.data_mut();
+                apply_span(
+                    &delta.indices[span.start..span.end],
+                    delta.value_slice(span.start, span.end),
+                    data,
+                );
+            }
+        }
+        Ok(())
     }
 
     /// Re-zeroes the current level's pruned positions.
@@ -623,9 +975,14 @@ impl ReversiblePruner {
     /// in-RAM copy, doubling log memory but letting
     /// [`ReversiblePruner::repair_segment`] fix a corrupted segment in
     /// place. Enabling mid-flight mirrors the current log; disabling
-    /// drops the mirror.
+    /// drops the mirror (its buffers return to the pool).
     pub fn set_shadow_mode(&mut self, on: bool) {
-        self.shadow = if on { Some(self.log.clone()) } else { None };
+        if on {
+            self.shadow = Some(self.log.clone());
+        } else if let Some(mut sh) = self.shadow.take() {
+            sh.reverse();
+            self.shadow_pool.append(&mut sh);
+        }
     }
 
     /// Verifies every log segment, returning how many were checked.
@@ -680,7 +1037,8 @@ impl ReversiblePruner {
         }
     }
 
-    /// Rewrites a corrupted segment from its shadow copy.
+    /// Rewrites a corrupted segment from its shadow copy (in place,
+    /// reusing the corrupted segment's buffers).
     ///
     /// # Errors
     ///
@@ -689,20 +1047,18 @@ impl ReversiblePruner {
     /// the shadow copy itself no longer verifies (both copies hit —
     /// escalate to a snapshot or storage restore).
     pub fn repair_segment(&mut self, segment: usize) -> Result<()> {
-        let src = {
-            let shadow = self.shadow.as_ref().ok_or_else(|| PruneError::NotRestorable {
-                message: "shadow-copy mode is off; cannot repair log in place".into(),
-            })?;
-            if segment >= self.log.len() || segment >= shadow.len() {
-                return Err(PruneError::NotRestorable {
-                    message: format!(
-                        "segment {segment} out of range (log has {})",
-                        self.log.len()
-                    ),
-                });
-            }
-            shadow[segment].clone()
-        };
+        let shadow = self.shadow.as_ref().ok_or_else(|| PruneError::NotRestorable {
+            message: "shadow-copy mode is off; cannot repair log in place".into(),
+        })?;
+        if segment >= self.log.len() || segment >= shadow.len() {
+            return Err(PruneError::NotRestorable {
+                message: format!(
+                    "segment {segment} out of range (log has {})",
+                    self.log.len()
+                ),
+            });
+        }
+        let src = &shadow[segment];
         if !src.verify() {
             self.stats.corruption_hits += 1;
             return Err(PruneError::LogCorruption {
@@ -712,7 +1068,7 @@ impl ReversiblePruner {
                 actual: src.computed_checksum(),
             });
         }
-        self.log[segment] = src;
+        self.log[segment].copy_from(src);
         self.stats.repairs += 1;
         Ok(())
     }
@@ -732,22 +1088,20 @@ impl ReversiblePruner {
         }
         let mut pick = rng.next_below(total);
         for delta in &mut self.log {
-            for layer in &mut delta.layers {
-                if pick < layer.len() {
-                    match &mut layer.values {
-                        DeltaValues::Exact(vs) => {
-                            let bit = rng.next_below(23) as u32;
-                            vs[pick] = f32::from_bits(vs[pick].to_bits() ^ (1u32 << bit));
-                        }
-                        DeltaValues::Half(vs) => {
-                            let bit = rng.next_below(10) as u32;
-                            vs[pick] ^= 1u16 << bit;
-                        }
+            if pick < delta.len() {
+                match &mut delta.values {
+                    DeltaValues::Exact(vs) => {
+                        let bit = rng.next_below(23) as u32;
+                        vs[pick] = f32::from_bits(vs[pick].to_bits() ^ (1u32 << bit));
                     }
-                    return true;
+                    DeltaValues::Half(vs) => {
+                        let bit = rng.next_below(10) as u32;
+                        vs[pick] ^= 1u16 << bit;
+                    }
                 }
-                pick -= layer.len();
+                return true;
             }
+            pick -= delta.len();
         }
         false
     }
@@ -770,9 +1124,11 @@ impl ReversiblePruner {
                 actual,
             });
         }
-        self.log.clear();
+        // Drain buffers into the pools deepest-first, so the LIFO pool
+        // hands them back to re-pushes of the matching level.
+        self.pool.extend(self.log.drain(..).rev());
         if let Some(shadow) = &mut self.shadow {
-            shadow.clear();
+            self.shadow_pool.extend(shadow.drain(..).rev());
         }
         self.scrub_cursor = 0;
         self.current = 0;
@@ -1205,5 +1561,110 @@ mod tests {
             p.set_level(&mut net, 0),
             Err(PruneError::LogCorruption { .. })
         ));
+    }
+
+    // -------------------------------------------------------------
+    // Restore fast path: pooling, versioned checksums, parallel apply
+    // -------------------------------------------------------------
+
+    #[test]
+    fn steady_state_cycles_allocate_zero_after_warmup() {
+        let (mut net, mut p) = setup(vec![0.0, 0.3, 0.6, 0.9]);
+        p.set_shadow_mode(true);
+        // Warm-up: one full climb and descent sizes every pool buffer.
+        p.set_level(&mut net, 3).unwrap();
+        p.set_level(&mut net, 0).unwrap();
+        let warm = p.allocation_events();
+        assert!(warm > 0, "warm-up must have allocated the buffers");
+        for _ in 0..8 {
+            p.set_level(&mut net, 3).unwrap();
+            p.set_level(&mut net, 1).unwrap();
+            p.set_level(&mut net, 2).unwrap();
+            p.set_level(&mut net, 0).unwrap();
+        }
+        assert_eq!(
+            p.allocation_events(),
+            warm,
+            "steady-state prune/restore cycles must not allocate"
+        );
+        p.verify_restored(&net).unwrap();
+    }
+
+    #[test]
+    fn v1_sealed_segments_verify_under_v2_pruner() {
+        let (mut net, mut p) = setup(vec![0.0, 0.3, 0.6, 0.9]);
+        // Seal the first two segments under the legacy scalar FNV.
+        p.set_seal_version(ChecksumVersion::V1Fnv);
+        p.set_level(&mut net, 2).unwrap();
+        // Upgrade mid-flight: new segments seal blocked, old ones stay V1.
+        p.set_seal_version(ChecksumVersion::V2Blocked);
+        p.set_level(&mut net, 3).unwrap();
+        assert_eq!(p.scrub().unwrap(), 3, "mixed-version log scrubs clean");
+        p.set_level(&mut net, 0).unwrap();
+        p.verify_restored(&net).unwrap();
+    }
+
+    #[test]
+    fn v1_sealed_segment_still_detects_corruption() {
+        let (mut net, mut p) = setup(vec![0.0, 0.6]);
+        p.set_seal_version(ChecksumVersion::V1Fnv);
+        p.set_level(&mut net, 1).unwrap();
+        let mut rng = Prng::new(29);
+        assert!(p.inject_log_bitflip(&mut rng));
+        assert!(matches!(
+            p.set_level(&mut net, 0),
+            Err(PruneError::LogCorruption { .. })
+        ));
+    }
+
+    #[test]
+    fn parallel_and_serial_apply_are_byte_identical() {
+        let base = models::default_perception_cnn(61).unwrap();
+        let ladder = LadderConfig::new(vec![0.0, 0.3, 0.6, 0.9])
+            .criterion(PruneCriterion::ChannelL2)
+            .build(&base)
+            .unwrap();
+        let mut net_s = base.clone();
+        let mut ps = ReversiblePruner::attach(&net_s, ladder.clone()).unwrap();
+        ps.set_parallel_apply_threshold(usize::MAX); // force serial
+        let mut net_p = base.clone();
+        let mut pp = ReversiblePruner::attach(&net_p, ladder).unwrap();
+        pp.set_parallel_apply_threshold(0); // force parallel
+        for level in [3usize, 1, 2, 0, 3, 0] {
+            ps.set_level(&mut net_s, level).unwrap();
+            pp.set_level(&mut net_p, level).unwrap();
+            assert_eq!(net_s, net_p, "divergence after set_level({level})");
+        }
+        ps.verify_restored(&net_s).unwrap();
+        pp.verify_restored(&net_p).unwrap();
+    }
+
+    #[test]
+    fn weights_checksum_and_fnv_oracle_both_detect_single_flip() {
+        let (mut net, _) = setup(vec![0.0, 0.5]);
+        let v2 = weights_checksum(&net);
+        let v1 = weights_checksum_fnv(&net);
+        let id = net.prunable_layers()[0].id;
+        let d = net.weight_mut(id).unwrap().data_mut();
+        d[3] = f32::from_bits(d[3].to_bits() ^ (1 << 12));
+        assert_ne!(weights_checksum(&net), v2);
+        assert_ne!(weights_checksum_fnv(&net), v1);
+    }
+
+    #[test]
+    fn pool_survives_adopt_full_restore() {
+        let (mut net, mut p) = setup(vec![0.0, 0.4, 0.8]);
+        let image = net.clone();
+        p.set_level(&mut net, 2).unwrap();
+        p.set_level(&mut net, 0).unwrap();
+        p.set_level(&mut net, 2).unwrap();
+        let warm = p.allocation_events();
+        net = image.clone();
+        p.adopt_full_restore(&net).unwrap();
+        // Buffers parked by the adopt are reused by the next climb.
+        p.set_level(&mut net, 2).unwrap();
+        p.set_level(&mut net, 0).unwrap();
+        assert_eq!(p.allocation_events(), warm);
+        p.verify_restored(&net).unwrap();
     }
 }

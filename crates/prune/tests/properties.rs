@@ -379,3 +379,95 @@ proptest! {
         prop_assert_eq!(conf_dense.to_bits(), conf_sparse.to_bits());
     }
 }
+
+fn special_word_strategy() -> impl Strategy<Value = u32> {
+    // Random words plus the adversarial f32 bit patterns: quiet/signaling
+    // NaNs, ±0, ±inf, denormal neighbourhood.
+    prop_oneof![
+        any::<u32>(),
+        Just(f32::NAN.to_bits()),
+        Just(0xFFC0_0000u32),  // negative quiet NaN
+        Just(0x7F80_0001u32),  // signaling NaN
+        Just(0x0000_0000u32),  // +0.0
+        Just(0x8000_0000u32),  // -0.0
+        Just(f32::INFINITY.to_bits()),
+        Just(f32::NEG_INFINITY.to_bits()),
+        Just(0x0000_0001u32),  // smallest denormal
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // The unrolled slice paths of the blocked hasher must agree with the
+    // scalar one-word-at-a-time definition on arbitrary streams — for
+    // any misaligned prefix and for f32 inputs hashed via their bit
+    // patterns (NaN payloads and ±0 must be distinguished, not
+    // canonicalised).
+    #[test]
+    fn blocked_slice_paths_match_scalar_definition(
+        words in prop::collection::vec(special_word_strategy(), 0..200),
+        prefix in 0usize..8,
+    ) {
+        let prefix = prefix.min(words.len());
+        let mut reference = reprune_prune::BlockedHasher::new();
+        for &w in &words {
+            reference.write_u32(w);
+        }
+
+        let mut as_u32 = reprune_prune::BlockedHasher::new();
+        for &w in &words[..prefix] {
+            as_u32.write_u32(w);
+        }
+        as_u32.write_u32_slice(&words[prefix..]);
+        prop_assert_eq!(as_u32.finish(), reference.finish());
+
+        let floats: Vec<f32> = words.iter().map(|&w| f32::from_bits(w)).collect();
+        let mut as_f32 = reprune_prune::BlockedHasher::new();
+        for &w in &words[..prefix] {
+            as_f32.write_u32(w);
+        }
+        as_f32.write_f32_slice(&floats[prefix..]);
+        prop_assert_eq!(as_f32.finish(), reference.finish());
+    }
+
+    // Parallel segment apply must be byte-identical to the sequential
+    // path at every step of any ladder walk: two pruners over clones of
+    // the same network, one forced parallel (threshold 0) and one forced
+    // serial (threshold MAX), must agree bit-exactly after every
+    // transition and both restore the original at level 0.
+    #[test]
+    fn parallel_apply_is_byte_identical_to_serial(
+        net_seed in 0u64..500,
+        crit in criterion_strategy(),
+        levels in ladder_levels_strategy(),
+        walk in prop::collection::vec(0usize..6, 1..10),
+    ) {
+        let original = small_net(net_seed);
+        let mut serial_net = original.clone();
+        let mut parallel_net = original.clone();
+        let mk_pruner = |net: &Network| {
+            let ladder = LadderConfig::new(levels.clone())
+                .criterion(crit)
+                .build(net)
+                .unwrap();
+            ReversiblePruner::attach(net, ladder).unwrap()
+        };
+        let mut serial = mk_pruner(&serial_net);
+        serial.set_parallel_apply_threshold(usize::MAX);
+        let mut parallel = mk_pruner(&parallel_net);
+        parallel.set_parallel_apply_threshold(0);
+        let n = serial.ladder().num_levels();
+        for &step in &walk {
+            serial.set_level(&mut serial_net, step % n).unwrap();
+            parallel.set_level(&mut parallel_net, step % n).unwrap();
+            prop_assert_eq!(&serial_net, &parallel_net);
+        }
+        serial.set_level(&mut serial_net, 0).unwrap();
+        parallel.set_level(&mut parallel_net, 0).unwrap();
+        serial.verify_restored(&serial_net).unwrap();
+        parallel.verify_restored(&parallel_net).unwrap();
+        prop_assert_eq!(&serial_net, &original);
+        prop_assert_eq!(&parallel_net, &original);
+    }
+}

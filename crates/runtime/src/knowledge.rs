@@ -133,6 +133,13 @@ pub struct Knowledge {
     pub overrun_until: f64,
     /// Extra per-tick latency while the overrun window is active.
     pub overrun_extra_s: f64,
+    /// Per-tick time budget for amortized restores, seconds. When set,
+    /// a multi-level climb back toward capacity is spread across ticks:
+    /// each tick applies whole one-level slices until the next slice
+    /// would overflow this budget (always at least one, so progress is
+    /// guaranteed). `None` restores in one shot, scheduling a pending
+    /// restore when the transition exceeds the control period.
+    pub restore_budget_s: Option<f64>,
     /// Costs and flags for the tick currently being stepped.
     pub tick: TickBudget,
 }
@@ -166,6 +173,7 @@ impl Knowledge {
             confidence_fault_until: f64::NEG_INFINITY,
             overrun_until: f64::NEG_INFINITY,
             overrun_extra_s: 0.0,
+            restore_budget_s: None,
             tick: TickBudget::default(),
         }
     }

@@ -81,6 +81,9 @@ pub struct RuntimeManagerConfig {
     pub defense: FaultDefense,
     /// Capacity of the tick-event trace ring buffer.
     pub trace_capacity: usize,
+    /// Per-tick time budget for amortized restores, seconds (see
+    /// [`Knowledge::restore_budget_s`]). `None` keeps one-shot restores.
+    pub restore_budget_s: Option<f64>,
 }
 
 impl RuntimeManagerConfig {
@@ -97,6 +100,7 @@ impl RuntimeManagerConfig {
             odd: OddSpec::permissive(),
             defense: FaultDefense::FullChain,
             trace_capacity: crate::trace::DEFAULT_TRACE_CAPACITY,
+            restore_budget_s: None,
         }
     }
 
@@ -145,6 +149,14 @@ impl RuntimeManagerConfig {
     /// Sets the trace ring-buffer capacity.
     pub fn trace_capacity(mut self, capacity: usize) -> Self {
         self.trace_capacity = capacity;
+        self
+    }
+
+    /// Enables amortized restores: multi-level climbs back toward
+    /// capacity are sliced level by level across ticks, spending at most
+    /// `seconds` of restore work per tick (at least one slice per tick).
+    pub fn restore_budget(mut self, seconds: f64) -> Self {
+        self.restore_budget_s = Some(seconds);
         self
     }
 }
@@ -231,7 +243,8 @@ impl RuntimeManager {
             mirror_pruner,
             storage: StorageHealth::new(),
         };
-        let knowledge = Knowledge::new(levels, model_bytes, sealed_checksum);
+        let mut knowledge = Knowledge::new(levels, model_bytes, sealed_checksum);
+        knowledge.restore_budget_s = config.restore_budget_s;
         let chain = RestoreChain {
             mechanism: config.mechanism,
             scale_factor: config.scale.factor,

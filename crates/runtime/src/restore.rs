@@ -89,6 +89,15 @@ impl RestoreChain {
         }
     }
 
+    /// Whether the configured mechanism can be applied in per-level
+    /// slices under an amortized per-tick time budget. Only the delta
+    /// log is incremental by construction — it restores level by level
+    /// — while snapshot and storage reload move the whole image in one
+    /// shot.
+    pub fn supports_amortized(&self) -> bool {
+        self.mechanism == RestoreMechanism::DeltaLog
+    }
+
     /// Energy of restoring `entries_restored` log entries under the
     /// configured mechanism.
     pub fn restore_energy(&self, entries_restored: usize) -> Joules {

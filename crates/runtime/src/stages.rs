@@ -287,6 +287,60 @@ impl Plan for DefaultPlanner {
 /// Default Execute: the restore fallback chain actuator.
 pub struct ChainExecutor;
 
+impl ChainExecutor {
+    /// Climbs toward `target` one ladder level at a time, stopping when
+    /// the next slice would push the time spent this tick past
+    /// `budget`. The first slice always runs — a single oversized delta
+    /// must not stall the climb forever — and a slice that fails to
+    /// lower the level (the fallback chain parked the climb on a
+    /// detected corruption) ends the loop for this tick. Each completed
+    /// slice is charged exactly like a synchronous restore of that
+    /// slice and leaves a `restore-slice` trace event, so the trace
+    /// stays balanced against the counters.
+    fn apply_amortized(
+        k: &mut Knowledge,
+        plant: &mut Plant,
+        chain: &RestoreChain,
+        target: usize,
+        budget: f64,
+        tick: &Tick,
+        trace: &mut TickTrace,
+    ) -> Result<()> {
+        let mut spent = 0.0f64;
+        loop {
+            let level = plant.pruner.current_level();
+            if level <= target {
+                break;
+            }
+            let entries = plant.entries_between(level - 1, level);
+            let latency = chain.restore_latency(entries);
+            if spent > 0.0 && spent + latency.0 > budget {
+                break;
+            }
+            k.absorb_deferred(ChainReport {
+                latency,
+                energy: chain.restore_energy(entries),
+                detected: false,
+                repaired: false,
+            });
+            k.tick.sync_latency_s += latency.0;
+            spent += latency.0;
+            let rep = chain.set_level_chain(k, plant, level - 1, tick.t, trace)?;
+            k.absorb(rep);
+            let now = plant.pruner.current_level();
+            if now >= level {
+                break;
+            }
+            trace.record(
+                tick.t,
+                StageId::Execute,
+                TraceEventKind::RestoreSlice { level: now, target },
+            );
+        }
+        Ok(())
+    }
+}
+
 impl Execute for ChainExecutor {
     fn service_reload(
         &mut self,
@@ -371,6 +425,11 @@ impl Execute for ChainExecutor {
                     detected: false,
                     repaired: false,
                 });
+            } else if let Some(budget) = k.restore_budget_s.filter(|_| chain.supports_amortized())
+            {
+                // Amortized restore: whole one-level slices inside the
+                // per-tick budget, continuing next tick if needed.
+                Self::apply_amortized(k, plant, chain, target, budget, tick, trace)?;
             } else {
                 // Restoring capacity: charge the configured mechanism.
                 let entries = plant.entries_between(target, plant.pruner.current_level());

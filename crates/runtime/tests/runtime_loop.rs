@@ -669,3 +669,108 @@ fn mechanism_display() {
     assert_eq!(RestoreMechanism::Snapshot.to_string(), "snapshot");
     assert_eq!(RestoreMechanism::StorageReload.to_string(), "storage-reload");
 }
+
+#[test]
+fn amortized_restore_slices_one_level_per_tick() {
+    // A vanishingly small budget forces exactly one slice per tick (the
+    // progress guarantee), so a 3-level climb takes 3 ticks and leaves
+    // one restore-slice trace event per level descended.
+    let (net, ladder) = ladder_net();
+    let mut m = RuntimeManager::attach(
+        net,
+        ladder,
+        RuntimeManagerConfig::new(Policy::Oracle, env()).restore_budget(1e-12),
+    )
+    .unwrap();
+    let mk = |t: f64, risk: f64| reprune_scenario::Tick {
+        t,
+        segment: SegmentKind::Highway,
+        weather: Weather::Clear,
+        risk,
+        active_events: 0,
+    };
+    let dt = 0.1;
+    for i in 0..3 {
+        m.step(&mk(i as f64 * dt, 0.05), dt).unwrap();
+    }
+    assert_eq!(m.current_level(), 3);
+    // Critical risk demands level 0; the climb is sliced across ticks.
+    m.step(&mk(0.3, 0.9), dt).unwrap();
+    assert_eq!(m.current_level(), 2, "first tick restores one level");
+    m.step(&mk(0.4, 0.9), dt).unwrap();
+    assert_eq!(m.current_level(), 1, "second tick restores one level");
+    m.step(&mk(0.5, 0.9), dt).unwrap();
+    assert_eq!(m.current_level(), 0, "third tick completes the climb");
+    let slices: Vec<(usize, usize)> = m
+        .trace()
+        .events()
+        .filter_map(|e| match e.kind {
+            reprune_runtime::TraceEventKind::RestoreSlice { level, target } => {
+                Some((level, target))
+            }
+            _ => None,
+        })
+        .collect();
+    assert_eq!(slices, vec![(2, 0), (1, 0), (0, 0)]);
+}
+
+#[test]
+fn amortized_restore_with_ample_budget_matches_one_shot() {
+    // A budget comfortably above the full climb cost completes in one
+    // tick, just like the unbudgeted path.
+    let (net, ladder) = ladder_net();
+    let mut m = RuntimeManager::attach(
+        net,
+        ladder,
+        RuntimeManagerConfig::new(Policy::Oracle, env()).restore_budget(10.0),
+    )
+    .unwrap();
+    let mk = |t: f64, risk: f64| reprune_scenario::Tick {
+        t,
+        segment: SegmentKind::Highway,
+        weather: Weather::Clear,
+        risk,
+        active_events: 0,
+    };
+    let dt = 0.1;
+    for i in 0..3 {
+        m.step(&mk(i as f64 * dt, 0.05), dt).unwrap();
+    }
+    assert_eq!(m.current_level(), 3);
+    m.step(&mk(0.3, 0.9), dt).unwrap();
+    assert_eq!(m.current_level(), 0, "whole climb fits the budget");
+}
+
+#[test]
+fn amortized_storm_campaign_keeps_trace_balanced() {
+    // The tab8 self-check invariant must hold with amortized slices
+    // enabled: every counted detection has exactly one trace event and
+    // the ring never drops, and the full chain still ends the storm
+    // with zero silent corruption.
+    let s = busy_scenario(21).with_faults(storm_events(
+        &StormConfig::severe(10.0, 60.0),
+        21,
+    ));
+    let (net, ladder) = ladder_net();
+    let mut m = RuntimeManager::attach(
+        net,
+        ladder,
+        RuntimeManagerConfig::new(Policy::Oracle, env())
+            .defense(FaultDefense::FullChain)
+            .restore_budget(1e-4),
+    )
+    .unwrap();
+    let r = m.run(&s).unwrap();
+    assert!(r.faults_injected > 0, "storm must land faults");
+    assert_eq!(
+        r.trace_event_count("fault-detected"),
+        r.faults_detected,
+        "one trace event per counted detection"
+    );
+    assert_eq!(r.trace_dropped, 0);
+    assert_eq!(r.silent_corruption_ticks(), 0);
+    assert!(
+        r.trace_event_count("restore-slice") > 0,
+        "the storm must exercise the sliced climb"
+    );
+}
