@@ -1,10 +1,20 @@
-//! Experiment T6 (extension) — multi-model budget planning: a perception
-//! CNN and a control MLP sharing one per-tick energy budget.
+//! Experiment T6 — fleet-scale budget arbitration, live and planned.
 //!
-//! Member profiles are *measured*: per-level energy from the platform
-//! model, per-level utility from real test-set accuracy. The table sweeps
-//! the budget and shows the planner shedding capacity where it is
-//! cheapest, while safety envelopes stay hard constraints.
+//! Two parts:
+//!
+//! 1. **Live executor** — a 4-camera perception fleet (four runtimes
+//!    cloned from one trained CNN, sharing dense weights copy-on-write)
+//!    driven through a scenario by `FleetRuntime`: every tick the shared
+//!    budget is arbitrated into per-member level floors, injected into
+//!    each member's Plan stage, and all members step concurrently. The
+//!    table sweeps the budget and reports *realized* levels, energy,
+//!    and utility — not just the planner's intent.
+//! 2. **Heterogeneous planning** — the original static table: a
+//!    perception CNN and a control MLP profiled offline (measured
+//!    per-level energy + test-set accuracy) and planned under a budget
+//!    sweep. (The MLP cannot run under the perception runtime, so this
+//!    part stays a planning-only view.)
+//!
 //! Run with: `cargo run --release -p reprune-bench --bin tab6_fleet_budget`
 
 use reprune::nn::dataset::{BlobsDataset, SCENE_SIZE};
@@ -15,9 +25,14 @@ use reprune::platform::{Joules, SocModel};
 use reprune::prune::{LadderConfig, PruneCriterion, ReversiblePruner, SparsityLadder};
 use reprune::runtime::envelope::SafetyEnvelope;
 use reprune::runtime::fleet::{plan_budget, FleetMember};
+use reprune::runtime::manager::{RuntimeManager, RuntimeManagerConfig};
+use reprune::runtime::policy::Policy;
+use reprune::runtime::FleetRuntime;
+use reprune::scenario::ScenarioConfig;
 use reprune_bench::{print_row, print_rule, trained_perception};
 
 const SCALE: f64 = 150.0;
+const FLEET_SIZE: usize = 4;
 
 /// Profiles a member: per-level platform energy + measured accuracy.
 fn profile_member<E: reprune::nn::dataset::Example>(
@@ -59,10 +74,37 @@ fn profile_member<E: reprune::nn::dataset::Example>(
     }
 }
 
+/// A fresh 4-camera fleet: four runtimes cloned from one trained CNN
+/// (dense weights shared copy-on-write), distinct frame seeds. The
+/// members run `NoPruning` locally, so the arbiter's per-tick level
+/// floor is the *only* pruning pressure — the table below isolates what
+/// budget arbitration alone does.
+fn camera_fleet(cnn: &Network, ladder: &SparsityLadder, utility: &[f64]) -> FleetRuntime {
+    FleetRuntime::new(
+        (0..FLEET_SIZE)
+            .map(|i| {
+                let mgr = RuntimeManager::attach(
+                    cnn.clone(),
+                    ladder.clone(),
+                    RuntimeManagerConfig::new(
+                        Policy::NoPruning,
+                        SafetyEnvelope::evenly_spaced(ladder.num_levels(), 0.6)
+                            .expect("envelope"),
+                    )
+                    .frame_seed(70 + i as u64),
+                )
+                .expect("attach");
+                (format!("cam-{i}"), mgr, utility.to_vec())
+            })
+            .collect(),
+    )
+    .expect("fleet builds")
+}
+
 fn main() {
     let soc = SocModel::jetson_class();
 
-    // Member 1: the perception CNN.
+    // Member 1: the perception CNN (also the live fleet's architecture).
     let (cnn, cnn_test) = trained_perception(60);
     let cnn_ladder = LadderConfig::new(vec![0.0, 0.3, 0.6, 0.9])
         .criterion(PruneCriterion::ChannelL2)
@@ -77,6 +119,81 @@ fn main() {
         &soc,
     );
 
+    // ---- Part 1: the live 4-camera fleet under arbitration ----------
+    println!("T6a: live {FLEET_SIZE}-camera fleet, per-tick budget arbitration");
+    let fleet = camera_fleet(&cnn, &cnn_ladder, &perception.utility_per_level);
+    let storage = fleet.weight_storage_bytes();
+    let dense_bytes: usize = cnn.param_storage().iter().map(|(_, b)| b).sum();
+    println!(
+        "shared weight storage: {} B unique of {} B naive ({:.2}x one member's dense {} B)\n",
+        storage.unique,
+        storage.total,
+        storage.unique as f64 / dense_bytes as f64,
+        dense_bytes
+    );
+    let fleet_dense: f64 = fleet
+        .profiles()
+        .iter()
+        .map(|p| p.energy_per_level[0].0)
+        .sum();
+    drop(fleet);
+
+    let scenario = ScenarioConfig::new().duration_s(45.0).seed(64).generate();
+    let widths = [10, 22, 12, 11, 11, 11];
+    print_row(
+        &[
+            "budget %".into(),
+            "mean level cam0-3".into(),
+            "mJ/tick".into(),
+            "utility".into(),
+            "violations".into(),
+            "infeasible".into(),
+        ],
+        &widths,
+    );
+    print_rule(&widths);
+    let mut realized = Vec::new();
+    for frac in [1.0, 0.7, 0.5, 0.35] {
+        let mut f = camera_fleet(&cnn, &cnn_ladder, &perception.utility_per_level);
+        let r = f
+            .run(&scenario, Some(Joules(fleet_dense * frac)))
+            .expect("fleet run");
+        let per_tick_mj = r.total_energy().as_millijoules() / r.ticks.len() as f64;
+        realized.push(per_tick_mj);
+        print_row(
+            &[
+                format!("{:.0}%", frac * 100.0),
+                (0..FLEET_SIZE)
+                    .map(|i| format!("{:.2}", r.mean_level(i)))
+                    .collect::<Vec<_>>()
+                    .join("/"),
+                format!("{per_tick_mj:.3}"),
+                format!("{:.3}", r.mean_utility()),
+                format!("{}", r.violations()),
+                format!("{}", r.infeasible_ticks()),
+            ],
+            &widths,
+        );
+        assert_eq!(
+            r.violations(),
+            0,
+            "arbitration must never push a member past its envelope"
+        );
+    }
+    print_rule(&widths);
+    for pair in realized.windows(2) {
+        assert!(
+            pair[1] <= pair[0] + 1e-9,
+            "realized energy must not grow as the budget shrinks"
+        );
+    }
+    assert!(
+        storage.unique < (dense_bytes as f64 * 1.5) as usize,
+        "cloned fleet must hold ~1x dense weights"
+    );
+    println!();
+
+    // ---- Part 2: heterogeneous planning (perception + control) ------
     // Member 2: the control MLP on the tabular task.
     let blobs = BlobsDataset::generate(400, 12, 4, 0.5, 61);
     let mut mlp = models::control_mlp(12, &[64, 32], 4, 62).expect("mlp");
@@ -108,7 +225,7 @@ fn main() {
         .iter()
         .map(|m| m.energy_per_level[0])
         .sum::<Joules>();
-    println!("T6 (extension): shared energy budget across perception + control");
+    println!("T6b: shared energy budget across perception + control (planned)");
     println!(
         "full-capacity fleet energy: {:.3} mJ/tick | member profiles measured\n",
         full_energy.as_millijoules()
@@ -177,5 +294,5 @@ fn main() {
     let pinned = plan_budget(&members, &[0.9, 0.0], Some(Joules(full_energy.0 * 0.3)))
         .expect("plan");
     assert_eq!(pinned.levels[0], 0, "risky perception stays dense even at 30% budget");
-    println!("\nshape checks passed: budget trades utility greedily; safety is never traded.");
+    println!("\nshape checks passed: live fleet stays safe under arbitration; budget trades utility greedily; safety is never traded.");
 }

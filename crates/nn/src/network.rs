@@ -336,6 +336,38 @@ impl Network {
             .collect()
     }
 
+    /// One `(storage_id, bytes)` entry per parameter tensor.
+    ///
+    /// Cloned networks share tensor storage copy-on-write, so a fleet of
+    /// members built from one trained model reports the same storage ids
+    /// until a member mutates a layer. Memory accounting dedupes by the
+    /// id to measure the *unique* bytes a fleet actually holds.
+    pub fn param_storage(&self) -> Vec<(usize, usize)> {
+        self.layers
+            .iter()
+            .flat_map(|layer| layer.params())
+            .map(|p| {
+                (
+                    p.value.storage_id(),
+                    p.value.len() * std::mem::size_of::<f32>(),
+                )
+            })
+            .collect()
+    }
+
+    /// Detaches every parameter tensor onto a private storage copy,
+    /// ending any copy-on-write sharing with clones of this network.
+    ///
+    /// The benchmark's "copied fleet" baseline uses this to model the
+    /// pre-shared-storage memory footprint (N full weight copies).
+    pub fn unshare_params(&mut self) {
+        for layer in &mut self.layers {
+            for p in layer.params_mut() {
+                p.value.unshare();
+            }
+        }
+    }
+
     /// Fraction of weight elements that are exactly zero, across all
     /// prunable layers (the realized unstructured sparsity).
     pub fn sparsity(&self) -> f64 {

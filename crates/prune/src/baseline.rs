@@ -44,6 +44,18 @@ impl SnapshotRestore {
             .sum()
     }
 
+    /// One `(storage_id, bytes)` entry per snapshotted tensor.
+    ///
+    /// Snapshots capture weights by `Tensor::clone`, which shares storage
+    /// copy-on-write with the live network — deduping by storage id shows
+    /// how many of the snapshot's bytes are physically distinct.
+    pub fn weight_storage(&self) -> Vec<(usize, usize)> {
+        self.weights
+            .iter()
+            .map(|(_, w)| (w.storage_id(), w.len() * std::mem::size_of::<f32>()))
+            .collect()
+    }
+
     /// Copies the snapshot back into the network.
     ///
     /// # Errors

@@ -120,8 +120,32 @@ pub struct BudgetPlan {
 /// # Errors
 ///
 /// Returns [`RuntimeError::BadConfig`] if `members` and `risks` disagree
-/// in length, the member list is empty, or any member is inconsistent.
+/// in length, the member list is empty, any risk is non-finite or
+/// negative, or any member is inconsistent.
 pub fn plan_budget(
+    members: &[FleetMember],
+    risks: &[f64],
+    budget: Option<Joules>,
+) -> Result<BudgetPlan> {
+    for m in members {
+        m.validate()?;
+    }
+    plan_budget_prevalidated(members, risks, budget)
+}
+
+/// [`plan_budget`] without the per-member consistency re-check.
+///
+/// Member profiles are immutable after construction, so a caller that
+/// validated them once (e.g. `FleetRuntime`, which arbitrates every tick)
+/// can skip the O(members × levels) re-validation on the hot path. Risks
+/// change every tick and are still checked here.
+///
+/// # Errors
+///
+/// Returns [`RuntimeError::BadConfig`] if `members` and `risks` disagree
+/// in length, the member list is empty, or any risk is non-finite or
+/// negative.
+pub fn plan_budget_prevalidated(
     members: &[FleetMember],
     risks: &[f64],
     budget: Option<Joules>,
@@ -136,8 +160,17 @@ pub fn plan_budget(
             risks.len()
         )));
     }
-    for m in members {
-        m.validate()?;
+    // A NaN risk would sail through `max_level`'s `risk < t` comparison
+    // (always false) and silently grant the *most pruned* level — the
+    // exact opposite of the safe reading of an undefined risk. Reject
+    // anything that is not a finite non-negative number.
+    for (m, &r) in members.iter().zip(risks) {
+        if !r.is_finite() || r < 0.0 {
+            return Err(RuntimeError::bad_config(format!(
+                "{}: risk {r} must be finite and non-negative",
+                m.name
+            )));
+        }
     }
     let allowed: Vec<usize> = members
         .iter()
@@ -159,11 +192,11 @@ pub fn plan_budget(
         (e, u)
     };
     if let Some(budget) = budget {
-        loop {
-            let (energy, _) = total(&levels);
-            if energy.0 <= budget.0 {
-                break;
-            }
+        // Track energy incrementally: each greedy move adjusts the running
+        // total by one level delta instead of re-summing all members, so
+        // the loop is O(moves × members) rather than O(moves × members²).
+        let mut energy: f64 = members.iter().map(|m| m.energy_per_level[0].0).sum();
+        while energy > budget.0 {
             // Best next move: max energy saved per utility lost.
             let mut best: Option<(usize, f64)> = None;
             for (i, m) in members.iter().enumerate() {
@@ -179,20 +212,20 @@ pub fn plan_budget(
                 }
             }
             match best {
-                Some((i, _)) => levels[i] += 1,
-                None => {
-                    // No safe moves left: report infeasible.
-                    let (energy, utility) = total(&levels);
-                    return Ok(BudgetPlan {
-                        levels,
-                        total_energy: energy,
-                        total_utility: utility,
-                        feasible: energy.0 <= budget.0,
-                    });
+                Some((i, _)) => {
+                    let l = levels[i];
+                    energy -= members[i].energy_per_level[l].0
+                        - members[i].energy_per_level[l + 1].0;
+                    levels[i] += 1;
                 }
+                // No safe moves left: stop and report infeasible below.
+                None => break,
             }
         }
     }
+    // Reported totals (and the feasibility verdict) come from one exact
+    // final re-sum so the incremental loop can never leak float drift
+    // into the plan.
     let (energy, utility) = total(&levels);
     Ok(BudgetPlan {
         levels,
@@ -321,6 +354,43 @@ mod tests {
     fn input_validation() {
         assert!(plan_budget(&[], &[], None).is_err());
         assert!(plan_budget(&[perception()], &[0.1, 0.2], None).is_err());
+    }
+
+    #[test]
+    fn non_finite_and_negative_risks_are_rejected() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.1, -1e30] {
+            let err = plan_budget(&[perception(), control()], &[0.1, bad], Some(Joules(5.0)));
+            assert!(err.is_err(), "risk {bad} must be rejected");
+            let err = plan_budget_prevalidated(&[perception()], &[bad], None);
+            assert!(err.is_err(), "prevalidated path must also reject {bad}");
+        }
+    }
+
+    #[test]
+    fn risk_boundaries_still_plan() {
+        // 0.0 (max caution: every level allowed by `risk < t`? no — 0.0 is
+        // below every threshold, so all levels allowed) and very large
+        // finite risks (level 0 forced) are both legal inputs.
+        let plan = plan_budget(&[perception()], &[0.0], Some(Joules(2.0))).unwrap();
+        assert_eq!(plan.levels, vec![3]);
+        assert!(plan.feasible);
+        let plan = plan_budget(&[perception()], &[1e300], Some(Joules(2.0))).unwrap();
+        assert_eq!(plan.levels, vec![0], "huge risk pins the member dense");
+        assert!(!plan.feasible);
+        // -0.0 is a negative-sign zero but compares == 0.0: accepted.
+        assert!(plan_budget(&[perception()], &[-0.0], None).is_ok());
+    }
+
+    #[test]
+    fn prevalidated_matches_validating_path() {
+        let members = [perception(), control()];
+        for budget in [None, Some(Joules(3.0)), Some(Joules(8.0)), Some(Joules(14.0))] {
+            for risks in [[0.0, 0.0], [0.9, 0.05], [0.45, 0.65]] {
+                let a = plan_budget(&members, &risks, budget).unwrap();
+                let b = plan_budget_prevalidated(&members, &risks, budget).unwrap();
+                assert_eq!(a, b);
+            }
+        }
     }
 
     #[test]

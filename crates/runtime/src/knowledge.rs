@@ -40,6 +40,22 @@ pub struct LevelKnowledge {
     pub log_entries: usize,
 }
 
+/// A per-tick ladder-level directive injected by an external arbiter
+/// (e.g. `FleetRuntime`'s shared-budget planner) into the Plan stage.
+///
+/// The cap is an energy allowance expressed as a *minimum prune level*:
+/// the arbiter has decided this member's share of the fleet budget only
+/// covers running at `level` or deeper. The Plan stage treats it as a
+/// floor on the planned level **inside the ODD only**, clamped to the
+/// envelope's `max_allowed_level` for the tick — safety overrides
+/// (ODD exit, Degraded/MinimalRisk caps, envelope restores) always win
+/// over the budget. `None` (the default) leaves planning untouched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExternalCap {
+    /// Minimum ladder level the arbiter asks the member to hold.
+    pub level: usize,
+}
+
 /// A capacity restore scheduled to complete at a future tick.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PendingRestore {
@@ -140,6 +156,11 @@ pub struct Knowledge {
     /// guaranteed). `None` restores in one shot, scheduling a pending
     /// restore when the transition exceeds the control period.
     pub restore_budget_s: Option<f64>,
+    /// Fleet-arbitrated level floor for the next planned tick, if any.
+    /// Written by an external budget arbiter between ticks; read by the
+    /// Plan stage. Cleared only by the arbiter — a cap persists until
+    /// replaced.
+    pub external_cap: Option<ExternalCap>,
     /// Costs and flags for the tick currently being stepped.
     pub tick: TickBudget,
 }
@@ -174,6 +195,7 @@ impl Knowledge {
             overrun_until: f64::NEG_INFINITY,
             overrun_extra_s: 0.0,
             restore_budget_s: None,
+            external_cap: None,
             tick: TickBudget::default(),
         }
     }

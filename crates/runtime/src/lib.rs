@@ -37,6 +37,7 @@ mod error;
 
 pub mod defense;
 pub mod envelope;
+pub mod executor;
 pub mod faults;
 pub mod fleet;
 pub mod knowledge;
@@ -50,10 +51,13 @@ pub mod stages;
 pub mod trace;
 
 pub use envelope::SafetyEnvelope;
+pub use executor::{
+    FleetRunResult, FleetRuntime, FleetStorageBytes, FleetTickRecord, FleetTraceEvent, MemberTick,
+};
 pub use faults::{storm_events, FaultDefense, FaultPlan, OperatingState, StormConfig};
-pub use fleet::{plan_budget, BudgetPlan, FleetMember};
+pub use fleet::{plan_budget, plan_budget_prevalidated, BudgetPlan, FleetMember};
 pub use error::RuntimeError;
-pub use knowledge::{Knowledge, LevelKnowledge, TickBudget};
+pub use knowledge::{ExternalCap, Knowledge, LevelKnowledge, TickBudget};
 pub use manager::{weather_to_context, DeploymentScale, RuntimeManager, RuntimeManagerConfig};
 pub use monitor::RiskEstimator;
 pub use plant::{Perception, Plant};

@@ -272,6 +272,11 @@ impl RuntimeManager {
         &self.knowledge.levels
     }
 
+    /// The configuration the runtime was attached with.
+    pub fn config(&self) -> &RuntimeManagerConfig {
+        &self.config
+    }
+
     /// The full cross-stage knowledge base.
     pub fn knowledge_state(&self) -> &Knowledge {
         &self.knowledge
@@ -295,6 +300,31 @@ impl RuntimeManager {
     /// The structured stage-event trace recorded so far.
     pub fn trace(&self) -> &TickTrace {
         &self.trace
+    }
+
+    /// Drains the stage-event trace, leaving the ring empty. The fleet
+    /// executor uses this to merge member traces after a run.
+    pub fn drain_trace(&mut self) -> Vec<crate::trace::TraceEvent> {
+        self.trace.drain()
+    }
+
+    /// Installs or clears the fleet arbiter's level floor for subsequent
+    /// ticks (see [`crate::knowledge::ExternalCap`]). `None` — the
+    /// default — leaves planning entirely to the local policy.
+    pub fn set_external_cap(&mut self, cap: Option<crate::knowledge::ExternalCap>) {
+        self.knowledge.external_cap = cap;
+    }
+
+    /// One `(storage_id, bytes)` entry for every weight tensor this
+    /// runtime holds: the live network, the fault-free mirror twin, and
+    /// the snapshot-restore baseline. Tensors cloned from one trained
+    /// model share storage copy-on-write, so deduping by the id measures
+    /// the *unique* bytes — the basis of the fleet memory metric.
+    pub fn weight_storage(&self) -> Vec<(usize, usize)> {
+        let mut out = self.plant.net.param_storage();
+        out.extend(self.plant.mirror_net.param_storage());
+        out.extend(self.plant.snapshot.weight_storage());
+        out
     }
 
     /// Integrity-action counters of the reversible pruner (verified

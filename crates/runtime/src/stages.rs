@@ -253,8 +253,20 @@ impl Plan for DefaultPlanner {
         trace: &mut TickTrace,
     ) -> Directive {
         let planned = if analysis.inside_odd {
-            self.policy
-                .decide(&self.envelope, analysis.estimated_risk, tick.risk, current_level)
+            let policy_level = self.policy.decide(
+                &self.envelope,
+                analysis.estimated_risk,
+                tick.risk,
+                current_level,
+            );
+            // A fleet arbiter may ask for deeper pruning than the local
+            // policy chose (its budget share only covers `cap.level`),
+            // but never deeper than the envelope allows at this tick's
+            // risk — the budget yields to safety, not the other way.
+            match k.external_cap {
+                Some(cap) => policy_level.max(cap.level.min(analysis.max_allowed_level)),
+                None => policy_level,
+            }
         } else {
             // Outside the ODD the safety case does not cover degraded
             // perception: minimal-risk response is full capacity.
@@ -534,6 +546,48 @@ mod tests {
         k.op_state = OperatingState::MinimalRisk;
         let d = p.plan(&k, &analysis, 1, &tick(0.0, 0.05), &mut tr);
         assert_eq!(d.target, 0, "minimal risk forces full capacity");
+    }
+
+    #[test]
+    fn external_cap_floors_the_plan_inside_the_odd_only() {
+        use crate::knowledge::ExternalCap;
+        let mut p = planner();
+        let mut k = knowledge();
+        let mut tr = TickTrace::new(8);
+        // Oracle at risk 0.5 plans level 1; the arbiter asks for ≥ 2.
+        let analysis = Analysis {
+            estimated_risk: 0.5,
+            inside_odd: true,
+            max_allowed_level: 3,
+        };
+        k.external_cap = Some(ExternalCap { level: 2 });
+        let d = p.plan(&k, &analysis, 0, &tick(0.0, 0.5), &mut tr);
+        assert_eq!(d.planned, 2, "budget floor raises the planned level");
+        // The cap is clamped to the envelope's allowance for the tick.
+        let risky = Analysis {
+            estimated_risk: 0.9,
+            inside_odd: true,
+            max_allowed_level: 0,
+        };
+        let d = p.plan(&k, &risky, 0, &tick(0.1, 0.9), &mut tr);
+        assert_eq!(d.planned, 0, "envelope beats the budget cap");
+        // Outside the ODD the cap is ignored entirely.
+        let outside = Analysis {
+            estimated_risk: 0.1,
+            inside_odd: false,
+            max_allowed_level: 3,
+        };
+        let d = p.plan(&k, &outside, 2, &tick(0.2, 0.1), &mut tr);
+        assert_eq!(d.planned, 0, "ODD exit overrides the budget cap");
+        // A cap below the policy's own choice changes nothing.
+        k.external_cap = Some(ExternalCap { level: 0 });
+        let deep = Analysis {
+            estimated_risk: 0.05,
+            inside_odd: true,
+            max_allowed_level: 3,
+        };
+        let d = p.plan(&k, &deep, 3, &tick(0.3, 0.05), &mut tr);
+        assert_eq!(d.planned, 3, "floor below the plan is inert");
     }
 
     #[test]

@@ -6,8 +6,10 @@
 
 use proptest::prelude::*;
 use reprune_nn::models;
+use reprune_platform::Joules;
 use reprune_prune::{LadderConfig, PruneCriterion, SparsityLadder};
 use reprune_runtime::envelope::SafetyEnvelope;
+use reprune_runtime::fleet::{plan_budget, FleetMember};
 use reprune_runtime::manager::{RestoreMechanism, RuntimeManager, RuntimeManagerConfig};
 use reprune_runtime::policy::{AdaptiveConfig, Policy};
 use reprune_scenario::ScenarioConfig;
@@ -37,8 +39,116 @@ fn policy_strategy() -> impl Strategy<Value = Policy> {
     ]
 }
 
+/// A random but always-valid fleet member: strictly decreasing energy
+/// (built from positive per-level drops), non-increasing utility (built
+/// from non-negative per-level losses), four ladder levels.
+fn fleet_member_strategy() -> impl Strategy<Value = FleetMember> {
+    (
+        0.5f64..20.0,
+        proptest::collection::vec(0.1f64..5.0, 3),
+        proptest::collection::vec(0.0f64..0.2, 3),
+    )
+        .prop_map(|(floor, drops, losses)| {
+            let mut energies = vec![floor + drops.iter().sum::<f64>()];
+            for d in &drops {
+                let last = *energies.last().unwrap();
+                energies.push(last - d);
+            }
+            let mut utilities = vec![1.0];
+            for l in &losses {
+                let last = *utilities.last().unwrap();
+                utilities.push(last - l);
+            }
+            FleetMember {
+                name: "m".into(),
+                envelope: SafetyEnvelope::evenly_spaced(4, 0.6).unwrap(),
+                energy_per_level: energies.into_iter().map(Joules).collect(),
+                utility_per_level: utilities,
+            }
+        })
+}
+
+fn fleet_strategy() -> impl Strategy<Value = (Vec<FleetMember>, Vec<f64>)> {
+    proptest::collection::vec((fleet_member_strategy(), 0.0f64..1.0), 1..6)
+        .prop_map(|pairs| pairs.into_iter().unzip())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn budget_plan_never_exceeds_any_members_allowance(
+        fleet in fleet_strategy(),
+        budget_frac in 0.0f64..1.2,
+    ) {
+        let (members, risks) = fleet;
+        let dense: f64 = members.iter().map(|m| m.energy_per_level[0].0).sum();
+        let plan = plan_budget(&members, &risks, Some(Joules(dense * budget_frac))).unwrap();
+        for ((m, &r), &level) in members.iter().zip(&risks).zip(&plan.levels) {
+            prop_assert!(
+                level <= m.envelope.max_level(r),
+                "level {} exceeds allowance {} at risk {:.2}",
+                level,
+                m.envelope.max_level(r),
+                r
+            );
+        }
+        // The reported totals match the chosen levels exactly.
+        let energy: f64 = members
+            .iter()
+            .zip(&plan.levels)
+            .map(|(m, &l)| m.energy_per_level[l].0)
+            .sum();
+        prop_assert!((plan.total_energy.0 - energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn budget_plan_energy_is_monotone_in_budget(
+        fleet in fleet_strategy(),
+    ) {
+        let (members, risks) = fleet;
+        // As the budget shrinks, planned energy must never increase.
+        let dense: f64 = members.iter().map(|m| m.energy_per_level[0].0).sum();
+        let mut prev_energy = f64::INFINITY;
+        for frac in [1.1, 1.0, 0.8, 0.6, 0.4, 0.2, 0.0] {
+            let plan = plan_budget(&members, &risks, Some(Joules(dense * frac))).unwrap();
+            prop_assert!(
+                plan.total_energy.0 <= prev_energy + 1e-9,
+                "energy rose from {prev_energy} to {} as the budget shrank",
+                plan.total_energy.0
+            );
+            prev_energy = plan.total_energy.0;
+        }
+    }
+
+    #[test]
+    fn budget_plan_infeasible_exactly_when_floor_exceeds_budget(
+        fleet in fleet_strategy(),
+        budget_frac in 0.0f64..1.2,
+    ) {
+        let (members, risks) = fleet;
+        let dense: f64 = members.iter().map(|m| m.energy_per_level[0].0).sum();
+        let budget = dense * budget_frac;
+        let plan = plan_budget(&members, &risks, Some(Joules(budget))).unwrap();
+        // The cheapest safe allocation: every member at its envelope cap.
+        let floor: f64 = members
+            .iter()
+            .zip(&risks)
+            .map(|(m, &r)| m.energy_per_level[m.envelope.max_level(r)].0)
+            .sum();
+        if plan.feasible {
+            prop_assert!(plan.total_energy.0 <= budget);
+        } else {
+            prop_assert!(
+                floor > budget,
+                "reported infeasible though all-at-cap ({floor}) fits {budget}"
+            );
+            prop_assert!(
+                (plan.total_energy.0 - floor).abs() < 1e-9,
+                "the infeasible fallback must be the maximally pruned safe plan"
+            );
+        }
+    }
 
     #[test]
     fn oracle_with_delta_restore_never_violates(

@@ -109,6 +109,43 @@ fn static_aggressive_violates_in_urban_risk() {
 }
 
 #[test]
+fn static_policy_envelope_breaches_are_counted_per_tick() {
+    // `Policy::Static` clamps only to the ladder depth, never to
+    // `envelope.max_level(risk)`, so during risk spikes it sits above
+    // the safe level *by design* (it is the paper's unsafe baseline).
+    // The safety accounting must not let that slide: every such tick
+    // must carry the violation flag, and the aggregate counter (tab3's
+    // safety column) must equal the per-record count.
+    let mut m = manager(Policy::Static { level: 3 }, RestoreMechanism::DeltaLog);
+    let busy = ScenarioConfig::new()
+        .duration_s(90.0)
+        .seed(11)
+        .start_segment(SegmentKind::Intersection)
+        .event_rate_scale(2.5)
+        .generate();
+    let envelope = env();
+    let r = m.run(&busy).unwrap();
+    let mut breaches = 0usize;
+    for rec in &r.records {
+        // The record's allowance is the envelope at the tick's true risk.
+        assert_eq!(rec.max_allowed_level, envelope.max_level(rec.true_risk));
+        if rec.level > rec.max_allowed_level {
+            breaches += 1;
+            assert!(
+                rec.violation,
+                "t={}: level {} above allowed {} must be flagged",
+                rec.t, rec.level, rec.max_allowed_level
+            );
+        }
+    }
+    assert!(breaches > 0, "risk spikes must catch the static baseline out");
+    assert_eq!(
+        r.violations, breaches,
+        "aggregate counter must equal the per-tick breach count"
+    );
+}
+
+#[test]
 fn oracle_never_violates_with_delta_restore() {
     let mut m = manager(Policy::Oracle, RestoreMechanism::DeltaLog);
     let busy = ScenarioConfig::new()

@@ -3,12 +3,25 @@ use crate::{Result, Shape, TensorError};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, Div, Mul, Sub};
+use std::sync::Arc;
 
 /// An owned, contiguous, row-major `f32` tensor.
 ///
 /// `Tensor` is the single value type flowing through the whole `reprune`
 /// stack: layer weights, activations, gradients, and pruning checkpoints are
-/// all tensors. The representation is a flat `Vec<f32>` plus a [`Shape`].
+/// all tensors. The representation is a flat buffer plus a [`Shape`].
+///
+/// # Storage sharing
+///
+/// The buffer is reference-counted with copy-on-write semantics:
+/// [`Tensor::clone`] is O(1) and shares storage with the source, and the
+/// first mutation through any `&mut self` method transparently detaches
+/// the tensor onto a private copy. Value semantics are therefore exactly
+/// those of a plain owned buffer — sharing is only observable through
+/// [`Tensor::storage_id`] and the memory footprint. A fleet of networks
+/// cloned from one trained model holds a single copy of the dense
+/// weights until a member diverges (see `reprune-runtime`'s
+/// `FleetRuntime`).
 ///
 /// # Example
 ///
@@ -25,7 +38,7 @@ use std::ops::{Add, Div, Mul, Sub};
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Tensor {
-    data: Vec<f32>,
+    data: Arc<Vec<f32>>,
     shape: Shape,
 }
 
@@ -44,16 +57,25 @@ impl Tensor {
                 actual: data.len(),
             });
         }
-        Ok(Tensor { data, shape })
+        Ok(Tensor {
+            data: Arc::new(data),
+            shape,
+        })
     }
 
     /// Creates a tensor filled with `value`.
     pub fn full(dims: &[usize], value: f32) -> Self {
         let shape = Shape::new(dims);
         Tensor {
-            data: vec![value; shape.volume()],
+            data: Arc::new(vec![value; shape.volume()]),
             shape,
         }
+    }
+
+    /// The writable buffer: detaches onto a private copy first if the
+    /// storage is currently shared (copy-on-write).
+    fn buf_mut(&mut self) -> &mut Vec<f32> {
+        Arc::make_mut(&mut self.data)
     }
 
     /// Creates a zero-filled tensor.
@@ -68,11 +90,14 @@ impl Tensor {
 
     /// Creates the `n`×`n` identity matrix.
     pub fn eye(n: usize) -> Self {
-        let mut t = Self::zeros(&[n, n]);
+        let mut data = vec![0.0; n * n];
         for i in 0..n {
-            t.data[i * n + i] = 1.0;
+            data[i * n + i] = 1.0;
         }
-        t
+        Tensor {
+            data: Arc::new(data),
+            shape: Shape::new(&[n, n]),
+        }
     }
 
     /// Creates a rank-1 tensor of `n` evenly spaced values in `[start, stop]`.
@@ -86,7 +111,7 @@ impl Tensor {
             (0..n).map(|i| start + step * i as f32).collect()
         };
         Tensor {
-            data,
+            data: Arc::new(data),
             shape: Shape::new(&[n]),
         }
     }
@@ -97,7 +122,10 @@ impl Tensor {
         let data = (0..shape.volume())
             .map(|_| rng.next_uniform(lo, hi))
             .collect();
-        Tensor { data, shape }
+        Tensor {
+            data: Arc::new(data),
+            shape,
+        }
     }
 
     /// Creates a tensor of normally distributed values.
@@ -106,7 +134,10 @@ impl Tensor {
         let data = (0..shape.volume())
             .map(|_| mean + std * rng.next_normal())
             .collect();
-        Tensor { data, shape }
+        Tensor {
+            data: Arc::new(data),
+            shape,
+        }
     }
 
     /// Kaiming-He normal initialization for a weight tensor with the given
@@ -141,14 +172,37 @@ impl Tensor {
         &self.data
     }
 
-    /// Returns the flat data slice mutably.
+    /// Returns the flat data slice mutably, detaching from any shared
+    /// storage first (copy-on-write).
     pub fn data_mut(&mut self) -> &mut [f32] {
-        &mut self.data
+        self.buf_mut()
     }
 
     /// Consumes the tensor and returns the flat buffer.
+    ///
+    /// If the storage is shared with another tensor this copies; when the
+    /// tensor is the sole owner the buffer moves out without copying.
     pub fn into_vec(self) -> Vec<f32> {
-        self.data
+        Arc::try_unwrap(self.data).unwrap_or_else(|arc| (*arc).clone())
+    }
+
+    /// An opaque identity for the underlying storage buffer.
+    ///
+    /// Two tensors report the same id iff they share one allocation;
+    /// fleet memory accounting dedupes weight bytes by this key.
+    pub fn storage_id(&self) -> usize {
+        Arc::as_ptr(&self.data) as usize
+    }
+
+    /// Returns `true` if `self` and `other` share one storage allocation.
+    pub fn shares_storage_with(&self, other: &Tensor) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
+    }
+
+    /// Forces the tensor onto a private copy of its storage, ending any
+    /// sharing with clones. A no-op when the tensor is the sole owner.
+    pub fn unshare(&mut self) {
+        self.buf_mut();
     }
 
     /// Reads the element at a multi-dimensional index.
@@ -167,21 +221,21 @@ impl Tensor {
     /// Returns [`TensorError::IndexOutOfBounds`] for an invalid index.
     pub fn set(&mut self, index: &[usize], value: f32) -> Result<()> {
         let off = self.shape.offset(index)?;
-        self.data[off] = value;
+        self.buf_mut()[off] = value;
         Ok(())
     }
 
     /// Returns a new tensor with `f` applied to every element.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
         Tensor {
-            data: self.data.iter().map(|&x| f(x)).collect(),
+            data: Arc::new(self.data.iter().map(|&x| f(x)).collect()),
             shape: self.shape.clone(),
         }
     }
 
     /// Applies `f` to every element in place.
     pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
-        for x in &mut self.data {
+        for x in self.buf_mut() {
             *x = f(*x);
         }
     }
@@ -194,12 +248,13 @@ impl Tensor {
     pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
         self.check_same_shape(other, "zip")?;
         Ok(Tensor {
-            data: self
-                .data
-                .iter()
-                .zip(&other.data)
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+            data: Arc::new(
+                self.data
+                    .iter()
+                    .zip(other.data.iter())
+                    .map(|(&a, &b)| f(a, b))
+                    .collect(),
+            ),
             shape: self.shape.clone(),
         })
     }
@@ -211,7 +266,7 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
     pub fn zip_inplace(&mut self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<()> {
         self.check_same_shape(other, "zip_inplace")?;
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+        for (a, &b) in self.buf_mut().iter_mut().zip(other.data.iter()) {
             *a = f(*a, b);
         }
         Ok(())
@@ -354,7 +409,7 @@ impl Tensor {
         Ok(self
             .data
             .iter()
-            .zip(&other.data)
+            .zip(other.data.iter())
             .map(|(&a, &b)| a * b)
             .sum())
     }
@@ -400,13 +455,16 @@ impl Tensor {
             });
         }
         let (r, c) = (self.shape.dim(0), self.shape.dim(1));
-        let mut out = Tensor::zeros(&[c, r]);
+        let mut data = vec![0.0; r * c];
         for i in 0..r {
             for j in 0..c {
-                out.data[j * r + i] = self.data[i * c + j];
+                data[j * r + i] = self.data[i * c + j];
             }
         }
-        Ok(out)
+        Ok(Tensor {
+            data: Arc::new(data),
+            shape: Shape::new(&[c, r]),
+        })
     }
 
     /// Extracts row `row` of a rank-2 tensor as a rank-1 tensor.
@@ -465,9 +523,13 @@ impl Tensor {
     pub fn reuse_as(&mut self, dims: &[usize]) -> bool {
         let shape = Shape::new(dims);
         let volume = shape.volume();
-        let grew = volume > self.data.capacity();
-        self.data.clear();
-        self.data.resize(volume, 0.0);
+        // A copy-on-write detach allocates too, so a shared buffer counts
+        // as growth even when its capacity would have sufficed.
+        let shared = Arc::strong_count(&self.data) > 1;
+        let buf = Arc::make_mut(&mut self.data);
+        let grew = shared || volume > buf.capacity();
+        buf.clear();
+        buf.resize(volume, 0.0);
         self.shape = shape;
         grew
     }
@@ -476,9 +538,11 @@ impl Tensor {
     /// existing buffer when capacity allows. Returns `true` if the buffer
     /// had to grow.
     pub fn copy_from(&mut self, src: &Tensor) -> bool {
-        let grew = src.data.len() > self.data.capacity();
-        self.data.clear();
-        self.data.extend_from_slice(&src.data);
+        let shared = Arc::strong_count(&self.data) > 1;
+        let buf = Arc::make_mut(&mut self.data);
+        let grew = shared || src.data.len() > buf.capacity();
+        buf.clear();
+        buf.extend_from_slice(&src.data);
         self.shape = src.shape.clone();
         grew
     }
@@ -490,7 +554,7 @@ impl Tensor {
             && self
                 .data
                 .iter()
-                .zip(&other.data)
+                .zip(other.data.iter())
                 .all(|(&a, &b)| (a - b).abs() <= tol)
     }
 
@@ -743,6 +807,80 @@ mod tests {
         let s = t.to_string();
         assert!(s.contains('…'));
         assert!(s.starts_with("Tensor(100)"));
+    }
+
+    #[test]
+    fn clone_shares_storage_until_mutation() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+        let mut b = a.clone();
+        assert!(a.shares_storage_with(&b));
+        assert_eq!(a.storage_id(), b.storage_id());
+        b.set(&[1], 9.0).unwrap();
+        assert!(!a.shares_storage_with(&b));
+        // The original is untouched by the clone's mutation.
+        assert_eq!(a.data(), &[1.0, 2.0, 3.0]);
+        assert_eq!(b.data(), &[1.0, 9.0, 3.0]);
+    }
+
+    #[test]
+    fn cow_detaches_through_every_mut_path() {
+        let base = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[4]).unwrap();
+
+        let mut t = base.clone();
+        t.data_mut()[0] = 5.0;
+        assert_eq!(base.data()[0], 1.0);
+
+        let mut t = base.clone();
+        t.map_inplace(|x| x * 2.0);
+        assert_eq!(base.data(), &[1.0, 2.0, 3.0, 4.0]);
+
+        let mut t = base.clone();
+        t.axpy(1.0, &base).unwrap();
+        assert_eq!(base.data(), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(t.data(), &[2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn unshare_forces_private_copy() {
+        let a = Tensor::ones(&[8]);
+        let mut b = a.clone();
+        b.unshare();
+        assert!(!a.shares_storage_with(&b));
+        assert_eq!(a, b); // contents still equal
+        let before = b.storage_id();
+        b.unshare(); // sole owner: no further change
+        assert_eq!(b.storage_id(), before);
+    }
+
+    #[test]
+    fn reuse_as_counts_cow_detach_as_growth() {
+        let mut t = Tensor::zeros(&[16]);
+        assert!(!t.reuse_as(&[8])); // sole owner, capacity suffices
+        let keeper = t.clone();
+        assert!(t.reuse_as(&[8])); // shared: detach allocates
+        drop(keeper);
+        assert!(!t.reuse_as(&[4]));
+        assert!(t.reuse_as(&[64])); // genuine growth
+    }
+
+    #[test]
+    fn copy_from_counts_cow_detach_as_growth() {
+        let src = Tensor::linspace(0.0, 1.0, 8);
+        let mut dst = Tensor::zeros(&[16]);
+        assert!(!dst.copy_from(&src));
+        assert_eq!(dst.data(), src.data());
+        let keeper = dst.clone();
+        assert!(dst.copy_from(&src)); // shared: detach allocates
+        drop(keeper);
+    }
+
+    #[test]
+    fn into_vec_on_shared_storage_copies() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let b = a.clone();
+        assert_eq!(b.into_vec(), vec![1.0, 2.0]);
+        assert_eq!(a.data(), &[1.0, 2.0]); // sole-owner path
+        assert_eq!(a.into_vec(), vec![1.0, 2.0]);
     }
 
     #[test]

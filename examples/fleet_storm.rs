@@ -1,0 +1,164 @@
+//! A four-camera fleet rides out a fault storm while its energy budget
+//! shrinks mid-drive: four runtimes cloned from one trained perception
+//! CNN (dense weights shared copy-on-write) are stepped concurrently by
+//! [`FleetRuntime`], which re-arbitrates the shared budget into
+//! per-member level floors every tick. Forty seconds in, a severe fault
+//! storm opens on every member while the budget ramps from 100% of the
+//! dense draw down to 40% — safety envelopes hold the line, the budget
+//! takes what's left.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release -p reprune --example fleet_storm
+//! ```
+
+use reprune::nn::models;
+use reprune::platform::Joules;
+use reprune::prune::{LadderConfig, PruneCriterion};
+use reprune::runtime::envelope::SafetyEnvelope;
+use reprune::runtime::manager::{RuntimeManager, RuntimeManagerConfig};
+use reprune::runtime::policy::{AdaptiveConfig, Policy};
+use reprune::runtime::{storm_events, FaultDefense, FleetRuntime, StormConfig};
+use reprune::scenario::{ScenarioConfig, SegmentKind};
+
+const FLEET: usize = 4;
+const UTILITY: [f64; 4] = [0.95, 0.93, 0.88, 0.60];
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = ScenarioConfig::new()
+        .duration_s(180.0)
+        .seed(33)
+        .start_segment(SegmentKind::Highway)
+        .generate();
+    // The storm opens 40 s in and rages for 100 s — every member gets
+    // its own fault campaign drawn from this schedule.
+    let storm = storm_events(&StormConfig::severe(40.0, 140.0), 33);
+    println!(
+        "highway drive, 180 s, {FLEET}-camera fleet; {} faults over [40 s, 140 s)",
+        storm.len()
+    );
+    let scenario = scenario.with_faults(storm);
+
+    let net = models::default_perception_cnn(9)?;
+    let mut fleet = FleetRuntime::new(
+        (0..FLEET)
+            .map(|i| {
+                let ladder = LadderConfig::new(vec![0.0, 0.3, 0.6, 0.9])
+                    .criterion(PruneCriterion::ChannelL2)
+                    .build(&net)?;
+                let mgr = RuntimeManager::attach(
+                    net.clone(),
+                    ladder,
+                    RuntimeManagerConfig::new(
+                        Policy::adaptive(AdaptiveConfig::default()),
+                        SafetyEnvelope::new(vec![0.6, 0.4, 0.2])?,
+                    )
+                    .defense(FaultDefense::FullChain)
+                    .frame_seed(33 + i as u64),
+                )?;
+                Ok((format!("cam-{i}"), mgr, UTILITY.to_vec()))
+            })
+            .collect::<Result<Vec<_>, Box<dyn std::error::Error>>>()?,
+    )?;
+
+    // Four members, each carrying live weights + a mirror + a snapshot —
+    // yet one shared base copy until a member actually mutates a tensor.
+    let storage = fleet.weight_storage_bytes();
+    println!(
+        "weight storage at launch: {:.1} KiB unique of {:.1} KiB naive ({:.1}x saved)\n",
+        storage.unique as f64 / 1024.0,
+        storage.total as f64 / 1024.0,
+        storage.total as f64 / storage.unique as f64
+    );
+
+    // The budget schedule: full dense draw until the storm opens, then a
+    // linear ramp down to 40% by t = 120 s (an overheating pack, a
+    // failing DC bus — the fleet must shed load *during* the storm).
+    let dense: f64 = fleet
+        .profiles()
+        .iter()
+        .map(|p| p.energy_per_level[0].0)
+        .sum();
+    let r = fleet.run_with(&scenario, |tick| {
+        let frac = if tick.t < 40.0 {
+            1.0
+        } else if tick.t < 120.0 {
+            1.0 - 0.6 * (tick.t - 40.0) / 80.0
+        } else {
+            0.4
+        };
+        Some(Joules(dense * frac))
+    })?;
+
+    // Fleet timeline: budget vs realized draw, sampled every 20 s.
+    println!("fleet timeline (budget -> realized, mean level across members):");
+    let mut next_sample = 0.0;
+    for tick in &r.ticks {
+        if tick.t + 1e-9 >= next_sample {
+            let mean_level: f64 = tick.members.iter().map(|m| m.level as f64).sum::<f64>()
+                / tick.members.len() as f64;
+            println!(
+                "  t={:6.1} s  budget {:6.2} mJ -> drew {:6.2} mJ  mean level {:.2}{}",
+                tick.t,
+                tick.budget.map_or(f64::NAN, |b| b.as_millijoules()),
+                tick.total_energy.as_millijoules(),
+                mean_level,
+                if tick.plan.feasible { "" } else { "  [infeasible]" }
+            );
+            next_sample += 20.0;
+        }
+    }
+
+    println!("\nper-member summary:");
+    for (i, name) in r.names.iter().enumerate() {
+        let mean_level = r.mean_level(i);
+        let degraded = r
+            .ticks
+            .iter()
+            .filter(|t| {
+                t.members[i].record.op_state != reprune::runtime::OperatingState::Normal
+            })
+            .count();
+        println!(
+            "  {name}: mean level {mean_level:.2}, violations {}, degraded ticks {degraded}",
+            r.member_violations(i)
+        );
+    }
+
+    let after = fleet.weight_storage_bytes();
+    println!("\ncampaign summary:");
+    println!("  ticks                  {}", r.ticks.len());
+    println!("  fleet violations       {}", r.violations());
+    println!("  infeasible ticks       {}", r.infeasible_ticks());
+    println!(
+        "  total energy           {:.1} J (dense-everywhere would be {:.1} J)",
+        r.total_energy().0,
+        dense * r.ticks.len() as f64
+    );
+    println!("  mean fleet utility     {:.3}", r.mean_utility());
+    println!(
+        "  weight storage now     {:.1} KiB unique (was {:.1} KiB — pruning detached copies)",
+        after.unique as f64 / 1024.0,
+        storage.unique as f64 / 1024.0
+    );
+    println!("  merged trace events    {}", r.trace.len());
+
+    // Every violation on record is a fault-era integrity flag (degraded /
+    // minimal-risk ticks while the defense chain heals) — never the
+    // arbiter pushing a healthy member past its envelope.
+    for tick in &r.ticks {
+        for m in &tick.members {
+            assert!(
+                !(m.violation
+                    && m.record.op_state == reprune::runtime::OperatingState::Normal),
+                "t={}: a healthy member was pushed past its envelope",
+                tick.t
+            );
+        }
+    }
+    println!("\nthe budget squeeze and the storm overlapped for 80 s, and the");
+    println!("arbiter still never asked a *healthy* camera for more pruning than");
+    println!("its safety envelope allows — every flagged tick above came from the");
+    println!("fault storm itself, announced while the defense chain healed it.");
+    Ok(())
+}
