@@ -8,6 +8,10 @@
 //! * tiled vs naive matmul at square sizes up to 256³,
 //! * the im2col + GEMM conv forward at the reference first-layer shape,
 //! * a restore-from-log round trip (prune to the top level and back),
+//! * the durable spill (`BENCH_restore.json`): sealed-record append,
+//!   crash replay (`log_replay` = full scan + base restore + mark
+//!   replay), and the steady-state tick overhead of spilling
+//!   (`tick_spill_on` / `tick_spill_off`, floor 0.95 off/on),
 //! * the end-to-end inference tick (`predict_with`) at every ladder
 //!   density from 1.00 down to 0.25,
 //! * steady-state arena allocation events (must be zero),
@@ -274,12 +278,152 @@ fn main() {
         (restore_l3_median, checksum_speedup)
     };
     let restore_l3_speedup = RESTORE_L3_BASELINE_NS / restore_l3_median;
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    rderived.push(("cores".to_string(), cores.to_string()));
     rderived.push((
         "restore_l3_baseline_ns".to_string(),
         format!("{RESTORE_L3_BASELINE_NS:.1}"),
     ));
     rderived.push(("restore_l3_speedup".to_string(), format!("{restore_l3_speedup:.3}")));
     rderived.push(("checksum_speedup".to_string(), format!("{checksum_speedup:.3}")));
+
+    // --- 3b. Durable spill: sealed-record append, crash replay, and the
+    //         steady-state tick overhead of spilling (PR 6). ---
+    {
+        use reprune::platform::DurableLog;
+        use reprune::prune::spill::frame_record;
+        use reprune::prune::RecordKind;
+        use reprune::runtime::envelope::SafetyEnvelope;
+        use reprune::runtime::manager::{RuntimeManager, RuntimeManagerConfig};
+        use reprune::runtime::policy::{AdaptiveConfig, Policy};
+        use reprune::runtime::{storm_events, FaultDefense, SpillConfig, StormConfig};
+        use reprune::scenario::ScenarioConfig;
+
+        let net = models::default_perception_cnn(11).expect("reference model builds");
+        let build_ladder = |net: &reprune::nn::Network| {
+            LadderConfig::new(vec![0.0, 0.3, 0.6, 0.9])
+                .criterion(PruneCriterion::ChannelL2)
+                .build(net)
+                .expect("ladder builds")
+        };
+
+        // Representative sealed segment frames: prune a clone to the top
+        // level and serialize its reversal-log segments.
+        let frames: Vec<Vec<u8>> = {
+            let mut pruned = net.clone();
+            let mut pruner =
+                ReversiblePruner::attach(&pruned, build_ladder(&pruned)).expect("attach");
+            pruner.set_level(&mut pruned, 3).expect("prune to top level");
+            (0..pruner.log_segments())
+                .filter_map(|i| pruner.log_segment(i))
+                .map(|d| frame_record(RecordKind::Segment, &d.to_spill_payload()))
+                .collect()
+        };
+        assert!(!frames.is_empty(), "a pruned ladder must hold log segments");
+        let mut log = DurableLog::in_memory();
+        let mut fi = 0usize;
+        let stat = measure("spill_append", cfg.batches, cfg.checksum_iters, || {
+            if log.len() > (1 << 22) {
+                log.truncate(0).expect("reset bench device");
+            }
+            let f = &frames[fi % frames.len()];
+            fi += 1;
+            log.append(f).expect("append sealed record");
+        });
+        println!("  spill_append: {:.0} ns/record", stat.median_ns);
+        rstats.push(stat);
+
+        let envelope = SafetyEnvelope::new(vec![0.6, 0.4, 0.2]).expect("envelope");
+        let mgr_config = |spill: bool| {
+            let c = RuntimeManagerConfig::new(
+                Policy::adaptive(AdaptiveConfig::default()),
+                envelope.clone(),
+            )
+            .defense(FaultDefense::FullChain)
+            .frame_seed(8);
+            if spill { c.spill(SpillConfig::new()) } else { c }
+        };
+
+        // A real crashed-device image: a short stormy drive with the
+        // spill on, then the full scan + base restore + mark replay.
+        let stormy = ScenarioConfig::new()
+            .duration_s(20.0)
+            .seed(9)
+            .generate()
+            .with_faults(storm_events(&StormConfig::severe(5.0, 18.0), 9));
+        let device = {
+            let mut m = RuntimeManager::attach(net.clone(), build_ladder(&net), mgr_config(true))
+                .expect("attach");
+            m.run(&stormy).expect("stormy drive");
+            m.spill_device_bytes().expect("spill enabled")
+        };
+        rderived.push(("spill_device_bytes".to_string(), device.len().to_string()));
+        let mut replay = criterion::SampleStats::default();
+        for _ in 0..cfg.restore_batches.min(10) {
+            replay.batch_ns.push(criterion::time_batch(1, &mut || {
+                let (mgr, report) = RuntimeManager::recover(
+                    net.clone(),
+                    build_ladder(&net),
+                    mgr_config(true),
+                    DurableLog::from_bytes(device.clone()),
+                )
+                .expect("recover");
+                assert!(report.resumed, "bench device must resume");
+                std::hint::black_box(mgr.resume_tick());
+            }));
+        }
+        let stat = KernelStat::from_samples("log_replay", &replay, 1);
+        println!("  log_replay: {:.0} ns (device {} B)", stat.median_ns, device.len());
+        rstats.push(stat);
+
+        // Steady-state MAPE-K tick with and without spilling. Both
+        // managers first age identically through half the benign drive
+        // (levels settle, sealed segments drain to the device), then the
+        // same mid-drive tick repeats: no transitions, so the measured
+        // delta is exactly the per-tick spill tax (view scan + commit
+        // mark + verified append).
+        let benign = ScenarioConfig::new().duration_s(60.0).seed(3).generate();
+        let ticks = benign.ticks();
+        let dt = benign.config().dt_s;
+        let mut on = RuntimeManager::attach(net.clone(), build_ladder(&net), mgr_config(true))
+            .expect("attach");
+        let mut off = RuntimeManager::attach(net.clone(), build_ladder(&net), mgr_config(false))
+            .expect("attach");
+        for t in &ticks[..ticks.len() / 2] {
+            on.step(t, dt).expect("spill-on warmup");
+            off.step(t, dt).expect("spill-off warmup");
+        }
+        let steady = &ticks[ticks.len() / 2];
+        let pair = measure_pair(
+            "tick_spill_on",
+            "tick_spill_off",
+            cfg.batches,
+            cfg.tick_iters,
+            || {
+                on.step(steady, dt).expect("spill-on tick");
+            },
+            || {
+                off.step(steady, dt).expect("spill-off tick");
+            },
+        );
+        // off/on: 1.0 means spilling is free; the acceptance floor is
+        // 0.95 (amortized appends must cost <= ~5% of a tick).
+        let spill_ratio = pair.ratio_b_over_a;
+        println!(
+            "  tick: spill on {:.0} ns, off {:.0} ns (off/on = {spill_ratio:.3})",
+            pair.a.median_ns, pair.b.median_ns
+        );
+        rstats.push(pair.a);
+        rstats.push(pair.b);
+        rderived.push(("spill_tick_ratio_off_over_on".to_string(), format!("{spill_ratio:.3}")));
+        if !cfg.quick {
+            assert!(
+                spill_ratio >= 0.95,
+                "steady-state tick with spilling must stay within 5% of no-spill \
+                 (off/on = {spill_ratio:.3})"
+            );
+        }
+    }
 
     // --- 4. End-to-end tick per ladder density (1.00 -> 0.25). ---
     let (tick_medians, densities, alloc_delta) = {
@@ -409,7 +553,6 @@ fn main() {
         use reprune::runtime::FleetRuntime;
         use reprune::scenario::ScenarioConfig;
 
-        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
         let net = models::default_perception_cnn(31).expect("reference model builds");
         let utility = [0.95, 0.93, 0.88, 0.60];
         let make_fleet = |workers: usize| -> FleetRuntime {

@@ -31,11 +31,22 @@
 //! * `--quick` — one seed and a short drive under a severe storm; skips
 //!   the shape checks and the replay (CI smoke-test mode). Default
 //!   output is unchanged.
+//! * `--recovery-dir DIR` — run *only* the crash-recovery arm: a
+//!   full-chain drive with the reversal-log spill persisted to
+//!   `DIR/spill.log`, the stage trace dumped to `DIR/trace.jsonl` and
+//!   the final cumulative counters to `DIR/counters.txt`. Combine with:
+//!   * `--pace-ms N` — sleep `N` ms per tick so an external `kill -9`
+//!     can land mid-drive (the CI kill-and-resume smoke test),
+//!   * `--resume` — instead of starting fresh, recover from
+//!     `DIR/spill.log` and replay the remaining ticks; the trace file
+//!     then holds only the resumed tail, byte-comparable against the
+//!     same-seq suffix of an uninterrupted run's `trace.jsonl`.
 
+use reprune::platform::DurableLog;
 use reprune::runtime::manager::{RuntimeManager, RuntimeManagerConfig};
 use reprune::runtime::policy::{AdaptiveConfig, Policy};
 use reprune::runtime::record::RunResult;
-use reprune::runtime::{storm_events, FaultDefense, StormConfig};
+use reprune::runtime::{storm_events, FaultDefense, FaultPlan, SpillConfig, StormConfig};
 use reprune::scenario::{Scenario, ScenarioConfig, SegmentKind};
 use reprune_bench::{
     print_row, print_rule, run_sharded, standard_envelope, standard_ladder, trained_perception,
@@ -92,9 +103,115 @@ fn run(net: &Network, scenario: &Scenario, policy: Policy, defense: FaultDefense
     mgr.run(scenario).expect("run")
 }
 
+/// Crash-invariant cumulative counters: a killed-and-resumed run must
+/// reproduce these byte-for-byte versus an uninterrupted one.
+fn counters(mgr: &RuntimeManager) -> String {
+    let k = mgr.knowledge_state();
+    format!(
+        "transitions={}\nfaults_injected={}\nfaults_detected={}\nfaults_repaired={}\n\
+         recoveries={:?}\nsnapshot_flips={}\nlevel={}\nop_state={:?}\nticks_done={}\n",
+        k.transitions,
+        k.faults_injected,
+        k.faults_detected,
+        k.faults_repaired,
+        k.fault_recoveries,
+        k.snapshot_flips,
+        mgr.current_level(),
+        k.op_state,
+        mgr.ticks_done(),
+    )
+}
+
+/// The kill-and-resume arm (`--recovery-dir`): one full-chain drive with
+/// the spill persisted on disk, either started fresh (optionally paced
+/// so a SIGKILL can interrupt it) or resumed from the surviving device.
+fn recovery_arm(dir: &str, resume: bool, pace_ms: u64, quick: bool) {
+    std::fs::create_dir_all(dir).expect("create recovery dir");
+    let log_path = format!("{dir}/spill.log");
+    let drive_s = if quick { QUICK_DRIVE_S } else { DRIVE_S };
+    let seed = CAMPAIGN_SEEDS[0];
+    let scenario = campaign(seed, drive_s, quick);
+    let (net, _) = trained_perception(80);
+    let config = || {
+        RuntimeManagerConfig::new(
+            Policy::adaptive(AdaptiveConfig::default()),
+            standard_envelope(),
+        )
+        .defense(FaultDefense::FullChain)
+        .frame_seed(8)
+        .trace_capacity(1 << 15)
+        .spill(SpillConfig::new().path(&log_path))
+    };
+    let dt = scenario.config().dt_s;
+
+    let mut mgr = if resume {
+        let log = DurableLog::open(&log_path).expect("open spill device");
+        let (mgr, report) = RuntimeManager::recover(net.clone(), standard_ladder(&net), config(), log)
+            .expect("recover from spill device");
+        println!(
+            "recovery: resumed={} resume_tick={} marks_seen={} records_scanned={} \
+             bytes_discarded={} log_patches={} weight_patches={}",
+            report.resumed,
+            report.resume_tick,
+            report.marks_seen,
+            report.records_scanned,
+            report.bytes_discarded,
+            report.log_patches_applied,
+            report.weight_patches_applied,
+        );
+        mgr
+    } else {
+        RuntimeManager::attach(net.clone(), standard_ladder(&net), config()).expect("attach")
+    };
+
+    // Step manually (mirroring `run_from`'s campaign install) so pacing
+    // can stretch the drive for an external `kill -9`.
+    mgr.set_fault_plan(Some(FaultPlan::from_scenario(&scenario, 8)));
+    let start = mgr.resume_tick();
+    for tick in &scenario.ticks()[start..] {
+        mgr.step(tick, dt).expect("step");
+        if pace_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(pace_ms));
+        }
+    }
+
+    let events = mgr.drain_trace();
+    let mut trace = String::new();
+    for ev in &events {
+        trace.push_str(&ev.to_json_line());
+        trace.push('\n');
+    }
+    std::fs::write(format!("{dir}/trace.jsonl"), trace).expect("write trace");
+    std::fs::write(format!("{dir}/counters.txt"), counters(&mgr)).expect("write counters");
+    let stats = mgr.spill_stats().expect("spill enabled");
+    println!(
+        "recovery arm done: start_tick={start} ticks_done={} trace_events={} \
+         spill[segments={} marks={} bytes={} torn_repaired={} tail_truncations={} stalled={}]",
+        mgr.ticks_done(),
+        events.len(),
+        stats.segments_spilled,
+        stats.marks_written,
+        stats.bytes_appended,
+        stats.torn_writes_repaired,
+        stats.tail_truncations,
+        stats.stalled_ticks,
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let flag_val = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .map(|i| args.get(i + 1).unwrap_or_else(|| panic!("{name} needs a value")).clone())
+    };
+    if let Some(dir) = flag_val("--recovery-dir") {
+        let resume = args.iter().any(|a| a == "--resume");
+        let pace_ms = flag_val("--pace-ms").map_or(0, |v| v.parse().expect("--pace-ms N"));
+        recovery_arm(&dir, resume, pace_ms, quick);
+        return;
+    }
     let trace_path = args
         .iter()
         .position(|a| a == "--trace")

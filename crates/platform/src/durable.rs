@@ -1,0 +1,349 @@
+//! Append-only durable byte store for reversal-log spilling.
+//!
+//! [`DurableLog`] is the device half of the on-disk reversal-log story:
+//! a dumb, append-only byte stream with an in-memory backend (tests,
+//! benches, in-process crash simulation) and a file backend (real
+//! kill-and-resume recovery). It knows nothing about record framing or
+//! checksums — that lives with the log's owner — but it *does* model the
+//! two ways real flash parts betray an append-only writer:
+//!
+//! * **torn writes** ([`DurableLog::inject_torn_write`]): the next append
+//!   persists only a prefix of the buffer, leaving a checksum-invalid
+//!   partial record at the tail (power loss mid-program),
+//! * **tail truncation** ([`DurableLog::chop_tail`]): previously
+//!   acknowledged tail bytes vanish (FTL rollback after power loss).
+//!
+//! Writes are routed through [`StorageHealth`] via
+//! [`DurableLog::append_via`], so the existing storage fault campaign
+//! (transient outage, permanent death, bandwidth degradation) exercises
+//! the persistence path with no extra wiring.
+
+use crate::storage::{StorageError, StorageHealth};
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+enum Backend {
+    Memory(Vec<u8>),
+    File { file: File, path: PathBuf },
+}
+
+/// An append-only durable byte store with injectable write faults.
+pub struct DurableLog {
+    backend: Backend,
+    len: u64,
+    /// Pending torn-write injection: the next append persists only this
+    /// many bytes of the buffer.
+    torn_next: Option<u64>,
+}
+
+impl std::fmt::Debug for DurableLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let backend = match &self.backend {
+            Backend::Memory(_) => "memory".to_string(),
+            Backend::File { path, .. } => format!("file:{}", path.display()),
+        };
+        f.debug_struct("DurableLog")
+            .field("backend", &backend)
+            .field("len", &self.len)
+            .field("torn_next", &self.torn_next)
+            .finish()
+    }
+}
+
+impl DurableLog {
+    /// An empty in-memory log.
+    pub fn in_memory() -> Self {
+        DurableLog {
+            backend: Backend::Memory(Vec::new()),
+            len: 0,
+            torn_next: None,
+        }
+    }
+
+    /// An in-memory log seeded with existing bytes (crash-recovery
+    /// simulation: the bytes a killed process had made durable).
+    pub fn from_bytes(bytes: Vec<u8>) -> Self {
+        let len = bytes.len() as u64;
+        DurableLog {
+            backend: Backend::Memory(bytes),
+            len,
+            torn_next: None,
+        }
+    }
+
+    /// Creates (or truncates) a file-backed log at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn create<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path.as_ref())?;
+        Ok(DurableLog {
+            backend: Backend::File {
+                file,
+                path: path.as_ref().to_path_buf(),
+            },
+            len: 0,
+            torn_next: None,
+        })
+    }
+
+    /// Opens an existing file-backed log at `path` for recovery and
+    /// further appends.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors (including the file not existing).
+    pub fn open<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        let mut file = OpenOptions::new().read(true).write(true).open(path.as_ref())?;
+        let len = file.seek(SeekFrom::End(0))?;
+        Ok(DurableLog {
+            backend: Backend::File {
+                file,
+                path: path.as_ref().to_path_buf(),
+            },
+            len,
+            torn_next: None,
+        })
+    }
+
+    /// Bytes currently persisted.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the log holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends `bytes` at the tail, honoring a pending torn-write
+    /// injection, and returns how many bytes were actually persisted
+    /// (less than `bytes.len()` exactly when the write was torn).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn append(&mut self, bytes: &[u8]) -> io::Result<u64> {
+        let keep = match self.torn_next.take() {
+            Some(k) => (k as usize).min(bytes.len()),
+            None => bytes.len(),
+        };
+        let chunk = &bytes[..keep];
+        match &mut self.backend {
+            Backend::Memory(buf) => buf.extend_from_slice(chunk),
+            Backend::File { file, .. } => {
+                file.seek(SeekFrom::Start(self.len))?;
+                file.write_all(chunk)?;
+            }
+        }
+        self.len += keep as u64;
+        Ok(keep as u64)
+    }
+
+    /// Appends `bytes`, but only if `health` would accept a write issued
+    /// at `now_s` — the persistence path shares the model-image device,
+    /// so storage outages stall spilling too. Returns the bytes actually
+    /// persisted (see [`DurableLog::append`]).
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError`] when the device refuses the write; filesystem
+    /// errors surface as [`StorageError::PermanentFailure`].
+    pub fn append_via(
+        &mut self,
+        health: &StorageHealth,
+        now_s: f64,
+        bytes: &[u8],
+    ) -> Result<u64, StorageError> {
+        if health.is_permanently_failed() {
+            return Err(StorageError::PermanentFailure);
+        }
+        if health.is_unavailable_at(now_s) {
+            return Err(StorageError::TransientFailure);
+        }
+        self.append(bytes).map_err(|_| StorageError::PermanentFailure)
+    }
+
+    /// Flushes buffered writes to the device (no-op for memory).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn sync(&mut self) -> io::Result<()> {
+        match &mut self.backend {
+            Backend::Memory(_) => Ok(()),
+            Backend::File { file, .. } => file.sync_data(),
+        }
+    }
+
+    /// Reads `len` bytes starting at `offset` (clamped to the persisted
+    /// length).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn read_at(&mut self, offset: u64, len: usize) -> io::Result<Vec<u8>> {
+        let end = (offset + len as u64).min(self.len);
+        let start = offset.min(end);
+        let take = (end - start) as usize;
+        match &mut self.backend {
+            Backend::Memory(buf) => Ok(buf[start as usize..end as usize].to_vec()),
+            Backend::File { file, .. } => {
+                let mut out = vec![0u8; take];
+                file.seek(SeekFrom::Start(start))?;
+                file.read_exact(&mut out)?;
+                Ok(out)
+            }
+        }
+    }
+
+    /// Reads the whole log.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn read_all(&mut self) -> io::Result<Vec<u8>> {
+        let len = self.len as usize;
+        self.read_at(0, len)
+    }
+
+    /// Truncates the log to `len` bytes (no-op if already shorter) —
+    /// the torn-tail discard step of recovery.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn truncate(&mut self, len: u64) -> io::Result<()> {
+        if len >= self.len {
+            return Ok(());
+        }
+        match &mut self.backend {
+            Backend::Memory(buf) => buf.truncate(len as usize),
+            Backend::File { file, .. } => file.set_len(len)?,
+        }
+        self.len = len;
+        Ok(())
+    }
+
+    /// Arms a torn-write fault: the next [`DurableLog::append`] persists
+    /// only the first `keep_bytes` bytes of its buffer.
+    pub fn inject_torn_write(&mut self, keep_bytes: u64) {
+        self.torn_next = Some(keep_bytes);
+    }
+
+    /// Injects a tail-truncation fault: `bytes` already-acknowledged
+    /// tail bytes vanish from the device immediately.
+    pub fn chop_tail(&mut self, bytes: u64) {
+        let new_len = self.len.saturating_sub(bytes);
+        // Media loss cannot fail; memory backend never errors and a
+        // file set_len failure would itself be device loss.
+        let _ = self.truncate(new_len);
+    }
+
+    /// The backing file path, if file-backed.
+    pub fn path(&self) -> Option<&Path> {
+        match &self.backend {
+            Backend::Memory(_) => None,
+            Backend::File { path, .. } => Some(path),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_read_round_trip_in_memory() {
+        let mut log = DurableLog::in_memory();
+        assert!(log.is_empty());
+        assert_eq!(log.append(b"hello").unwrap(), 5);
+        assert_eq!(log.append(b" world").unwrap(), 6);
+        assert_eq!(log.len(), 11);
+        assert_eq!(log.read_all().unwrap(), b"hello world");
+        assert_eq!(log.read_at(6, 5).unwrap(), b"world");
+        assert_eq!(log.read_at(6, 100).unwrap(), b"world", "reads clamp");
+    }
+
+    #[test]
+    fn torn_write_persists_only_a_prefix_once() {
+        let mut log = DurableLog::in_memory();
+        log.inject_torn_write(3);
+        assert_eq!(log.append(b"abcdef").unwrap(), 3);
+        assert_eq!(log.read_all().unwrap(), b"abc");
+        // The injection is consumed: the next append is whole.
+        assert_eq!(log.append(b"ghij").unwrap(), 4);
+        assert_eq!(log.read_all().unwrap(), b"abcghij");
+    }
+
+    #[test]
+    fn chop_tail_loses_acknowledged_bytes() {
+        let mut log = DurableLog::from_bytes(b"0123456789".to_vec());
+        log.chop_tail(4);
+        assert_eq!(log.read_all().unwrap(), b"012345");
+        log.chop_tail(100);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn truncate_never_grows() {
+        let mut log = DurableLog::from_bytes(b"abc".to_vec());
+        log.truncate(10).unwrap();
+        assert_eq!(log.len(), 3);
+        log.truncate(1).unwrap();
+        assert_eq!(log.read_all().unwrap(), b"a");
+    }
+
+    #[test]
+    fn append_via_honors_storage_health() {
+        let mut log = DurableLog::in_memory();
+        let mut health = StorageHealth::new();
+        assert_eq!(log.append_via(&health, 0.0, b"ok").unwrap(), 2);
+        health.inject_transient(1.0, 5.0);
+        assert_eq!(
+            log.append_via(&health, 3.0, b"no"),
+            Err(StorageError::TransientFailure)
+        );
+        assert_eq!(log.append_via(&health, 6.0, b"yes").unwrap(), 3);
+        health.fail_permanently();
+        assert_eq!(
+            log.append_via(&health, 7.0, b"no"),
+            Err(StorageError::PermanentFailure)
+        );
+        assert_eq!(log.read_all().unwrap(), b"okyes");
+    }
+
+    #[test]
+    fn file_backend_round_trips_and_reopens() {
+        let dir = std::env::temp_dir().join(format!(
+            "reprune-durable-test-{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("log.bin");
+        {
+            let mut log = DurableLog::create(&path).unwrap();
+            log.append(b"persisted").unwrap();
+            log.sync().unwrap();
+        }
+        {
+            let mut log = DurableLog::open(&path).unwrap();
+            assert_eq!(log.len(), 9);
+            assert_eq!(log.read_all().unwrap(), b"persisted");
+            log.inject_torn_write(4);
+            log.append(b"MORE-DATA").unwrap();
+            log.truncate(9).unwrap();
+            log.append(b"!").unwrap();
+            assert_eq!(log.read_all().unwrap(), b"persisted!");
+            assert_eq!(log.path().unwrap(), path.as_path());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -37,10 +37,12 @@
 mod soc;
 mod units;
 
+pub mod durable;
 pub mod profile;
 pub mod restore;
 pub mod storage;
 
+pub use durable::DurableLog;
 pub use soc::{InferenceCost, SocModel};
 pub use storage::{StorageError, StorageHealth};
 pub use units::{Bytes, Joules, Seconds};

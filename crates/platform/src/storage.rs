@@ -110,6 +110,33 @@ impl StorageHealth {
         }
     }
 
+    /// Exports the raw health state
+    /// `(transient_until_s, degraded_until_s, bandwidth_factor,
+    /// permanently_failed)` for crash-recovery checkpoints.
+    pub fn state_parts(&self) -> (f64, f64, f64, bool) {
+        (
+            self.transient_until_s,
+            self.degraded_until_s,
+            self.bandwidth_factor,
+            self.permanently_failed,
+        )
+    }
+
+    /// Rebuilds a health state exported by [`StorageHealth::state_parts`].
+    pub fn from_parts(
+        transient_until_s: f64,
+        degraded_until_s: f64,
+        bandwidth_factor: f64,
+        permanently_failed: bool,
+    ) -> Self {
+        StorageHealth {
+            transient_until_s,
+            degraded_until_s,
+            bandwidth_factor,
+            permanently_failed,
+        }
+    }
+
     /// Prices a read of `bytes` issued at `now_s` against `soc`, or
     /// refuses it if the device is dead or in a transient outage.
     pub fn read_latency(

@@ -239,6 +239,78 @@ mod tests {
         assert_eq!(b.finish(), reference(&wide));
     }
 
+    /// PR 6 satellite: streaming a payload through arbitrary odd-sized
+    /// chunk boundaries must equal hashing it in one shot — the spill
+    /// appends segment payloads in budgeted slices, so digest equality
+    /// across every split is what lets a reader verify a record that was
+    /// written incrementally. Payloads deliberately include NaN (whose
+    /// bit pattern must be hashed verbatim, never canonicalized) and
+    /// both zero signs (which differ by one bit and must differ in the
+    /// digest).
+    #[test]
+    fn streaming_chunks_match_one_shot_for_any_boundary() {
+        use reprune_tensor::rng::Prng;
+        let mut rng = Prng::new(0xC0FFEE);
+        // A payload salted with every awkward value class.
+        let specials = [
+            f32::NAN,
+            -f32::NAN,
+            f32::from_bits(0x7FC0_0001), // quiet NaN with payload bits
+            f32::from_bits(0xFF80_0001), // signaling-style NaN
+            0.0,
+            -0.0,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::MIN_POSITIVE / 2.0, // subnormal
+        ];
+        for len in [1usize, 2, 3, 5, 8, 9, 17, 31, 64, 65, 127, 257, 1023] {
+            let payload: Vec<f32> = (0..len)
+                .map(|i| {
+                    if i % 4 == 0 {
+                        specials[i / 4 % specials.len()]
+                    } else {
+                        rng.next_uniform(-10.0, 10.0)
+                    }
+                })
+                .collect();
+            let mut one_shot = BlockedHasher::new();
+            one_shot.write_f32_slice(&payload);
+            let want = one_shot.finish();
+
+            // Every fixed odd chunk size, plus random ragged splits.
+            for chunk in [1usize, 2, 3, 5, 7, 11, 13, 29] {
+                let mut h = BlockedHasher::new();
+                for c in payload.chunks(chunk) {
+                    h.write_f32_slice(c);
+                }
+                assert_eq!(h.finish(), want, "len {len} chunk {chunk}");
+            }
+            for _ in 0..8 {
+                let mut h = BlockedHasher::new();
+                let mut rest = &payload[..];
+                while !rest.is_empty() {
+                    let take = 1 + rng.next_below(rest.len());
+                    h.write_f32_slice(&rest[..take]);
+                    rest = &rest[take..];
+                }
+                assert_eq!(h.finish(), want, "random splits, len {len}");
+            }
+        }
+
+        // ±0.0 differ by one sign bit and must not collide.
+        let digest = |xs: &[f32]| {
+            let mut h = BlockedHasher::new();
+            h.write_f32_slice(xs);
+            h.finish()
+        };
+        assert_ne!(digest(&[0.0]), digest(&[-0.0]));
+        // NaN payload bits are significant: two different NaNs differ.
+        assert_ne!(
+            digest(&[f32::from_bits(0x7FC0_0000)]),
+            digest(&[f32::from_bits(0x7FC0_0001)])
+        );
+    }
+
     #[test]
     fn single_bit_flip_always_changes_digest() {
         let words: Vec<u32> = (0..23).map(|i| i * 1_000_003).collect();

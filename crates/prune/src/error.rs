@@ -52,6 +52,14 @@ pub enum PruneError {
         /// Checksum of the segment's current contents.
         actual: u64,
     },
+    /// A spilled record payload could not be decoded (truncated, or
+    /// inconsistent with the network it is being applied to). The frame
+    /// seal already guarantees media integrity, so this means the
+    /// record was written by an incompatible producer.
+    SpillDecode {
+        /// Human-readable description.
+        message: String,
+    },
 }
 
 impl PruneError {
@@ -65,6 +73,13 @@ impl PruneError {
     /// Convenience constructor for [`PruneError::MaskMismatch`].
     pub fn mask_mismatch(message: impl Into<String>) -> Self {
         PruneError::MaskMismatch {
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for [`PruneError::SpillDecode`].
+    pub fn spill_decode(message: impl Into<String>) -> Self {
+        PruneError::SpillDecode {
             message: message.into(),
         }
     }
@@ -94,6 +109,7 @@ impl fmt::Display for PruneError {
                 f,
                 "reversal-log segment {segment} (to_level {to_level}) corrupted: expected checksum {expected:#018x}, got {actual:#018x}"
             ),
+            PruneError::SpillDecode { message } => write!(f, "spill decode: {message}"),
         }
     }
 }

@@ -58,6 +58,7 @@ pub mod mask;
 pub mod packed;
 pub mod pruner;
 pub mod schedule;
+pub mod spill;
 pub mod stats;
 
 pub use baseline::{FineTuneRecovery, OneShotPruner, SnapshotRestore};
@@ -68,10 +69,11 @@ pub use mask::{LayerMask, MaskSet};
 pub use packed::{exec_plan, ladder_plans};
 pub use checksum::{BlockedHasher, ChecksumVersion};
 pub use pruner::{
-    weights_checksum, weights_checksum_fnv, IntegrityStats, LogPrecision, ReversiblePruner,
-    Transition,
+    weights_checksum, weights_checksum_fnv, IntegrityStats, LogPrecision, PrunerCursor,
+    ReversiblePruner, Transition,
 };
 pub use schedule::IterativeSchedule;
+pub use spill::{RecordKind, ScanOutcome};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, PruneError>;

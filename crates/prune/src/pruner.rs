@@ -407,6 +407,124 @@ impl LevelDelta {
     pub fn verify(&self) -> bool {
         self.computed_checksum() == self.checksum
     }
+
+    /// Bit pattern of the stored value at `i` (f32 bits for exact logs,
+    /// zero-extended binary16 bits for half logs). Used by crash-recovery
+    /// checkpoints to diff live log contents against their durable copy.
+    pub fn value_bits(&self, i: usize) -> u32 {
+        match &self.values {
+            DeltaValues::Exact(vs) => vs[i].to_bits(),
+            DeltaValues::Half(vs) => vs[i] as u32,
+        }
+    }
+
+    /// Serializes the segment for the on-disk reversal log (see
+    /// [`crate::spill`] for the frame that wraps this payload). The
+    /// *stored* seal checksum is written verbatim — not recomputed — so
+    /// a round trip preserves the segment's integrity status exactly.
+    pub fn to_spill_payload(&self) -> Vec<u8> {
+        let mut w = crate::spill::PayloadWriter::new();
+        w.put_u32(self.to_level as u32);
+        w.put_u32(match &self.values {
+            DeltaValues::Exact(_) => 0,
+            DeltaValues::Half(_) => 1,
+        });
+        w.put_u32(match self.version {
+            ChecksumVersion::V1Fnv => 0,
+            ChecksumVersion::V2Blocked => 1,
+        });
+        w.put_u64(self.checksum);
+        w.put_u32(self.spans.len() as u32);
+        for span in &self.spans {
+            w.put_u32(span.layer.0 as u32);
+            w.put_u32(span.start as u32);
+            w.put_u32(span.end as u32);
+        }
+        w.put_u32(self.indices.len() as u32);
+        for &i in &self.indices {
+            w.put_u32(i);
+        }
+        match &self.values {
+            DeltaValues::Exact(vs) => {
+                for v in vs {
+                    w.put_u32(v.to_bits());
+                }
+            }
+            DeltaValues::Half(vs) => {
+                for &v in vs {
+                    w.put_u32(v as u32);
+                }
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes a [`LevelDelta::to_spill_payload`] payload.
+    ///
+    /// The stored checksum is adopted **without** verification: the
+    /// record's frame seal already proves the bytes are what was
+    /// written, and what was written may legitimately be a segment
+    /// whose live copy was corrupted — that status must survive the
+    /// round trip for recovery to reproduce the crashed state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PruneError::SpillDecode`] on truncated or internally
+    /// inconsistent payloads.
+    pub fn from_spill_payload(payload: &[u8]) -> crate::Result<LevelDelta> {
+        let err = |what: &str| PruneError::spill_decode(format!("segment payload: {what}"));
+        let mut r = crate::spill::PayloadReader::new(payload);
+        let to_level = r.u32().ok_or_else(|| err("missing to_level"))? as usize;
+        let precision = match r.u32().ok_or_else(|| err("missing precision"))? {
+            0 => LogPrecision::Exact,
+            1 => LogPrecision::Half,
+            other => return Err(err(&format!("unknown precision {other}"))),
+        };
+        let version = match r.u32().ok_or_else(|| err("missing version"))? {
+            0 => ChecksumVersion::V1Fnv,
+            1 => ChecksumVersion::V2Blocked,
+            other => return Err(err(&format!("unknown checksum version {other}"))),
+        };
+        let checksum = r.u64().ok_or_else(|| err("missing checksum"))?;
+        let span_count = r.u32().ok_or_else(|| err("missing span count"))? as usize;
+        let mut spans = Vec::with_capacity(span_count);
+        for _ in 0..span_count {
+            let layer = LayerId(r.u32().ok_or_else(|| err("truncated span"))? as usize);
+            let start = r.u32().ok_or_else(|| err("truncated span"))? as usize;
+            let end = r.u32().ok_or_else(|| err("truncated span"))? as usize;
+            if start > end {
+                return Err(err("span start past end"));
+            }
+            spans.push(LayerSpan { layer, start, end });
+        }
+        let count = r.u32().ok_or_else(|| err("missing entry count"))? as usize;
+        if spans.last().map_or(0, |s| s.end) > count {
+            return Err(err("span table exceeds entry count"));
+        }
+        let mut indices = Vec::with_capacity(count);
+        for _ in 0..count {
+            indices.push(r.u32().ok_or_else(|| err("truncated indices"))?);
+        }
+        let mut values = DeltaValues::with_capacity(precision, count);
+        for _ in 0..count {
+            let bits = r.u32().ok_or_else(|| err("truncated values"))?;
+            match &mut values {
+                DeltaValues::Exact(vs) => vs.push(f32::from_bits(bits)),
+                DeltaValues::Half(vs) => vs.push(bits as u16),
+            }
+        }
+        if !r.done() {
+            return Err(err("trailing bytes"));
+        }
+        Ok(LevelDelta {
+            to_level,
+            spans,
+            indices,
+            values,
+            checksum,
+            version,
+        })
+    }
 }
 
 /// Outcome of one [`ReversiblePruner::set_level`] call.
@@ -479,6 +597,20 @@ pub struct IntegrityStats {
     /// Checksum mismatches observed (on pop, scrub, or a corrupt shadow
     /// source during repair).
     pub corruption_hits: u64,
+}
+
+/// The pruner's incremental-progress state — scrub position, integrity
+/// counters, pool accounting — exported into crash checkpoints so a
+/// recovered pruner resumes scrubbing and counting exactly where the
+/// crashed one stopped.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrunerCursor {
+    /// Round-robin scrub position.
+    pub scrub_cursor: usize,
+    /// Integrity counters at checkpoint time.
+    pub stats: IntegrityStats,
+    /// Pool (re)allocation events at checkpoint time.
+    pub alloc_events: usize,
 }
 
 /// Indices evicted per layer when stepping one ladder level up,
@@ -1074,20 +1206,21 @@ impl ReversiblePruner {
     }
 
     /// Fault hook: flips one mantissa bit of one stored log value,
-    /// chosen by `rng`. Returns `false` when the log holds no entries.
+    /// chosen by `rng`. Returns the index of the segment that was hit,
+    /// or `None` when the log holds no entries.
     ///
     /// Mantissa-only flips keep the decoded value finite (no injected
     /// NaN/Inf), which mirrors the dominant DRAM single-bit-upset case
     /// while keeping downstream accuracy accounting well-defined. The
     /// shadow copy, if any, is deliberately *not* touched: it models an
     /// independent memory region.
-    pub fn inject_log_bitflip(&mut self, rng: &mut Prng) -> bool {
+    pub fn inject_log_bitflip(&mut self, rng: &mut Prng) -> Option<usize> {
         let total = self.log_entries();
         if total == 0 {
-            return false;
+            return None;
         }
         let mut pick = rng.next_below(total);
-        for delta in &mut self.log {
+        for (segment, delta) in self.log.iter_mut().enumerate() {
             if pick < delta.len() {
                 match &mut delta.values {
                     DeltaValues::Exact(vs) => {
@@ -1099,11 +1232,134 @@ impl ReversiblePruner {
                         vs[pick] ^= 1u16 << bit;
                     }
                 }
-                return true;
+                return Some(segment);
             }
             pick -= delta.len();
         }
-        false
+        None
+    }
+
+    // ------------------------------------------------------------------
+    // Durable-spill recovery hooks
+    // ------------------------------------------------------------------
+
+    /// Borrow of log segment `i` (0 = deepest), for spill encoding.
+    pub fn log_segment(&self, i: usize) -> Option<&LevelDelta> {
+        self.log.get(i)
+    }
+
+    /// Borrow of shadow segment `i`, if shadow mode is on. The shadow
+    /// copy is never fault-injected, so it is the clean encode source
+    /// under the full defense chain.
+    pub fn shadow_segment(&self, i: usize) -> Option<&LevelDelta> {
+        self.shadow.as_ref().and_then(|s| s.get(i))
+    }
+
+    /// Rebuilds the reversal log from recovered spill segments: zeroes
+    /// each segment's masked weights in `net` (which must hold the
+    /// pristine full-capacity image) and pushes the segments as-is,
+    /// leaving the pruner parked at the deepest segment's level.
+    ///
+    /// The segments are installed verbatim — including their stored
+    /// checksums — so a segment that was corrupt at crash time is
+    /// corrupt again after recovery, exactly as the paper's defense
+    /// chain expects to find it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PruneError::NotRestorable`] unless called on a fresh
+    /// level-0 pruner with an empty log, and [`PruneError::SpillDecode`]
+    /// when the segments do not form the contiguous ladder walk
+    /// `1..=n` or index weights the network does not have.
+    pub fn install_log(&mut self, net: &mut Network, segments: Vec<LevelDelta>) -> Result<()> {
+        if self.current != 0 || !self.log.is_empty() {
+            return Err(PruneError::NotRestorable {
+                message: "install_log requires a fresh pruner at level 0".into(),
+            });
+        }
+        for (k, seg) in segments.iter().enumerate() {
+            if seg.to_level != k + 1 {
+                return Err(PruneError::spill_decode(format!(
+                    "segment {k} restores to level {}, expected {}",
+                    seg.to_level,
+                    k + 1
+                )));
+            }
+        }
+        if segments.len() >= self.ladder.num_levels() {
+            return Err(PruneError::spill_decode(format!(
+                "{} segments exceed the ladder's {} levels",
+                segments.len(),
+                self.ladder.num_levels()
+            )));
+        }
+        for seg in segments {
+            for span in &seg.spans {
+                let data = net.weight_mut(span.layer)?.data_mut();
+                for &i in &seg.indices[span.start..span.end] {
+                    let slot = data.get_mut(i as usize).ok_or_else(|| {
+                        PruneError::spill_decode(format!(
+                            "index {i} out of range for layer {}",
+                            span.layer
+                        ))
+                    })?;
+                    *slot = 0.0;
+                }
+            }
+            if let Some(shadow) = &mut self.shadow {
+                shadow.push(seg.clone());
+            }
+            self.current = seg.to_level;
+            self.log.push(seg);
+        }
+        Ok(())
+    }
+
+    /// Bit pattern of one stored log value, or `None` out of range.
+    pub fn log_value_bits(&self, segment: usize, value_idx: usize) -> Option<u32> {
+        let d = self.log.get(segment)?;
+        if value_idx >= d.len() {
+            return None;
+        }
+        Some(d.value_bits(value_idx))
+    }
+
+    /// Overwrites one stored log value's bit pattern **without**
+    /// resealing the segment — recovery uses this to reproduce in-RAM
+    /// log corruption recorded by a crash checkpoint. Returns whether
+    /// the position existed.
+    pub fn patch_log_value(&mut self, segment: usize, value_idx: usize, bits: u32) -> bool {
+        let Some(d) = self.log.get_mut(segment) else {
+            return false;
+        };
+        match &mut d.values {
+            DeltaValues::Exact(vs) => match vs.get_mut(value_idx) {
+                Some(v) => *v = f32::from_bits(bits),
+                None => return false,
+            },
+            DeltaValues::Half(vs) => match vs.get_mut(value_idx) {
+                Some(v) => *v = bits as u16,
+                None => return false,
+            },
+        }
+        true
+    }
+
+    /// Exports the pruner's incremental-progress state for a crash
+    /// checkpoint.
+    pub fn export_cursor(&self) -> PrunerCursor {
+        PrunerCursor {
+            scrub_cursor: self.scrub_cursor,
+            stats: self.stats,
+            alloc_events: self.alloc_events,
+        }
+    }
+
+    /// Restores state exported by [`ReversiblePruner::export_cursor`].
+    pub fn import_cursor(&mut self, cursor: PrunerCursor) {
+        self.scrub_cursor = cursor.scrub_cursor;
+        self.stats = cursor.stats;
+        self.alloc_events = cursor.alloc_events;
     }
 
     /// Accepts an externally restored full-capacity network (in-RAM
@@ -1411,7 +1667,7 @@ mod tests {
         p.set_level(&mut net, 3).unwrap();
         assert_eq!(p.scrub().unwrap(), 3);
         let mut rng = Prng::new(7);
-        assert!(p.inject_log_bitflip(&mut rng));
+        assert!(p.inject_log_bitflip(&mut rng).is_some());
         let err = p.scrub().unwrap_err();
         assert!(matches!(err, PruneError::LogCorruption { .. }), "{err}");
     }
@@ -1433,7 +1689,7 @@ mod tests {
         let (mut net, mut p) = setup(vec![0.0, 0.3, 0.6]);
         p.set_level(&mut net, 2).unwrap();
         let mut rng = Prng::new(11);
-        assert!(p.inject_log_bitflip(&mut rng));
+        assert!(p.inject_log_bitflip(&mut rng).is_some());
         // The full restore pops every segment, so whichever one the
         // flip landed in must trip before its deltas are applied.
         let err = p.set_level(&mut net, 0).unwrap_err();
@@ -1453,7 +1709,7 @@ mod tests {
         let original = net.clone();
         p.set_level(&mut net, 2).unwrap();
         let mut rng = Prng::new(3);
-        assert!(p.inject_log_bitflip(&mut rng));
+        assert!(p.inject_log_bitflip(&mut rng).is_some());
         p.set_verify_on_pop(false);
         p.set_level(&mut net, 0).unwrap();
         // The restore "succeeded" but the weights silently diverged.
@@ -1469,7 +1725,7 @@ mod tests {
         assert!(p.shadow_enabled());
         p.set_level(&mut net, 2).unwrap();
         let mut rng = Prng::new(5);
-        assert!(p.inject_log_bitflip(&mut rng));
+        assert!(p.inject_log_bitflip(&mut rng).is_some());
         let bad = match p.scrub() {
             Err(PruneError::LogCorruption { segment, .. }) => segment,
             other => panic!("expected corruption, got {other:?}"),
@@ -1497,7 +1753,7 @@ mod tests {
         let image = net.clone(); // what storage/snapshot would hold
         p.set_level(&mut net, 2).unwrap();
         let mut rng = Prng::new(9);
-        assert!(p.inject_log_bitflip(&mut rng));
+        assert!(p.inject_log_bitflip(&mut rng).is_some());
         // Simulate the fallback: clobber live weights from the image.
         net = image.clone();
         p.adopt_full_restore(&net).unwrap();
@@ -1528,7 +1784,7 @@ mod tests {
         p.set_level(&mut net, 2).unwrap();
         let mut rng = Prng::new(13);
         for _ in 0..64 {
-            assert!(p.inject_log_bitflip(&mut rng));
+            assert!(p.inject_log_bitflip(&mut rng).is_some());
         }
         p.set_verify_on_pop(false);
         p.set_level(&mut net, 0).unwrap();
@@ -1546,7 +1802,7 @@ mod tests {
     fn bitflip_on_empty_log_is_a_noop() {
         let (_, mut p) = setup(vec![0.0, 0.5]);
         let mut rng = Prng::new(1);
-        assert!(!p.inject_log_bitflip(&mut rng));
+        assert!(p.inject_log_bitflip(&mut rng).is_none());
     }
 
     #[test]
@@ -1556,7 +1812,7 @@ mod tests {
         let mut p = ReversiblePruner::attach_half(&mut net, ladder).unwrap();
         p.set_level(&mut net, 1).unwrap();
         let mut rng = Prng::new(17);
-        assert!(p.inject_log_bitflip(&mut rng));
+        assert!(p.inject_log_bitflip(&mut rng).is_some());
         assert!(matches!(
             p.set_level(&mut net, 0),
             Err(PruneError::LogCorruption { .. })
@@ -1610,7 +1866,7 @@ mod tests {
         p.set_seal_version(ChecksumVersion::V1Fnv);
         p.set_level(&mut net, 1).unwrap();
         let mut rng = Prng::new(29);
-        assert!(p.inject_log_bitflip(&mut rng));
+        assert!(p.inject_log_bitflip(&mut rng).is_some());
         assert!(matches!(
             p.set_level(&mut net, 0),
             Err(PruneError::LogCorruption { .. })
@@ -1649,6 +1905,133 @@ mod tests {
         d[3] = f32::from_bits(d[3].to_bits() ^ (1 << 12));
         assert_ne!(weights_checksum(&net), v2);
         assert_ne!(weights_checksum_fnv(&net), v1);
+    }
+
+    // -------------------------------------------------------------
+    // Durable-spill hooks
+    // -------------------------------------------------------------
+
+    #[test]
+    fn spill_payload_round_trips_exact_and_half_segments() {
+        let (mut net, mut p) = setup(vec![0.0, 0.3, 0.6, 0.9]);
+        p.set_level(&mut net, 3).unwrap();
+        for i in 0..p.log_segments() {
+            let original = p.log_segment(i).unwrap().clone();
+            let payload = original.to_spill_payload();
+            let decoded = LevelDelta::from_spill_payload(&payload).unwrap();
+            assert_eq!(decoded, original);
+            assert!(decoded.verify());
+        }
+
+        let mut hnet = models::default_perception_cnn(55).unwrap();
+        let ladder = LadderConfig::new(vec![0.0, 0.5]).build(&hnet).unwrap();
+        let mut hp = ReversiblePruner::attach_half(&mut hnet, ladder).unwrap();
+        hp.set_level(&mut hnet, 1).unwrap();
+        let original = hp.log_segment(0).unwrap().clone();
+        let decoded = LevelDelta::from_spill_payload(&original.to_spill_payload()).unwrap();
+        assert_eq!(decoded, original, "half-precision values survive widening");
+    }
+
+    #[test]
+    fn spill_payload_preserves_corruption_status() {
+        let (mut net, mut p) = setup(vec![0.0, 0.6]);
+        p.set_level(&mut net, 1).unwrap();
+        let mut rng = Prng::new(41);
+        let seg = p.inject_log_bitflip(&mut rng).unwrap();
+        let corrupt = p.log_segment(seg).unwrap().clone();
+        assert!(!corrupt.verify());
+        let decoded = LevelDelta::from_spill_payload(&corrupt.to_spill_payload()).unwrap();
+        assert!(!decoded.verify(), "corrupt-at-crash stays corrupt after decode");
+        assert_eq!(decoded.checksum, corrupt.checksum);
+    }
+
+    #[test]
+    fn spill_payload_decode_rejects_truncation() {
+        let (mut net, mut p) = setup(vec![0.0, 0.5]);
+        p.set_level(&mut net, 1).unwrap();
+        let payload = p.log_segment(0).unwrap().to_spill_payload();
+        for cut in [0usize, 3, 11, payload.len() - 2] {
+            assert!(matches!(
+                LevelDelta::from_spill_payload(&payload[..cut]),
+                Err(PruneError::SpillDecode { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn install_log_rebuilds_a_crashed_walk() {
+        let (mut net, mut p) = setup(vec![0.0, 0.3, 0.6, 0.9]);
+        let pristine = net.clone();
+        p.set_level(&mut net, 2).unwrap();
+        let crashed_net = net.clone();
+        let segments: Vec<LevelDelta> = (0..p.log_segments())
+            .map(|i| {
+                LevelDelta::from_spill_payload(&p.log_segment(i).unwrap().to_spill_payload())
+                    .unwrap()
+            })
+            .collect();
+
+        // A fresh process: pristine image + recovered segments.
+        let mut net2 = pristine.clone();
+        let ladder = LadderConfig::new(vec![0.0, 0.3, 0.6, 0.9]).build(&pristine).unwrap();
+        let mut p2 = ReversiblePruner::attach(&net2, ladder).unwrap();
+        p2.install_log(&mut net2, segments).unwrap();
+        assert_eq!(p2.current_level(), 2);
+        assert_eq!(p2.log_segments(), 2);
+        assert_eq!(net2, crashed_net, "recovered weights match the crashed state");
+        p2.set_level(&mut net2, 0).unwrap();
+        p2.verify_restored(&net2).unwrap();
+        assert_eq!(net2, pristine);
+    }
+
+    #[test]
+    fn install_log_requires_fresh_pruner_and_contiguous_levels() {
+        let (mut net, mut p) = setup(vec![0.0, 0.3, 0.6]);
+        p.set_level(&mut net, 1).unwrap();
+        let seg = p.log_segment(0).unwrap().clone();
+        assert!(matches!(
+            p.install_log(&mut net, vec![seg.clone()]),
+            Err(PruneError::NotRestorable { .. })
+        ));
+        let (mut net2, mut p2) = setup(vec![0.0, 0.3, 0.6]);
+        let mut wrong = seg.clone();
+        wrong.to_level = 2; // skips level 1
+        assert!(matches!(
+            p2.install_log(&mut net2, vec![wrong]),
+            Err(PruneError::SpillDecode { .. })
+        ));
+    }
+
+    #[test]
+    fn patch_log_value_reproduces_and_reverts_corruption() {
+        let (mut net, mut p) = setup(vec![0.0, 0.5]);
+        p.set_level(&mut net, 1).unwrap();
+        let before = p.log_value_bits(0, 0).unwrap();
+        assert!(p.patch_log_value(0, 0, before ^ (1 << 5)));
+        assert!(!p.log_segment(0).unwrap().verify());
+        assert_eq!(p.log_value_bits(0, 0), Some(before ^ (1 << 5)));
+        assert!(p.patch_log_value(0, 0, before));
+        assert!(p.log_segment(0).unwrap().verify());
+        assert!(!p.patch_log_value(0, usize::MAX, 0), "out of range is a no-op");
+        assert!(!p.patch_log_value(9, 0, 0));
+        assert_eq!(p.log_value_bits(9, 0), None);
+    }
+
+    #[test]
+    fn cursor_round_trip_restores_scrub_progress_and_stats() {
+        let (mut net, mut p) = setup(vec![0.0, 0.3, 0.6, 0.9]);
+        p.set_level(&mut net, 3).unwrap();
+        p.scrub_step().unwrap();
+        p.scrub_step().unwrap();
+        let cursor = p.export_cursor();
+        assert_eq!(cursor.stats.scrub_checks, 2);
+
+        let (mut net2, mut p2) = setup(vec![0.0, 0.3, 0.6, 0.9]);
+        p2.set_level(&mut net2, 3).unwrap();
+        p2.import_cursor(cursor);
+        assert_eq!(p2.export_cursor(), cursor);
+        // The recovered pruner continues the round-robin walk at 2.
+        assert_eq!(p2.scrub_step().unwrap(), Some(2));
     }
 
     #[test]

@@ -247,7 +247,7 @@ proptest! {
         let mut rng = Prng::new(flip_seed);
         let mut landed = false;
         for _ in 0..flips {
-            landed |= pruner.inject_log_bitflip(&mut rng);
+            landed |= pruner.inject_log_bitflip(&mut rng).is_some();
         }
         match pruner.set_level(&mut net, 0) {
             Ok(_) => {
@@ -288,7 +288,7 @@ proptest! {
         }
         let mut rng = Prng::new(flip_seed);
         for _ in 0..flips {
-            pruner.inject_log_bitflip(&mut rng);
+            let _ = pruner.inject_log_bitflip(&mut rng);
         }
         // Detect-repair-retry until the restore goes through; the loop is
         // bounded because each repair fixes the segment it names.
@@ -322,7 +322,7 @@ proptest! {
         pruner.set_shadow_mode(true);
         pruner.set_level(&mut net, top).unwrap();
         let mut rng = Prng::new(flip_seed);
-        pruner.inject_log_bitflip(&mut rng);
+        let _ = pruner.inject_log_bitflip(&mut rng);
         // A background scrub finds the corruption before any restore asks
         // for the segment, and the shadow copy repairs it in place...
         let mut passes = 0;

@@ -30,6 +30,8 @@ pub fn fault_kind_name(kind: &FaultKind) -> &'static str {
         FaultKind::ExecOverrun { .. } => "exec-overrun",
         FaultKind::LogBitFlip { .. } => "log-bit-flip",
         FaultKind::WeightBitFlip { .. } => "weight-bit-flip",
+        FaultKind::TornWrite { .. } => "torn-write",
+        FaultKind::TruncatedTail { .. } => "truncated-tail",
     }
 }
 
@@ -120,8 +122,14 @@ pub fn apply_fault(
         }
         FaultKind::LogBitFlip { flips } => {
             for _ in 0..flips {
-                if plant.pruner.inject_log_bitflip(rng) {
+                if let Some(segment) = plant.pruner.inject_log_bitflip(rng) {
                     k.tick.injected += 1;
+                    // The durable spill's copy of the segment is now
+                    // stale relative to RAM; reconciliation happens at
+                    // the next commit mark.
+                    if let Some(spill) = plant.spill.as_mut() {
+                        spill.mark_log_dirty(segment);
+                    }
                 }
             }
         }
@@ -135,6 +143,22 @@ pub fn apply_fault(
                     k.snapshot_flips += 1;
                     k.tick.injected += 1;
                 } else if faults::inject_weight_bitflip(&mut plant.net, rng) {
+                    k.tick.injected += 1;
+                }
+            }
+        }
+        // Durable-spill media faults are *not* self-announcing: they are
+        // only noticed by the spill's read-back and boundary checks.
+        FaultKind::TornWrite { keep_bytes } => {
+            if let Some(spill) = plant.spill.as_mut() {
+                if spill.inject_torn_write(keep_bytes) {
+                    k.tick.injected += 1;
+                }
+            }
+        }
+        FaultKind::TruncatedTail { bytes } => {
+            if let Some(spill) = plant.spill.as_mut() {
+                if spill.chop_tail(bytes) {
                     k.tick.injected += 1;
                 }
             }

@@ -227,6 +227,12 @@ impl FleetRuntime {
         &self.managers[member]
     }
 
+    /// Exclusive access to one member's runtime (crash-recovery flows
+    /// freeze and inspect member spill devices through this).
+    pub fn manager_mut(&mut self, member: usize) -> &mut RuntimeManager {
+        &mut self.managers[member]
+    }
+
     /// Caps the worker pool (clamped to at least 1). Workers default to
     /// the machine's available parallelism; `1` forces serial stepping —
     /// the baseline the fleet benchmark compares against.
@@ -362,21 +368,60 @@ impl FleetRuntime {
     /// # Errors
     ///
     /// Propagates per-tick errors.
-    pub fn run_with<F>(&mut self, scenario: &Scenario, mut budget: F) -> Result<FleetRunResult>
+    pub fn run_with<F>(&mut self, scenario: &Scenario, budget: F) -> Result<FleetRunResult>
+    where
+        F: FnMut(&Tick) -> Option<Joules>,
+    {
+        self.run_span(scenario, budget, 0)
+    }
+
+    /// Drives a scenario from tick index `start` under a constant
+    /// budget — how a fleet of recovered members resumes after a crash
+    /// (members checkpoint every committed tick, so their resume ticks
+    /// agree whenever the spill was keeping up; pass the common
+    /// [`RuntimeManager::resume_tick`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-tick errors.
+    pub fn run_from(
+        &mut self,
+        scenario: &Scenario,
+        budget: Option<Joules>,
+        start: usize,
+    ) -> Result<FleetRunResult> {
+        self.run_span(scenario, |_| budget, start)
+    }
+
+    /// [`FleetRuntime::run_with`] generalized to a starting tick index
+    /// (clamped to the scenario length).
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-tick errors.
+    pub fn run_span<F>(
+        &mut self,
+        scenario: &Scenario,
+        mut budget: F,
+        start: usize,
+    ) -> Result<FleetRunResult>
     where
         F: FnMut(&Tick) -> Option<Joules>,
     {
         if !scenario.faults().is_empty() {
             for manager in &mut self.managers {
                 let seed = manager.config().frame_seed;
+                // `set_fault_plan` folds in a recovered member's plan
+                // cursor, resuming the campaign mid-stream.
                 manager.set_fault_plan(Some(crate::faults::FaultPlan::from_scenario(
                     scenario, seed,
                 )));
             }
         }
         let dt = scenario.config().dt_s;
-        let mut ticks = Vec::with_capacity(scenario.ticks().len());
-        for tick in scenario.ticks() {
+        let start = start.min(scenario.ticks().len());
+        let mut ticks = Vec::with_capacity(scenario.ticks().len() - start);
+        for tick in &scenario.ticks()[start..] {
             let b = budget(tick);
             ticks.push(self.step_all(tick, dt, b)?);
         }

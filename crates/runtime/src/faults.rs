@@ -135,6 +135,37 @@ impl FaultPlan {
     pub fn rng_mut(&mut self) -> &mut Prng {
         &mut self.rng
     }
+
+    /// Serializes the plan's mutable state (fire cursor and placement
+    /// RNG position) as plain words for crash-recovery checkpoints. The
+    /// event list itself is regenerated deterministically from the
+    /// scenario and seed on recovery.
+    pub fn export_state(&self) -> Vec<u64> {
+        let (state, spare) = self.rng.state_parts();
+        let mut out = Vec::with_capacity(7);
+        out.push(self.cursor as u64);
+        out.extend_from_slice(&state);
+        out.push(u64::from(spare.is_some()));
+        out.push(u64::from(spare.unwrap_or(0.0).to_bits()));
+        out
+    }
+
+    /// Restores state exported by [`FaultPlan::export_state`]. Ignores
+    /// malformed input (wrong length); the cursor is clamped to the
+    /// event count.
+    pub fn import_state(&mut self, words: &[u64]) {
+        if words.len() != 7 {
+            return;
+        }
+        self.cursor = (words[0] as usize).min(self.events.len());
+        let state = [words[1], words[2], words[3], words[4]];
+        let spare = if words[5] != 0 {
+            Some(f32::from_bits(words[6] as u32))
+        } else {
+            None
+        };
+        self.rng = Prng::from_parts(state, spare);
+    }
 }
 
 /// Flips one random mantissa bit in one random live prunable weight.
@@ -188,6 +219,12 @@ pub struct StormConfig {
     pub confidence_rate_hz: f64,
     /// Arrival rate of Execute-stage overrun windows (Hz).
     pub overrun_rate_hz: f64,
+    /// Arrival rate of torn writes against the durable reversal-log
+    /// spill (Hz). Zero unless the spill is under test.
+    pub torn_write_rate_hz: f64,
+    /// Arrival rate of durable-spill tail truncations (Hz). Zero unless
+    /// the spill is under test.
+    pub truncated_tail_rate_hz: f64,
 }
 
 impl StormConfig {
@@ -203,6 +240,8 @@ impl StormConfig {
             sensor_rate_hz: 1.0 / 120.0,
             confidence_rate_hz: 1.0 / 120.0,
             overrun_rate_hz: 1.0 / 90.0,
+            torn_write_rate_hz: 0.0,
+            truncated_tail_rate_hz: 0.0,
         }
     }
 
@@ -218,7 +257,17 @@ impl StormConfig {
             sensor_rate_hz: 1.0 / 40.0,
             confidence_rate_hz: 1.0 / 40.0,
             overrun_rate_hz: 1.0 / 30.0,
+            torn_write_rate_hz: 0.0,
+            truncated_tail_rate_hz: 0.0,
         }
+    }
+
+    /// Adds durable-spill media faults (torn writes and tail
+    /// truncations) to the storm at the given rates.
+    pub fn with_spill_faults(mut self, torn_write_rate_hz: f64, truncated_tail_rate_hz: f64) -> Self {
+        self.torn_write_rate_hz = torn_write_rate_hz;
+        self.truncated_tail_rate_hz = truncated_tail_rate_hz;
+        self
     }
 }
 
@@ -318,6 +367,27 @@ pub fn storm_events(config: &StormConfig, seed: u64) -> Vec<FaultEvent> {
         },
         &mut events,
     );
+    // Durable-spill media faults come last so that storms with these
+    // rates at zero (every pre-existing storm) draw exactly the same
+    // random stream as before they existed.
+    stream(
+        config,
+        config.torn_write_rate_hz,
+        &mut rng,
+        &mut |r| FaultKind::TornWrite {
+            keep_bytes: r.next_below(48) as u64,
+        },
+        &mut events,
+    );
+    stream(
+        config,
+        config.truncated_tail_rate_hz,
+        &mut rng,
+        &mut |r| FaultKind::TruncatedTail {
+            bytes: 1 + r.next_below(256) as u64,
+        },
+        &mut events,
+    );
     events.sort_by(|a, b| a.start_s.total_cmp(&b.start_s));
     events
 }
@@ -371,6 +441,55 @@ mod tests {
         }
         let c = storm_events(&cfg, 43);
         assert_ne!(a, c, "different seeds give different storms");
+    }
+
+    #[test]
+    fn spill_fault_streams_do_not_perturb_existing_storms() {
+        let base = StormConfig::severe(10.0, 60.0);
+        let with = base.with_spill_faults(1.0 / 10.0, 1.0 / 20.0);
+        let a = storm_events(&base, 42);
+        let b = storm_events(&with, 42);
+        // Every original event survives unchanged…
+        for ev in &a {
+            assert!(b.contains(ev), "missing original event {ev:?}");
+        }
+        // …and the extras are exactly the new fault families.
+        assert!(b.len() > a.len(), "spill rates must add events");
+        let mut torn = 0;
+        let mut chopped = 0;
+        for ev in &b {
+            match ev.kind {
+                FaultKind::TornWrite { keep_bytes } => {
+                    torn += 1;
+                    assert!(keep_bytes < 48);
+                }
+                FaultKind::TruncatedTail { bytes } => {
+                    chopped += 1;
+                    assert!((1..=256).contains(&bytes));
+                }
+                _ => assert!(a.contains(ev)),
+            }
+        }
+        assert!(torn > 0 && chopped > 0);
+    }
+
+    #[test]
+    fn plan_state_round_trip_resumes_cursor_and_rng() {
+        let cfg = StormConfig::severe(0.0, 30.0);
+        let events = storm_events(&cfg, 5);
+        let mut a = FaultPlan::new(events.clone(), 77);
+        a.fire_until(12.0);
+        let _ = a.rng_mut().next_f32();
+        let words = a.export_state();
+        let mut b = FaultPlan::new(events, 77);
+        b.import_state(&words);
+        assert_eq!(a.remaining(), b.remaining());
+        assert_eq!(a.fire_until(30.0), b.fire_until(30.0));
+        assert_eq!(a.rng_mut().next_f32(), b.rng_mut().next_f32());
+        // Malformed input is ignored.
+        let before_remaining = b.remaining();
+        b.import_state(&[1, 2]);
+        assert_eq!(b.remaining(), before_remaining);
     }
 
     #[test]

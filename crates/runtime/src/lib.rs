@@ -47,6 +47,7 @@ pub mod plant;
 pub mod policy;
 pub mod record;
 pub mod restore;
+pub mod spill;
 pub mod stages;
 pub mod trace;
 
@@ -64,6 +65,7 @@ pub use plant::{Perception, Plant};
 pub use policy::Policy;
 pub use record::{RunResult, TickRecord};
 pub use restore::{ChainReport, RestoreChain, RestoreMechanism};
+pub use spill::{RecoveryReport, SpillConfig, SpillState, SpillStats};
 pub use stages::{Analysis, Analyze, Directive, Execute, Monitor, Plan};
 pub use trace::{
     ChainHop, DetectionSource, StageId, TickTrace, TraceEvent, TraceEventKind,

@@ -16,6 +16,7 @@ use crate::plant::Plant;
 use crate::policy::Policy;
 use crate::record::{RunResult, TickRecord};
 use crate::restore::RestoreChain;
+use crate::spill::{RecoveryReport, SpillConfig, SpillState, SpillStats};
 use crate::stages::{
     Analyze, ChainExecutor, DefaultAnalyze, DefaultMonitor, DefaultPlanner, Execute, Monitor, Plan,
 };
@@ -23,9 +24,10 @@ use crate::trace::TickTrace;
 use crate::{defense, Result, RuntimeError};
 use reprune_nn::{Network, Scratch};
 use reprune_platform::profile::NetworkProfile;
-use reprune_platform::{Bytes, Seconds, SocModel, StorageHealth};
+use reprune_platform::{Bytes, DurableLog, Seconds, SocModel, StorageHealth};
+use reprune_prune::spill as prune_spill;
 use reprune_prune::{
-    ladder_plans, weights_checksum, IntegrityStats, ReversiblePruner, SnapshotRestore,
+    ladder_plans, weights_checksum, IntegrityStats, RecordKind, ReversiblePruner, SnapshotRestore,
     SparsityLadder,
 };
 use reprune_scenario::{OddSpec, Scenario, Tick};
@@ -84,6 +86,9 @@ pub struct RuntimeManagerConfig {
     /// Per-tick time budget for amortized restores, seconds (see
     /// [`Knowledge::restore_budget_s`]). `None` keeps one-shot restores.
     pub restore_budget_s: Option<f64>,
+    /// Durable reversal-log spill configuration; `None` (the default)
+    /// keeps everything in RAM with no crash recovery.
+    pub spill: Option<SpillConfig>,
 }
 
 impl RuntimeManagerConfig {
@@ -101,6 +106,7 @@ impl RuntimeManagerConfig {
             defense: FaultDefense::FullChain,
             trace_capacity: crate::trace::DEFAULT_TRACE_CAPACITY,
             restore_budget_s: None,
+            spill: None,
         }
     }
 
@@ -159,6 +165,12 @@ impl RuntimeManagerConfig {
         self.restore_budget_s = Some(seconds);
         self
     }
+
+    /// Enables the durable reversal-log spill (crash recovery).
+    pub fn spill(mut self, spill: SpillConfig) -> Self {
+        self.spill = Some(spill);
+        self
+    }
 }
 
 /// The MAPE-K runtime manager: owns the plant, the knowledge base, the
@@ -175,6 +187,15 @@ pub struct RuntimeManager {
     executor: Box<dyn Execute>,
     plan: Option<FaultPlan>,
     trace: TickTrace,
+    /// Ticks completed so far (across recoveries — a recovered manager
+    /// starts at the checkpoint's tick index).
+    ticks_done: usize,
+    /// Scenario tick index a recovered manager resumes from (0 for a
+    /// fresh attach).
+    resume_tick: usize,
+    /// Fault-plan cursor/RNG state from a recovered checkpoint, applied
+    /// to the next plan installed.
+    recovered_plan_state: Option<Vec<u64>>,
 }
 
 impl RuntimeManager {
@@ -186,8 +207,22 @@ impl RuntimeManager {
     /// # Errors
     ///
     /// Returns [`RuntimeError::BadConfig`] if the envelope's level count
-    /// disagrees with the ladder, or propagates profiling errors.
+    /// disagrees with the ladder or the spill device cannot be created,
+    /// or propagates profiling errors.
     pub fn attach(
+        net: Network,
+        ladder: SparsityLadder,
+        config: RuntimeManagerConfig,
+    ) -> Result<Self> {
+        let mut mgr = Self::attach_core(net, ladder, config)?;
+        mgr.enable_spill()?;
+        Ok(mgr)
+    }
+
+    /// Attach minus spill setup — shared by [`RuntimeManager::attach`]
+    /// and [`RuntimeManager::recover`] (which installs its own spill
+    /// state from the scanned device instead).
+    fn attach_core(
         net: Network,
         ladder: SparsityLadder,
         config: RuntimeManagerConfig,
@@ -242,6 +277,7 @@ impl RuntimeManager {
             mirror_net,
             mirror_pruner,
             storage: StorageHealth::new(),
+            spill: None,
         };
         let mut knowledge = Knowledge::new(levels, model_bytes, sealed_checksum);
         knowledge.restore_budget_s = config.restore_budget_s;
@@ -263,8 +299,127 @@ impl RuntimeManager {
             chain,
             plan: None,
             trace: TickTrace::new(config.trace_capacity),
+            ticks_done: 0,
+            resume_tick: 0,
+            recovered_plan_state: None,
             config,
         })
+    }
+
+    /// Creates the spill device and writes the sealed base-image record
+    /// (an unbudgeted bootstrap write: the runtime is not ticking yet).
+    fn enable_spill(&mut self) -> Result<()> {
+        let Some(cfg) = self.config.spill.clone() else {
+            return Ok(());
+        };
+        let mut log = match &cfg.path {
+            Some(p) => DurableLog::create(p)
+                .map_err(|e| RuntimeError::bad_config(format!("spill device {p}: {e}")))?,
+            None => DurableLog::in_memory(),
+        };
+        let payload = prune_spill::encode_base(&self.plant.net, 0);
+        let frame = prune_spill::frame_record(RecordKind::Base, &payload);
+        log.append(&frame)
+            .map_err(|e| RuntimeError::bad_config(format!("spill bootstrap append: {e}")))?;
+        log.sync()
+            .map_err(|e| RuntimeError::bad_config(format!("spill bootstrap sync: {e}")))?;
+        self.plant.spill = Some(SpillState::fresh(log, cfg, frame));
+        Ok(())
+    }
+
+    /// Rebuilds a runtime from a crashed run's spill device.
+    ///
+    /// Scans the device, discards any torn tail, restores the pristine
+    /// base image onto `net`, then replays the latest commit mark whose
+    /// segment manifest is satisfiable: reversal-log segments are
+    /// reinstalled, recorded in-RAM corruption is reproduced bit-exactly
+    /// (log and weight patches), and the cross-stage knowledge, RNG
+    /// streams, storage health, stage state, and trace numbering resume
+    /// where the crashed run sealed them. Without a usable mark the
+    /// manager starts fresh (tick 0) on the surviving device.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::BadConfig`] when the device cannot be
+    /// read, or propagates attach/replay errors.
+    pub fn recover(
+        net: Network,
+        ladder: SparsityLadder,
+        config: RuntimeManagerConfig,
+        mut log: DurableLog,
+    ) -> Result<(Self, RecoveryReport)> {
+        let spill_cfg = config.spill.clone().unwrap_or_default();
+        let bytes = log
+            .read_all()
+            .map_err(|e| RuntimeError::bad_config(format!("spill device read: {e}")))?;
+        let res = crate::spill::resolve_scan(&bytes);
+        log.truncate(res.valid_len)
+            .map_err(|e| RuntimeError::bad_config(format!("spill device truncate: {e}")))?;
+        let valid = &bytes[..res.valid_len as usize];
+        let mut report = RecoveryReport {
+            resumed: false,
+            resume_tick: 0,
+            records_scanned: res.records_scanned,
+            marks_seen: res.marks.len(),
+            bytes_discarded: bytes.len() as u64 - res.valid_len,
+            log_patches_applied: 0,
+            weight_patches_applied: 0,
+        };
+        let mut net = net;
+        let base_ok = match &res.base_payload {
+            Some(payload) => prune_spill::apply_base(&mut net, payload).is_ok(),
+            None => false,
+        };
+        let mut mgr = Self::attach_core(net, ladder, config)?;
+        let mark = if base_ok { res.best_mark().cloned() } else { None };
+        if let Some(m) = &mark {
+            let mut segments = Vec::with_capacity(m.manifest.len());
+            for h in &m.manifest {
+                let payload = res.segments_by_hash.get(h).expect("manifest satisfied");
+                segments.push(reprune_prune::pruner::LevelDelta::from_spill_payload(payload)?);
+            }
+            mgr.plant.pruner.install_log(&mut mgr.plant.net, segments)?;
+            for &(seg, idx, bits) in &m.log_patches {
+                if mgr.plant.pruner.patch_log_value(seg as usize, idx as usize, bits) {
+                    report.log_patches_applied += 1;
+                }
+            }
+            report.weight_patches_applied =
+                crate::spill::apply_weight_patches(&mut mgr.plant.net, &m.weight_patches);
+            mgr.plant.pruner.import_cursor(m.cursor);
+            mgr.plant.sync_mirror()?;
+            m.apply_to_knowledge(&mut mgr.knowledge);
+            mgr.plant.frame_rng = Prng::from_parts(m.frame_rng.0, m.frame_rng.1);
+            mgr.plant.corruption_rng = Prng::from_parts(m.corruption_rng.0, m.corruption_rng.1);
+            mgr.plant.storage =
+                StorageHealth::from_parts(m.storage.0, m.storage.1, m.storage.2, m.storage.3);
+            mgr.monitor.import_state(&m.monitor_words);
+            mgr.planner.import_state(&m.planner_words);
+            mgr.recovered_plan_state = m.plan_words.clone();
+            mgr.trace =
+                TickTrace::resume(mgr.config.trace_capacity, m.trace_next_seq, m.trace_dropped);
+            mgr.ticks_done = m.tick_index as usize;
+            mgr.resume_tick = m.tick_index as usize;
+            report.resumed = true;
+            report.resume_tick = m.tick_index as usize;
+        }
+        if base_ok {
+            mgr.plant.spill = Some(res.rebuild_spill(valid, log, spill_cfg, mark.as_ref()));
+        } else {
+            // No usable base image survived, so nothing on the device
+            // can ever be replayed: reset it and bootstrap a sealed
+            // base record exactly like a first attach.
+            log.truncate(0)
+                .map_err(|e| RuntimeError::bad_config(format!("spill device reset: {e}")))?;
+            let payload = prune_spill::encode_base(&mgr.plant.net, 0);
+            let frame = prune_spill::frame_record(RecordKind::Base, &payload);
+            log.append(&frame)
+                .map_err(|e| RuntimeError::bad_config(format!("spill bootstrap append: {e}")))?;
+            log.sync()
+                .map_err(|e| RuntimeError::bad_config(format!("spill bootstrap sync: {e}")))?;
+            mgr.plant.spill = Some(SpillState::fresh(log, spill_cfg, frame));
+        }
+        Ok((mgr, report))
     }
 
     /// The per-level Knowledge base.
@@ -370,9 +525,50 @@ impl RuntimeManager {
     /// Installs a fault campaign to execute against the next run. Pass
     /// `None` to clear. When no plan is installed,
     /// [`RuntimeManager::run`] builds one automatically from the
-    /// scenario's scheduled faults.
+    /// scenario's scheduled faults. On a recovered manager, the
+    /// checkpoint's plan cursor and RNG state are applied to the plan
+    /// being installed, so the campaign resumes mid-stream.
     pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
         self.plan = plan;
+        if self.plan.is_some() {
+            self.apply_recovered_plan_state();
+        }
+    }
+
+    /// Applies a recovered checkpoint's fault-plan cursor/RNG state to
+    /// the currently installed plan, once.
+    fn apply_recovered_plan_state(&mut self) {
+        if let (Some(p), Some(words)) = (self.plan.as_mut(), self.recovered_plan_state.take()) {
+            p.import_state(&words);
+        }
+    }
+
+    /// Persistence counters of the durable spill, when enabled.
+    pub fn spill_stats(&self) -> Option<SpillStats> {
+        self.plant.spill.as_ref().map(|s| s.stats())
+    }
+
+    /// Bytes currently persisted on the spill device, when enabled.
+    pub fn spill_bytes(&self) -> Option<u64> {
+        self.plant.spill.as_ref().map(|s| s.durable_len())
+    }
+
+    /// Full copy of the spill device's bytes (crash-simulation tests
+    /// freeze the device here and hand it to [`RuntimeManager::recover`]
+    /// via [`DurableLog::from_bytes`]).
+    pub fn spill_device_bytes(&mut self) -> Option<Vec<u8>> {
+        self.plant.spill.as_mut().and_then(|s| s.device_bytes().ok())
+    }
+
+    /// Ticks completed so far (carries across recoveries).
+    pub fn ticks_done(&self) -> usize {
+        self.ticks_done
+    }
+
+    /// Scenario tick index this manager resumes from (0 unless built by
+    /// [`RuntimeManager::recover`]).
+    pub fn resume_tick(&self) -> usize {
+        self.resume_tick
     }
 
     /// Current rung of the degradation state machine.
@@ -478,7 +674,7 @@ impl RuntimeManager {
                 trace,
             );
         }
-        Ok(TickRecord {
+        let rec = TickRecord {
             t: tick.t,
             true_risk: tick.risk,
             estimated_risk: estimated,
@@ -501,7 +697,53 @@ impl RuntimeManager {
             fault_repaired: k.tick.repaired,
             corrupt_inference: seen.corrupt_inference,
             deadline_miss,
-        })
+        };
+
+        // Persistence: spill reversal-log changes and, when everything
+        // a checkpoint depends on is durable, seal a commit mark.
+        self.service_spill(tick, seen.corrupt_inference);
+        self.ticks_done += 1;
+        Ok(rec)
+    }
+
+    /// The per-tick persistence slice: reconcile the spill's view with
+    /// the live reversal log, run the budgeted appends, and — when the
+    /// device holds everything and budget remains — seal a commit mark
+    /// checkpointing the full runtime state.
+    fn service_spill(&mut self, tick: &Tick, corrupt_inference: bool) {
+        let Some(mut spill) = self.plant.spill.take() else {
+            return;
+        };
+        spill.sync_view(&self.plant.pruner);
+        let ready = spill.service_appends(&self.plant.storage, tick.t, &mut self.trace);
+        if ready {
+            let log_patches = spill.log_deviations(&self.plant.pruner);
+            let weight_patches = if corrupt_inference {
+                crate::spill::weight_divergence(&self.plant.net, &self.plant.mirror_net)
+            } else {
+                Vec::new()
+            };
+            let payload = crate::spill::encode_mark(&crate::spill::MarkInputs {
+                tick_index: self.ticks_done as u64 + 1,
+                t: tick.t,
+                current_level: self.plant.pruner.current_level() as u32,
+                cursor: self.plant.pruner.export_cursor(),
+                manifest: spill.manifest(),
+                log_patches,
+                weight_patches,
+                k: &self.knowledge,
+                frame_rng: self.plant.frame_rng.state_parts(),
+                corruption_rng: self.plant.corruption_rng.state_parts(),
+                storage: self.plant.storage.state_parts(),
+                monitor_words: self.monitor.export_state(),
+                planner_words: self.planner.export_state(),
+                plan_words: self.plan.as_ref().map(|p| p.export_state()),
+                trace_next_seq: self.trace.next_seq(),
+                trace_dropped: self.trace.dropped(),
+            });
+            spill.append_mark(&payload, &self.plant.storage, tick.t, &mut self.trace);
+        }
+        self.plant.spill = Some(spill);
     }
 
     /// Drives a whole scenario, returning per-tick records, aggregates,
@@ -511,19 +753,34 @@ impl RuntimeManager {
     ///
     /// Propagates per-tick errors.
     pub fn run(&mut self, scenario: &Scenario) -> Result<RunResult> {
+        self.run_from(scenario, 0)
+    }
+
+    /// Drives a scenario starting at tick index `start` (clamped to the
+    /// scenario length) — how a recovered manager resumes: pass
+    /// [`RuntimeManager::resume_tick`]. Aggregates cover the resumed
+    /// span only; the trace continues the crashed run's numbering.
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-tick errors.
+    pub fn run_from(&mut self, scenario: &Scenario, start: usize) -> Result<RunResult> {
         // Faults scheduled on the scenario become the campaign, unless a
         // plan was installed explicitly.
         if self.plan.is_none() && !scenario.faults().is_empty() {
             self.plan = Some(FaultPlan::from_scenario(scenario, self.config.frame_seed));
         }
+        // A recovered checkpoint resumes the campaign mid-stream.
+        self.apply_recovered_plan_state();
         let dt = scenario.config().dt_s;
-        let mut records = Vec::with_capacity(scenario.ticks().len());
+        let start = start.min(scenario.ticks().len());
+        let mut records = Vec::with_capacity(scenario.ticks().len() - start);
         let mut total_energy = reprune_platform::Joules::ZERO;
         let mut violations = 0usize;
         let mut recovery_latencies = Vec::new();
         let mut recovery_start: Option<f64> = None;
         let dense = self.knowledge.levels[0].inference.energy;
-        for tick in scenario.ticks() {
+        for tick in &scenario.ticks()[start..] {
             let rec = self.step(tick, dt)?;
             total_energy += rec.inference_energy + rec.transition_energy;
             if rec.violation {

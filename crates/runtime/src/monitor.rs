@@ -123,6 +123,41 @@ impl RiskEstimator {
     pub fn estimate(&self) -> f64 {
         self.estimate
     }
+
+    /// Serializes the estimator's mutable state (EWMA, flags, and the
+    /// noise stream position) as plain words for checkpointing. The
+    /// config itself is not included — it is rebuilt from the runtime
+    /// configuration on recovery.
+    pub fn export_state(&self) -> Vec<u64> {
+        let (state, spare) = self.rng.state_parts();
+        let mut out = Vec::with_capacity(9);
+        out.extend_from_slice(&state);
+        out.push(u64::from(spare.is_some()));
+        out.push(u64::from(spare.unwrap_or(0.0).to_bits()));
+        out.push(self.estimate.to_bits());
+        out.push(u64::from(self.initialized));
+        out.push(u64::from(self.sensor_failed) | (u64::from(self.confidence_failed) << 1));
+        out
+    }
+
+    /// Restores state exported by [`RiskEstimator::export_state`].
+    /// Ignores malformed input (wrong length) and keeps current state.
+    pub fn import_state(&mut self, words: &[u64]) {
+        if words.len() != 9 {
+            return;
+        }
+        let state = [words[0], words[1], words[2], words[3]];
+        let spare = if words[4] != 0 {
+            Some(f32::from_bits(words[5] as u32))
+        } else {
+            None
+        };
+        self.rng = Prng::from_parts(state, spare);
+        self.estimate = f64::from_bits(words[6]);
+        self.initialized = words[7] != 0;
+        self.sensor_failed = words[8] & 1 != 0;
+        self.confidence_failed = words[8] & 2 != 0;
+    }
 }
 
 impl Default for RiskEstimator {
@@ -261,6 +296,33 @@ mod tests {
         // Recovery restores the normal fusion.
         dropped.set_confidence_failed(false);
         assert!((dropped.observe(0.3, 1.0) - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn state_round_trip_resumes_estimator_bit_exactly() {
+        let cfg = RiskEstimatorConfig {
+            sensor_noise_std: 0.1,
+            confidence_weight: 0.2,
+            ..Default::default()
+        };
+        let mut a = RiskEstimator::new(cfg);
+        for i in 0..37 {
+            a.observe((i % 7) as f64 / 7.0, 0.8);
+        }
+        a.set_sensor_failed(true);
+        let words = a.export_state();
+        let mut b = RiskEstimator::new(cfg);
+        b.import_state(&words);
+        assert_eq!(a, b);
+        for i in 0..25 {
+            let x = a.observe((i % 5) as f64 / 5.0, 0.6);
+            let y = b.observe((i % 5) as f64 / 5.0, 0.6);
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        // Malformed input is ignored.
+        let before = b.clone();
+        b.import_state(&[1, 2, 3]);
+        assert_eq!(b, before);
     }
 
     #[test]

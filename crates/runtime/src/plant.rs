@@ -59,6 +59,8 @@ pub struct Plant {
     pub corruption_rng: Prng,
     /// RNG driving per-tick frame rendering.
     pub frame_rng: Prng,
+    /// Durable reversal-log spill, when persistence is enabled.
+    pub spill: Option<crate::spill::SpillState>,
 }
 
 impl Plant {

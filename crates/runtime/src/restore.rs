@@ -248,6 +248,12 @@ impl RestoreChain {
                 k.note_detected(t, StageId::Execute, DetectionSource::SnapshotChecksum, trace);
                 k.integrity_bad = true;
                 k.enter_state(OperatingState::MinimalRisk, t, trace);
+                // Hop 3½: when the durable spill holds a sealed base
+                // image, rebuild from it synchronously instead of
+                // waiting out a multi-tick storage reload.
+                if crate::spill::try_disk_reload(self, k, plant, t, rep, trace) {
+                    return Ok(());
+                }
                 k.reload_wanted = true;
                 self.try_storage_reload(k, plant, t, rep, trace);
                 Ok(())

@@ -61,6 +61,17 @@ pub trait Monitor: Send {
     /// Fuses the risk sensor with the last inference confidence into
     /// the per-tick risk estimate. Called exactly once per tick.
     fn estimate(&mut self, k: &Knowledge, tick: &Tick) -> f64;
+
+    /// Serializes any stage-private mutable state as plain words so a
+    /// crash-recovery checkpoint can resume the stage bit-exactly.
+    /// Stateless monitors return an empty vector (the default).
+    fn export_state(&self) -> Vec<u64> {
+        Vec::new()
+    }
+
+    /// Restores state exported by [`Monitor::export_state`]. Malformed
+    /// input is ignored.
+    fn import_state(&mut self, _words: &[u64]) {}
 }
 
 /// Analyze stage: integrity verdicts and tick assessment.
@@ -98,6 +109,17 @@ pub trait Plan: Send {
 
     /// Name of the governing policy (reported on `RunResult`).
     fn policy_name(&self) -> String;
+
+    /// Serializes any stage-private mutable state as plain words so a
+    /// crash-recovery checkpoint can resume the stage bit-exactly.
+    /// Stateless planners return an empty vector (the default).
+    fn export_state(&self) -> Vec<u64> {
+        Vec::new()
+    }
+
+    /// Restores state exported by [`Plan::export_state`]. Malformed
+    /// input is ignored.
+    fn import_state(&mut self, _words: &[u64]) {}
 }
 
 /// Execute stage: pruner transitions, the fallback chain, and reload
@@ -190,6 +212,16 @@ impl Monitor for DefaultMonitor {
 
     fn estimate(&mut self, k: &Knowledge, tick: &Tick) -> f64 {
         self.estimator.observe(tick.risk, k.last_confidence)
+    }
+
+    fn export_state(&self) -> Vec<u64> {
+        // `armed` is config-derived and rebuilt on recovery; only the
+        // estimator carries run-dependent state.
+        self.estimator.export_state()
+    }
+
+    fn import_state(&mut self, words: &[u64]) {
+        self.estimator.import_state(words);
     }
 }
 
@@ -293,6 +325,22 @@ impl Plan for DefaultPlanner {
 
     fn policy_name(&self) -> String {
         self.policy.name()
+    }
+
+    fn export_state(&self) -> Vec<u64> {
+        // The only mutable policy state is the adaptive dwell streak.
+        match &self.policy {
+            Policy::ReversibleAdaptive { raise_streak, .. } => vec![*raise_streak as u64],
+            _ => Vec::new(),
+        }
+    }
+
+    fn import_state(&mut self, words: &[u64]) {
+        if let (Policy::ReversibleAdaptive { raise_streak, .. }, Some(w)) =
+            (&mut self.policy, words.first())
+        {
+            *raise_streak = *w as usize;
+        }
     }
 }
 

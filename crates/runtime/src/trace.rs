@@ -90,6 +90,11 @@ pub enum ChainHop {
     ShadowRepair,
     /// Full restore from the in-RAM snapshot.
     Snapshot,
+    /// Full restore from the base image persisted in the on-disk
+    /// reversal-log spill (sits between snapshot and storage reload:
+    /// already durable, but cheaper and available even while the model
+    /// store is degraded).
+    DiskReload,
     /// Model-image reload from storage.
     StorageReload,
 }
@@ -100,6 +105,7 @@ impl std::fmt::Display for ChainHop {
             ChainHop::Delta => "delta",
             ChainHop::ShadowRepair => "shadow-repair",
             ChainHop::Snapshot => "snapshot",
+            ChainHop::DiskReload => "disk-reload",
             ChainHop::StorageReload => "storage-reload",
         };
         write!(f, "{s}")
@@ -199,6 +205,19 @@ pub enum TraceEventKind {
         /// The control period, seconds.
         budget_s: f64,
     },
+    /// A torn append to the durable reversal-log spill was caught by
+    /// the read-back seal check and repaired by truncating back to the
+    /// pre-append record boundary.
+    SpillTornRepair {
+        /// Bytes of partial frame discarded.
+        bytes: u64,
+    },
+    /// The durable spill device lost its tail (truncation fault); the
+    /// log was cut back to the last intact record boundary.
+    SpillTailTruncated {
+        /// Bytes of log lost to the truncation.
+        bytes: u64,
+    },
 }
 
 impl TraceEventKind {
@@ -221,6 +240,8 @@ impl TraceEventKind {
             TraceEventKind::ReloadImpossible => "reload-impossible",
             TraceEventKind::ReloadCompleted => "reload-completed",
             TraceEventKind::DeadlineMissed { .. } => "deadline-missed",
+            TraceEventKind::SpillTornRepair { .. } => "spill-torn-repair",
+            TraceEventKind::SpillTailTruncated { .. } => "spill-tail-truncated",
         }
     }
 }
@@ -314,6 +335,10 @@ impl TraceEvent {
                     json_f64(*budget_s)
                 ));
             }
+            TraceEventKind::SpillTornRepair { bytes }
+            | TraceEventKind::SpillTailTruncated { bytes } => {
+                s.push_str(&format!(",\"bytes\":{bytes}"));
+            }
             TraceEventKind::ReloadImpossible | TraceEventKind::ReloadCompleted => {}
         }
         s.push('}');
@@ -345,6 +370,22 @@ impl TickTrace {
             next_seq: 0,
             dropped: 0,
         }
+    }
+
+    /// Rebuilds an empty trace that continues an interrupted run's
+    /// numbering: the next event gets `next_seq` and the drop counter
+    /// resumes at `dropped`. Used by crash recovery so a resumed run's
+    /// trace tail lines up byte-for-byte with the uninterrupted run.
+    pub fn resume(capacity: usize, next_seq: u64, dropped: u64) -> Self {
+        let mut tr = TickTrace::new(capacity);
+        tr.next_seq = next_seq;
+        tr.dropped = dropped;
+        tr
+    }
+
+    /// Sequence number the next recorded event will get.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
     }
 
     /// Records one event at tick time `t`.
@@ -481,6 +522,8 @@ mod tests {
                 latency_s: 0.15,
                 budget_s: 0.1,
             },
+            TraceEventKind::SpillTornRepair { bytes: 17 },
+            TraceEventKind::SpillTailTruncated { bytes: 4096 },
         ];
         let mut tr = TickTrace::new(64);
         for k in kinds {
@@ -519,8 +562,28 @@ mod tests {
             "fault-detected"
         );
         assert_eq!(TraceEventKind::ReloadCompleted.name(), "reload-completed");
+        assert_eq!(
+            TraceEventKind::SpillTornRepair { bytes: 1 }.name(),
+            "spill-torn-repair"
+        );
+        assert_eq!(
+            TraceEventKind::SpillTailTruncated { bytes: 1 }.name(),
+            "spill-tail-truncated"
+        );
         assert_eq!(StageId::Environment.to_string(), "environment");
         assert_eq!(DetectionSource::VerifyOnPop.to_string(), "verify-on-pop");
         assert_eq!(ChainHop::StorageReload.to_string(), "storage-reload");
+        assert_eq!(ChainHop::DiskReload.to_string(), "disk-reload");
+    }
+
+    #[test]
+    fn resume_continues_numbering() {
+        let mut tr = TickTrace::resume(8, 41, 3);
+        assert_eq!(tr.next_seq(), 41);
+        assert_eq!(tr.dropped(), 3);
+        assert!(tr.is_empty());
+        ev(&mut tr, 2.0);
+        assert_eq!(tr.events().next().unwrap().seq, 41);
+        assert_eq!(tr.recorded(), 42);
     }
 }

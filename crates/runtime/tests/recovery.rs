@@ -1,0 +1,320 @@
+//! Crash-recovery integration tests for the durable reversal-log spill.
+//!
+//! The contract under test (ISSUE PR 6): a manager killed mid-storm and
+//! rebuilt from nothing but its spill device must resume the scenario
+//! and produce a **byte-identical** tick-record and trace tail versus an
+//! uninterrupted run, with identical final recovery counters. Torn
+//! writes and truncated tails on the device must be detected via the
+//! sealed record checksums and either repaired or cleanly truncated —
+//! never panicked on.
+
+use reprune_nn::{models, Network};
+use reprune_platform::DurableLog;
+use reprune_prune::{LadderConfig, PruneCriterion, SparsityLadder};
+use reprune_runtime::policy::AdaptiveConfig;
+use reprune_runtime::{
+    storm_events, FaultDefense, FaultPlan, FleetRuntime, Policy, RuntimeManager,
+    RuntimeManagerConfig, SafetyEnvelope, SpillConfig, StormConfig,
+};
+use reprune_scenario::{Scenario, ScenarioConfig};
+
+/// Scenario tick index at which the "crash" freezes the spill device:
+/// t = 30 s, the middle of the 10–50 s fault storm.
+const CRASH_AT: usize = 300;
+
+fn model() -> Network {
+    models::default_perception_cnn(1).expect("reference model builds")
+}
+
+fn ladder(net: &Network) -> SparsityLadder {
+    LadderConfig::new(vec![0.0, 0.3, 0.6, 0.9])
+        .criterion(PruneCriterion::ChannelL2)
+        .build(net)
+        .expect("ladder builds")
+}
+
+fn config() -> RuntimeManagerConfig {
+    let envelope = SafetyEnvelope::new(vec![0.6, 0.4, 0.2]).expect("envelope is valid");
+    RuntimeManagerConfig::new(Policy::adaptive(AdaptiveConfig::default()), envelope)
+        .defense(FaultDefense::FullChain)
+        .frame_seed(5)
+        // Large enough that no run here ever evicts a trace event —
+        // byte-tail comparison needs the full suffix on both sides.
+        .trace_capacity(1 << 15)
+        .spill(SpillConfig::new())
+}
+
+fn storm_scenario(storm: StormConfig) -> Scenario {
+    ScenarioConfig::new()
+        .duration_s(60.0)
+        .seed(21)
+        .event_rate_scale(2.0)
+        .generate()
+        .with_faults(storm_events(&storm, 77))
+}
+
+fn attach(cfg: RuntimeManagerConfig) -> RuntimeManager {
+    let net = model();
+    let ladder = ladder(&net);
+    RuntimeManager::attach(net, ladder, cfg).expect("attach")
+}
+
+/// Runs the scenario to completion on one manager; the reference arm.
+fn uninterrupted(scenario: &Scenario) -> (RuntimeManager, reprune_runtime::RunResult) {
+    let mut mgr = attach(config());
+    let result = mgr.run(scenario).expect("uninterrupted run");
+    (mgr, result)
+}
+
+/// Steps a fresh manager to `crash_at`, then "kills" it: only the spill
+/// device bytes survive.
+fn crash_at(scenario: &Scenario, crash_at: usize) -> Vec<u8> {
+    let mut mgr = attach(config());
+    // Mirror `run_from`'s implicit campaign install so the crashed
+    // prefix is byte-identical to the reference run's prefix.
+    mgr.set_fault_plan(Some(FaultPlan::from_scenario(scenario, 5)));
+    let dt = scenario.config().dt_s;
+    for tick in &scenario.ticks()[..crash_at] {
+        mgr.step(tick, dt).expect("pre-crash step");
+    }
+    mgr.spill_device_bytes().expect("spill enabled")
+    // `mgr` dropped here: RAM state is gone, like a SIGKILL.
+}
+
+/// Rebuilds a manager from frozen device bytes and replays the rest of
+/// the scenario.
+fn recover_and_resume(
+    scenario: &Scenario,
+    device: Vec<u8>,
+) -> (
+    RuntimeManager,
+    reprune_runtime::RecoveryReport,
+    reprune_runtime::RunResult,
+) {
+    let net = model();
+    let ladder = ladder(&net);
+    let (mut mgr, report) =
+        RuntimeManager::recover(net, ladder, config(), DurableLog::from_bytes(device))
+            .expect("recover");
+    let start = mgr.resume_tick();
+    let tail = mgr.run_from(scenario, start).expect("resumed run");
+    (mgr, report, tail)
+}
+
+/// Asserts the resumed run's records and trace are byte-identical to
+/// the reference run's suffix, and that the two managers agree on every
+/// cumulative recovery counter.
+fn assert_tail_identical(
+    full_mgr: &RuntimeManager,
+    full: &reprune_runtime::RunResult,
+    resumed_mgr: &RuntimeManager,
+    tail: &reprune_runtime::RunResult,
+    start: usize,
+) {
+    // Tick records: the resumed span must be the exact suffix.
+    assert_eq!(tail.records.len(), full.records.len() - start);
+    for (i, (got, want)) in tail.records.iter().zip(&full.records[start..]).enumerate() {
+        assert_eq!(got, want, "tick record {} diverged after resume", start + i);
+    }
+
+    // Trace tail: every event from the resumed run, rendered as JSON
+    // lines, must be byte-identical to the reference events with the
+    // same sequence numbers.
+    assert_eq!(full.trace_dropped, 0, "reference trace ring overflowed");
+    assert_eq!(tail.trace_dropped, 0, "resumed trace ring overflowed");
+    let first_seq = tail
+        .trace
+        .first()
+        .expect("resumed storm span emits trace events")
+        .seq;
+    let want: Vec<String> = full
+        .trace
+        .iter()
+        .filter(|e| e.seq >= first_seq)
+        .map(|e| e.to_json_line())
+        .collect();
+    let got: Vec<String> = tail.trace.iter().map(|e| e.to_json_line()).collect();
+    assert_eq!(got.len(), want.len(), "trace tail length diverged");
+    for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+        assert_eq!(g, w, "trace tail line {i} diverged after resume");
+    }
+
+    // Final cumulative counters (MTTR samples, fault tallies, level).
+    let (a, b) = (full_mgr.knowledge_state(), resumed_mgr.knowledge_state());
+    assert_eq!(a.transitions, b.transitions);
+    assert_eq!(a.faults_injected, b.faults_injected);
+    assert_eq!(a.faults_detected, b.faults_detected);
+    assert_eq!(a.faults_repaired, b.faults_repaired);
+    assert_eq!(a.fault_recoveries, b.fault_recoveries, "MTTR samples diverged");
+    assert_eq!(a.snapshot_flips, b.snapshot_flips);
+    assert_eq!(a.op_state, b.op_state);
+    assert_eq!(full_mgr.current_level(), resumed_mgr.current_level());
+    assert_eq!(full_mgr.ticks_done(), resumed_mgr.ticks_done());
+}
+
+#[test]
+fn kill_and_resume_is_byte_identical() {
+    let scenario = storm_scenario(StormConfig::severe(10.0, 50.0));
+    let (full_mgr, full) = uninterrupted(&scenario);
+    assert!(full_mgr.faults_injected() > 0, "storm must land faults");
+
+    let device = crash_at(&scenario, CRASH_AT);
+    let (resumed_mgr, report, tail) = recover_and_resume(&scenario, device);
+
+    assert!(report.resumed, "a mid-storm device must hold a usable mark");
+    assert!(report.marks_seen > 0);
+    let start = resumed_mgr.resume_tick();
+    assert!(
+        start > 0 && start <= CRASH_AT,
+        "resume tick {start} outside (0, {CRASH_AT}]"
+    );
+    assert_eq!(resumed_mgr.ticks_done() - tail.records.len(), start);
+
+    assert_tail_identical(&full_mgr, &full, &resumed_mgr, &tail, start);
+}
+
+#[test]
+fn torn_and_truncated_device_faults_are_survived() {
+    // A storm that also tears spill appends and chops the device tail.
+    let scenario = storm_scenario(
+        StormConfig::severe(10.0, 50.0).with_spill_faults(0.5, 0.3),
+    );
+
+    let (full_mgr, full) = uninterrupted(&scenario);
+    let stats = full_mgr.spill_stats().expect("spill enabled");
+    assert!(
+        stats.torn_writes_repaired > 0,
+        "storm must tear at least one append: {stats:?}"
+    );
+    assert!(
+        stats.tail_truncations > 0,
+        "storm must chop the tail at least once: {stats:?}"
+    );
+    // The full run survives device sabotage without losing the drive.
+    assert_eq!(full.records.len(), scenario.ticks().len());
+
+    // And a crash in the middle of that sabotage still resumes exactly.
+    let device = crash_at(&scenario, CRASH_AT);
+    let (resumed_mgr, report, tail) = recover_and_resume(&scenario, device);
+    assert!(report.resumed, "device with torn/chopped records must still recover");
+    let start = resumed_mgr.resume_tick();
+    assert!(start > 0 && start <= CRASH_AT);
+    assert_tail_identical(&full_mgr, &full, &resumed_mgr, &tail, start);
+}
+
+#[test]
+fn crash_before_any_mark_restarts_cleanly() {
+    let scenario = storm_scenario(StormConfig::severe(10.0, 50.0));
+    // Freeze after a single tick: the device may hold the base record
+    // and at most an unusable prefix of the first checkpoint.
+    let device = crash_at(&scenario, 1);
+    let net = model();
+    let ladder = ladder(&net);
+    let (mut mgr, report) =
+        RuntimeManager::recover(net, ladder, config(), DurableLog::from_bytes(device))
+            .expect("recover");
+    let start = mgr.resume_tick();
+    let tail = mgr.run_from(&scenario, start).expect("run after recovery");
+    assert_eq!(tail.records.len(), scenario.ticks().len() - start);
+    if !report.resumed {
+        // Fresh start on the surviving device must equal a plain attach.
+        assert_eq!(start, 0);
+        let (_, full) = uninterrupted(&scenario);
+        assert_eq!(tail.records, full.records);
+    }
+}
+
+#[test]
+fn garbage_or_empty_device_falls_back_to_fresh_start() {
+    let scenario = storm_scenario(StormConfig::severe(10.0, 50.0));
+    let (_, reference) = uninterrupted(&scenario);
+
+    for device in [Vec::new(), vec![0xAB; 4096]] {
+        let net = model();
+        let ladder = ladder(&net);
+        let (mut mgr, report) =
+            RuntimeManager::recover(net, ladder, config(), DurableLog::from_bytes(device))
+                .expect("garbage device must not error");
+        assert!(!report.resumed);
+        assert_eq!(mgr.resume_tick(), 0);
+        // A fresh start after discarding garbage behaves exactly like a
+        // first boot.
+        let run = mgr.run(&scenario).expect("fresh run");
+        assert_eq!(run.records, reference.records);
+    }
+}
+
+#[test]
+fn fleet_kill_and_resume_matches_uninterrupted_fleet() {
+    let scenario = storm_scenario(StormConfig::severe(10.0, 50.0));
+    let utility = vec![0.95, 0.93, 0.88, 0.60];
+    let members = |n: usize| -> FleetRuntime {
+        FleetRuntime::new(
+            (0..n)
+                .map(|i| {
+                    let net = model();
+                    let ladder = ladder(&net);
+                    let mgr = RuntimeManager::attach(net, ladder, config().frame_seed(5 + i as u64))
+                        .expect("attach");
+                    (format!("member-{i}"), mgr, utility.clone())
+                })
+                .collect(),
+        )
+        .expect("fleet builds")
+    };
+
+    let mut reference = members(2);
+    let full = reference.run(&scenario, None).expect("uninterrupted fleet run");
+
+    // Crash: drive a second fleet tick-by-tick to the cut point with
+    // the exact arbitration `run_span` would apply, freeze each
+    // member's device, drop the fleet.
+    let mut crashed = members(2);
+    let dt = scenario.config().dt_s;
+    for m in 0..2 {
+        crashed
+            .manager_mut(m)
+            .set_fault_plan(Some(FaultPlan::from_scenario(&scenario, 5 + m as u64)));
+    }
+    for tick in &scenario.ticks()[..CRASH_AT] {
+        crashed.step_all(tick, dt, None).expect("pre-crash fleet step");
+    }
+    let devices: Vec<Vec<u8>> = (0..2)
+        .map(|m| crashed.manager_mut(m).spill_device_bytes().expect("spill"))
+        .collect();
+    drop(crashed);
+
+    // Recover every member and resume from the common checkpoint tick.
+    let mut recovered = Vec::new();
+    let mut resume_ticks = Vec::new();
+    for (i, device) in devices.into_iter().enumerate() {
+        let net = model();
+        let ladder = ladder(&net);
+        let (mgr, report) = RuntimeManager::recover(
+            net,
+            ladder,
+            config().frame_seed(5 + i as u64),
+            DurableLog::from_bytes(device),
+        )
+        .expect("member recovers");
+        assert!(report.resumed, "member {i} must resume from its device");
+        resume_ticks.push(mgr.resume_tick());
+        recovered.push((format!("member-{i}"), mgr, utility.clone()));
+    }
+    assert_eq!(
+        resume_ticks[0], resume_ticks[1],
+        "members checkpoint every committed tick, so resume ticks agree"
+    );
+    let start = resume_ticks[0];
+    assert!(start > 0 && start <= CRASH_AT);
+
+    let mut resumed = FleetRuntime::new(recovered).expect("recovered fleet builds");
+    let tail = resumed
+        .run_from(&scenario, None, start)
+        .expect("resumed fleet run");
+
+    assert_eq!(tail.ticks.len(), full.ticks.len() - start);
+    for (i, (got, want)) in tail.ticks.iter().zip(&full.ticks[start..]).enumerate() {
+        assert_eq!(got, want, "fleet tick {} diverged after resume", start + i);
+    }
+}

@@ -188,6 +188,18 @@ pub enum FaultKind {
         /// Overrun window length in seconds.
         duration_s: f64,
     },
+    /// The next durable-log append persists only its first `keep_bytes`
+    /// bytes (power loss mid-program on the spill device).
+    TornWrite {
+        /// Bytes of the next append that survive.
+        keep_bytes: u64,
+    },
+    /// `bytes` already-acknowledged bytes vanish from the durable log's
+    /// tail (FTL rollback after power loss).
+    TruncatedTail {
+        /// Acknowledged tail bytes lost.
+        bytes: u64,
+    },
 }
 
 impl FaultKind {
@@ -200,7 +212,10 @@ impl FaultKind {
             | FaultKind::StorageTransient { duration_s }
             | FaultKind::StorageDegraded { duration_s, .. }
             | FaultKind::ExecOverrun { duration_s, .. } => duration_s,
-            FaultKind::LogBitFlip { .. } | FaultKind::WeightBitFlip { .. } => 0.0,
+            FaultKind::LogBitFlip { .. }
+            | FaultKind::WeightBitFlip { .. }
+            | FaultKind::TornWrite { .. }
+            | FaultKind::TruncatedTail { .. } => 0.0,
             FaultKind::StoragePermanent => f64::INFINITY,
         }
     }
@@ -217,6 +232,8 @@ impl std::fmt::Display for FaultKind {
             FaultKind::StoragePermanent => write!(f, "storage-permanent"),
             FaultKind::StorageDegraded { .. } => write!(f, "storage-degraded"),
             FaultKind::ExecOverrun { .. } => write!(f, "exec-overrun"),
+            FaultKind::TornWrite { .. } => write!(f, "torn-write"),
+            FaultKind::TruncatedTail { .. } => write!(f, "truncated-tail"),
         }
     }
 }
@@ -347,5 +364,24 @@ mod tests {
             "log-bit-flip×3"
         );
         assert_eq!(FaultKind::StoragePermanent.to_string(), "storage-permanent");
+        assert_eq!(
+            FaultKind::TornWrite { keep_bytes: 8 }.to_string(),
+            "torn-write"
+        );
+        assert_eq!(
+            FaultKind::TruncatedTail { bytes: 40 }.to_string(),
+            "truncated-tail"
+        );
+    }
+
+    #[test]
+    fn durable_log_faults_are_instantaneous() {
+        let torn = FaultEvent {
+            start_s: 2.0,
+            kind: FaultKind::TornWrite { keep_bytes: 5 },
+        };
+        assert_eq!(torn.end_s(), 2.0);
+        assert!(!torn.is_active_at(2.0));
+        assert_eq!(FaultKind::TruncatedTail { bytes: 1 }.duration_s(), 0.0);
     }
 }
