@@ -16,6 +16,12 @@
 //!    part stays a planning-only view.)
 //!
 //! Run with: `cargo run --release -p reprune-bench --bin tab6_fleet_budget`
+//!
+//! Flags: `--workers N` caps the live fleet's persistent step pool
+//! (default: machine parallelism; `1` forces serial stepping), and
+//! `--batched` turns on fused same-level batched classification. Both
+//! paths are byte-identical to serial stepping, so the printed tables —
+//! which CI diffs across worker counts — never change with either flag.
 
 use reprune::nn::dataset::{BlobsDataset, SCENE_SIZE};
 use reprune::nn::train::{train_classifier, TrainConfig};
@@ -79,8 +85,13 @@ fn profile_member<E: reprune::nn::dataset::Example>(
 /// members run `NoPruning` locally, so the arbiter's per-tick level
 /// floor is the *only* pruning pressure — the table below isolates what
 /// budget arbitration alone does.
-fn camera_fleet(cnn: &Network, ladder: &SparsityLadder, utility: &[f64]) -> FleetRuntime {
-    FleetRuntime::new(
+fn camera_fleet(
+    cnn: &Network,
+    ladder: &SparsityLadder,
+    utility: &[f64],
+    opts: &StepOptions,
+) -> FleetRuntime {
+    let mut fleet = FleetRuntime::new(
         (0..FLEET_SIZE)
             .map(|i| {
                 let mgr = RuntimeManager::attach(
@@ -98,10 +109,42 @@ fn camera_fleet(cnn: &Network, ladder: &SparsityLadder, utility: &[f64]) -> Flee
             })
             .collect(),
     )
-    .expect("fleet builds")
+    .expect("fleet builds");
+    if let Some(w) = opts.workers {
+        fleet.set_workers(w);
+    }
+    fleet.set_batched(opts.batched);
+    fleet
+}
+
+/// How the live fleet steps: pool cap and batching, from the CLI.
+#[derive(Default)]
+struct StepOptions {
+    workers: Option<usize>,
+    batched: bool,
+}
+
+fn parse_args() -> StepOptions {
+    let mut opts = StepOptions::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workers" => {
+                let n = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--workers needs a positive integer");
+                opts.workers = Some(n);
+            }
+            "--batched" => opts.batched = true,
+            other => panic!("unknown argument: {other} (expected --workers N / --batched)"),
+        }
+    }
+    opts
 }
 
 fn main() {
+    let opts = parse_args();
     let soc = SocModel::jetson_class();
 
     // Member 1: the perception CNN (also the live fleet's architecture).
@@ -121,7 +164,7 @@ fn main() {
 
     // ---- Part 1: the live 4-camera fleet under arbitration ----------
     println!("T6a: live {FLEET_SIZE}-camera fleet, per-tick budget arbitration");
-    let fleet = camera_fleet(&cnn, &cnn_ladder, &perception.utility_per_level);
+    let fleet = camera_fleet(&cnn, &cnn_ladder, &perception.utility_per_level, &opts);
     let storage = fleet.weight_storage_bytes();
     let dense_bytes: usize = cnn.param_storage().iter().map(|(_, b)| b).sum();
     println!(
@@ -154,7 +197,7 @@ fn main() {
     print_rule(&widths);
     let mut realized = Vec::new();
     for frac in [1.0, 0.7, 0.5, 0.35] {
-        let mut f = camera_fleet(&cnn, &cnn_ladder, &perception.utility_per_level);
+        let mut f = camera_fleet(&cnn, &cnn_ladder, &perception.utility_per_level, &opts);
         let r = f
             .run(&scenario, Some(Joules(fleet_dense * frac)))
             .expect("fleet run");

@@ -316,7 +316,7 @@ impl Conv2d {
         self.weight.value.dims()[1]
     }
 
-    fn spec(&self) -> Conv2dSpec {
+    pub(crate) fn spec(&self) -> Conv2dSpec {
         Conv2dSpec::square(self.kernel, self.stride, self.padding)
     }
 

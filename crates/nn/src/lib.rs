@@ -48,7 +48,7 @@ pub mod serialize;
 pub mod train;
 
 pub use error::NnError;
-pub use exec::{ExecPlan, Scratch};
+pub use exec::{BatchScratch, ExecPlan, Scratch};
 pub use network::{LayerId, Network, PrunableKind, PrunableLayer};
 
 /// Crate-wide result alias.

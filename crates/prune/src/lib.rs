@@ -66,7 +66,7 @@ pub use criterion::PruneCriterion;
 pub use error::PruneError;
 pub use ladder::{LadderConfig, SparsityLadder};
 pub use mask::{LayerMask, MaskSet};
-pub use packed::{exec_plan, ladder_plans};
+pub use packed::{exec_plan, ladder_plans, plan_signature};
 pub use checksum::{BlockedHasher, ChecksumVersion};
 pub use pruner::{
     weights_checksum, weights_checksum_fnv, IntegrityStats, LogPrecision, PrunerCursor,

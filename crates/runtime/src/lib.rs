@@ -44,6 +44,7 @@ pub mod knowledge;
 pub mod manager;
 pub mod monitor;
 pub mod plant;
+pub(crate) mod pool;
 pub mod policy;
 pub mod record;
 pub mod restore;

@@ -1,0 +1,289 @@
+//! A persistent work-stealing worker pool for fleet stepping.
+//!
+//! [`crate::FleetRuntime`] used to spawn a fresh `std::thread::scope`
+//! every tick; at fleet tick rates the spawn/join cost rivaled the work.
+//! [`StepPool`] keeps its workers alive across ticks, parked on their job
+//! channels between phases, so per-tick overhead is one wake message per
+//! worker plus a completion rendezvous.
+//!
+//! # Execution model
+//!
+//! A phase is a closure that *claims* work items from a shared atomic
+//! counter until the counter runs dry (work stealing over member
+//! indices — no static sharding, so a member mid-restore cannot stall a
+//! whole chunk assigned to one worker). [`StepPool::run`] hands every
+//! worker a pointer to the same closure, participates in the claim loop
+//! itself on the calling thread, and then blocks until every worker has
+//! reported the phase done. Only then does it return — which is what
+//! makes the raw borrow of the caller's stack sound.
+//!
+//! # Determinism
+//!
+//! Workers race only for *which* index they claim; every result lands in
+//! that index's dedicated slot ([`Slots`]). The merged outcome is
+//! therefore identical to serial execution regardless of worker count or
+//! scheduling order — the fleet's byte-identity oracle tests pin this.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+/// A type-erased, lifetime-erased pointer to the phase closure.
+///
+/// The pointee lives on the stack of the thread inside
+/// [`StepPool::run`], which does not return until every worker has
+/// signaled completion — so the pointer never dangles while a worker
+/// holds it.
+struct TaskRef(*const (dyn Fn() + Sync));
+
+// SAFETY: the pointee is `Sync` (asserted by the type) and `run` keeps it
+// alive for the entire time any worker can dereference it.
+unsafe impl Send for TaskRef {}
+
+enum Job {
+    /// Run one phase; report completion on the done channel.
+    Run(TaskRef),
+    /// Exit the worker loop.
+    Shutdown,
+}
+
+/// Persistent worker pool: `extra` parked worker threads plus the calling
+/// thread, cooperating on claim-loop phases. Dropping the pool shuts the
+/// workers down and joins them.
+pub(crate) struct StepPool {
+    job_txs: Vec<Sender<Job>>,
+    done_rx: Receiver<bool>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl StepPool {
+    /// Spawns `extra` worker threads (the calling thread is the final
+    /// pool member, so total parallelism is `extra + 1`).
+    pub(crate) fn new(extra: usize) -> Self {
+        let (done_tx, done_rx) = channel::<bool>();
+        let mut job_txs = Vec::with_capacity(extra);
+        let mut handles = Vec::with_capacity(extra);
+        for i in 0..extra {
+            let (tx, rx) = channel::<Job>();
+            let done = done_tx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("fleet-worker-{i}"))
+                .spawn(move || worker_loop(&rx, &done))
+                .expect("spawn fleet worker");
+            job_txs.push(tx);
+            handles.push(handle);
+        }
+        StepPool {
+            job_txs,
+            done_rx,
+            handles,
+        }
+    }
+
+    /// Total parallelism of a phase: worker threads + the calling thread.
+    pub(crate) fn size(&self) -> usize {
+        self.handles.len() + 1
+    }
+
+    /// Runs one phase on every worker plus the calling thread, returning
+    /// once all of them have drained the claim loop.
+    ///
+    /// `task` must be safe to invoke concurrently from multiple threads
+    /// (it is `Sync`); the claim-loop idiom — each invocation pulls
+    /// disjoint indices from an atomic counter — satisfies this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any worker's phase invocation panicked (the panic is
+    /// contained to the worker, reported at the rendezvous, and re-raised
+    /// here so a broken member step cannot be silently dropped).
+    pub(crate) fn run(&self, task: &(dyn Fn() + Sync)) {
+        // SAFETY (lifetime erasure): `task` outlives this call, and this
+        // call does not return before every worker has signaled `done`
+        // for this phase — no worker can touch the pointer afterwards.
+        let ptr: TaskRef = unsafe {
+            TaskRef(std::mem::transmute::<
+                *const (dyn Fn() + Sync + '_),
+                *const (dyn Fn() + Sync + 'static),
+            >(task as *const _))
+        };
+        for tx in &self.job_txs {
+            tx.send(Job::Run(TaskRef(ptr.0))).expect("fleet worker alive");
+        }
+        // The calling thread is a pool member too: steal until dry.
+        task();
+        let mut worker_panicked = false;
+        for _ in &self.job_txs {
+            worker_panicked |= self.done_rx.recv().expect("fleet worker reports completion");
+        }
+        assert!(
+            !worker_panicked,
+            "a fleet worker panicked during a pooled phase"
+        );
+    }
+}
+
+impl Drop for StepPool {
+    fn drop(&mut self) {
+        for tx in &self.job_txs {
+            // A worker that already exited (panicked channel) is fine to
+            // skip; join below reaps it either way.
+            let _ = tx.send(Job::Shutdown);
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(rx: &Receiver<Job>, done: &Sender<bool>) {
+    while let Ok(job) = rx.recv() {
+        match job {
+            Job::Run(task) => {
+                // SAFETY: `StepPool::run` guarantees the pointee is alive
+                // until this worker's `done` send is received.
+                let panicked =
+                    catch_unwind(AssertUnwindSafe(|| unsafe { (*task.0)() })).is_err();
+                if done.send(panicked).is_err() {
+                    return;
+                }
+            }
+            Job::Shutdown => return,
+        }
+    }
+}
+
+/// Per-index result slots a pooled phase scatters into.
+///
+/// Wraps a raw pointer to the slot vector living on the caller's stack so
+/// the `Sync` phase closure can write results. Soundness rests on the
+/// claim-loop discipline: the atomic counter hands each index to exactly
+/// one worker, so no slot is ever aliased mutably.
+pub(crate) struct Slots<T> {
+    base: *mut Option<T>,
+    len: usize,
+}
+
+// SAFETY: disjoint-index writes only (see type docs); `T: Send` moves
+// each value across the worker boundary exactly once.
+unsafe impl<T: Send> Sync for Slots<T> {}
+
+impl<T> Slots<T> {
+    /// Wraps a pre-sized slot vector (`vec![None; n]`-style).
+    pub(crate) fn new(slots: &mut [Option<T>]) -> Self {
+        Slots {
+            base: slots.as_mut_ptr(),
+            len: slots.len(),
+        }
+    }
+
+    /// Stores `value` into slot `index`.
+    ///
+    /// # Safety
+    ///
+    /// `index` must be in bounds and claimed by exactly one worker for
+    /// the duration of the phase (the claim-loop counter guarantees
+    /// both).
+    pub(crate) unsafe fn put(&self, index: usize, value: T) {
+        debug_assert!(index < self.len);
+        *self.base.add(index) = Some(value);
+    }
+}
+
+/// A raw, `Sync` view of a mutable element array that a claim-loop phase
+/// indexes into — the managers themselves during fleet stepping.
+///
+/// Same soundness argument as [`Slots`]: the atomic claim counter hands
+/// each index to exactly one worker, so `&mut` access per index is
+/// exclusive even though the view itself is shared.
+pub(crate) struct SharedMut<T> {
+    base: *mut T,
+    len: usize,
+}
+
+// SAFETY: disjoint-index access only (see type docs); `T: Send` lets the
+// exclusive borrow be used from the claiming worker's thread.
+unsafe impl<T: Send> Sync for SharedMut<T> {}
+
+impl<T> SharedMut<T> {
+    /// Wraps a mutable slice.
+    pub(crate) fn new(items: &mut [T]) -> Self {
+        SharedMut {
+            base: items.as_mut_ptr(),
+            len: items.len(),
+        }
+    }
+
+    /// Number of elements in the underlying slice.
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Exclusive access to element `index`.
+    ///
+    /// # Safety
+    ///
+    /// `index` must be in bounds and claimed by exactly one worker for
+    /// the duration of the phase.
+    #[allow(clippy::mut_from_ref)] // The claim-loop contract *is* the exclusivity proof.
+    pub(crate) unsafe fn get_mut(&self, index: usize) -> &mut T {
+        debug_assert!(index < self.len);
+        &mut *self.base.add(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn pool_runs_claim_loop_phases_and_fills_every_slot() {
+        let pool = StepPool::new(3);
+        assert_eq!(pool.size(), 4);
+        let mut values: Vec<u64> = (0..64).collect();
+        for round in 0..5u64 {
+            let mut slots: Vec<Option<u64>> = (0..values.len()).map(|_| None).collect();
+            {
+                let out = Slots::new(&mut slots);
+                let items = SharedMut::new(&mut values);
+                let next = AtomicUsize::new(0);
+                pool.run(&|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    // SAFETY: `i` is claimed exactly once via the counter.
+                    let v = unsafe { items.get_mut(i) };
+                    *v += round;
+                    unsafe { out.put(i, *v * 2) };
+                });
+            }
+            for (i, s) in slots.iter().enumerate() {
+                let expected = (i as u64 + (0..=round).sum::<u64>()) * 2;
+                assert_eq!(*s, Some(expected), "slot {i} round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn pool_reports_worker_panics_at_the_rendezvous() {
+        let pool = StepPool::new(2);
+        let next = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(&|| {
+                // Exactly one claimer panics; the others drain normally.
+                if next.fetch_add(1, Ordering::Relaxed) == 0 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err(), "the phase panic must propagate");
+        // The pool must still be usable afterwards.
+        let count = AtomicUsize::new(0);
+        pool.run(&|| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 3, "all members still run");
+    }
+}

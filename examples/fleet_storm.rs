@@ -1,5 +1,5 @@
-//! A four-camera fleet rides out a fault storm while its energy budget
-//! shrinks mid-drive: four runtimes cloned from one trained perception
+//! A camera fleet rides out a fault storm while its energy budget
+//! shrinks mid-drive: N runtimes cloned from one trained perception
 //! CNN (dense weights shared copy-on-write) are stepped concurrently by
 //! [`FleetRuntime`], which re-arbitrates the shared budget into
 //! per-member level floors every tick. Forty seconds in, a severe fault
@@ -9,8 +9,19 @@
 //!
 //! Run with:
 //! ```sh
-//! cargo run --release -p reprune --example fleet_storm
+//! cargo run --release -p reprune --example fleet_storm -- \
+//!     [--members N] [--workers N] [--batched]
 //! ```
+//!
+//! `--workers` caps the persistent step pool (default: machine
+//! parallelism; `1` forces serial stepping); `--batched` fuses
+//! same-configuration members' forward passes. The example times every
+//! tick and prints p50/p95 step latency plus batching occupancy; with
+//! `--workers 4` or more on a multi-core host it exits nonzero if the
+//! pooled path is more than 5% slower than a serial rerun — the pool
+//! must never cost more than it saves at that scale.
+
+use std::time::Instant;
 
 use reprune::nn::models;
 use reprune::platform::Joules;
@@ -18,30 +29,54 @@ use reprune::prune::{LadderConfig, PruneCriterion};
 use reprune::runtime::envelope::SafetyEnvelope;
 use reprune::runtime::manager::{RuntimeManager, RuntimeManagerConfig};
 use reprune::runtime::policy::{AdaptiveConfig, Policy};
-use reprune::runtime::{storm_events, FaultDefense, FleetRuntime, StormConfig};
-use reprune::scenario::{ScenarioConfig, SegmentKind};
+use reprune::runtime::{
+    storm_events, FaultDefense, FaultPlan, FleetRunResult, FleetRuntime, FleetTraceEvent,
+    StormConfig,
+};
+use reprune::scenario::{Scenario, ScenarioConfig, SegmentKind};
 
-const FLEET: usize = 4;
 const UTILITY: [f64; 4] = [0.95, 0.93, 0.88, 0.60];
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let scenario = ScenarioConfig::new()
-        .duration_s(180.0)
-        .seed(33)
-        .start_segment(SegmentKind::Highway)
-        .generate();
-    // The storm opens 40 s in and rages for 100 s — every member gets
-    // its own fault campaign drawn from this schedule.
-    let storm = storm_events(&StormConfig::severe(40.0, 140.0), 33);
-    println!(
-        "highway drive, 180 s, {FLEET}-camera fleet; {} faults over [40 s, 140 s)",
-        storm.len()
-    );
-    let scenario = scenario.with_faults(storm);
+struct Options {
+    members: usize,
+    workers: usize,
+    batched: bool,
+}
 
+fn parse_args() -> Options {
+    let mut opts = Options {
+        members: 4,
+        workers: std::thread::available_parallelism().map_or(1, usize::from),
+        batched: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut int_arg = |name: &str| -> usize {
+            args.next()
+                .and_then(|v| v.parse().ok())
+                .filter(|&n| n >= 1)
+                .unwrap_or_else(|| panic!("{name} needs a positive integer"))
+        };
+        match arg.as_str() {
+            "--members" => opts.members = int_arg("--members"),
+            "--workers" => opts.workers = int_arg("--workers"),
+            "--batched" => opts.batched = true,
+            other => panic!(
+                "unknown argument: {other} (expected --members N / --workers N / --batched)"
+            ),
+        }
+    }
+    opts
+}
+
+fn build_fleet(
+    members: usize,
+    workers: usize,
+    batched: bool,
+) -> Result<FleetRuntime, Box<dyn std::error::Error>> {
     let net = models::default_perception_cnn(9)?;
     let mut fleet = FleetRuntime::new(
-        (0..FLEET)
+        (0..members)
             .map(|i| {
                 let ladder = LadderConfig::new(vec![0.0, 0.3, 0.6, 0.9])
                     .criterion(PruneCriterion::ChannelL2)
@@ -60,8 +95,95 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             })
             .collect::<Result<Vec<_>, Box<dyn std::error::Error>>>()?,
     )?;
+    fleet.set_workers(workers);
+    fleet.set_batched(batched);
+    Ok(fleet)
+}
 
-    // Four members, each carrying live weights + a mirror + a snapshot —
+/// Drives the whole scenario tick by tick — the same flow as
+/// `FleetRuntime::run_with`, opened up so every step can be timed.
+/// Returns the run result plus per-tick wall-clock latencies in seconds.
+fn drive(
+    fleet: &mut FleetRuntime,
+    scenario: &Scenario,
+    dense: f64,
+) -> Result<(FleetRunResult, Vec<f64>), Box<dyn std::error::Error>> {
+    for i in 0..fleet.len() {
+        let seed = fleet.manager(i).config().frame_seed;
+        fleet
+            .manager_mut(i)
+            .set_fault_plan(Some(FaultPlan::from_scenario(scenario, seed)));
+    }
+    let dt = scenario.config().dt_s;
+    let mut ticks = Vec::with_capacity(scenario.ticks().len());
+    let mut latencies = Vec::with_capacity(scenario.ticks().len());
+    for tick in scenario.ticks() {
+        // The budget schedule: full dense draw until the storm opens,
+        // then a linear ramp down to 40% by t = 120 s (an overheating
+        // pack, a failing DC bus — the fleet sheds load *during* the
+        // storm).
+        let frac = if tick.t < 40.0 {
+            1.0
+        } else if tick.t < 120.0 {
+            1.0 - 0.6 * (tick.t - 40.0) / 80.0
+        } else {
+            0.4
+        };
+        let started = Instant::now();
+        ticks.push(fleet.step_all(tick, dt, Some(Joules(dense * frac)))?);
+        latencies.push(started.elapsed().as_secs_f64());
+    }
+    let mut trace = Vec::new();
+    for member in 0..fleet.len() {
+        trace.extend(
+            fleet
+                .manager_mut(member)
+                .drain_trace()
+                .into_iter()
+                .map(|event| FleetTraceEvent { member, event }),
+        );
+    }
+    trace.sort_by(|a, b| {
+        a.event
+            .t
+            .total_cmp(&b.event.t)
+            .then(a.member.cmp(&b.member))
+            .then(a.event.seq.cmp(&b.event.seq))
+    });
+    let names = fleet.profiles().iter().map(|p| p.name.clone()).collect();
+    Ok((FleetRunResult { names, ticks, trace }, latencies))
+}
+
+/// `q`-th percentile (0..=100) of a latency series, in microseconds.
+fn percentile_us(latencies: &[f64], q: usize) -> f64 {
+    let mut sorted = latencies.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let idx = (sorted.len().saturating_sub(1) * q) / 100;
+    sorted[idx] * 1e6
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = parse_args();
+    let scenario = ScenarioConfig::new()
+        .duration_s(180.0)
+        .seed(33)
+        .start_segment(SegmentKind::Highway)
+        .generate();
+    // The storm opens 40 s in and rages for 100 s — every member gets
+    // its own fault campaign drawn from this schedule.
+    let storm = storm_events(&StormConfig::severe(40.0, 140.0), 33);
+    println!(
+        "highway drive, 180 s, {}-camera fleet ({} worker(s){}); {} faults over [40 s, 140 s)",
+        opts.members,
+        opts.workers,
+        if opts.batched { ", batched" } else { "" },
+        storm.len()
+    );
+    let scenario = scenario.with_faults(storm);
+
+    let mut fleet = build_fleet(opts.members, opts.workers, opts.batched)?;
+
+    // N members, each carrying live weights + a mirror + a snapshot —
     // yet one shared base copy until a member actually mutates a tensor.
     let storage = fleet.weight_storage_bytes();
     println!(
@@ -71,24 +193,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         storage.total as f64 / storage.unique as f64
     );
 
-    // The budget schedule: full dense draw until the storm opens, then a
-    // linear ramp down to 40% by t = 120 s (an overheating pack, a
-    // failing DC bus — the fleet must shed load *during* the storm).
     let dense: f64 = fleet
         .profiles()
         .iter()
         .map(|p| p.energy_per_level[0].0)
         .sum();
-    let r = fleet.run_with(&scenario, |tick| {
-        let frac = if tick.t < 40.0 {
-            1.0
-        } else if tick.t < 120.0 {
-            1.0 - 0.6 * (tick.t - 40.0) / 80.0
-        } else {
-            0.4
-        };
-        Some(Joules(dense * frac))
-    })?;
+    let (r, latencies) = drive(&mut fleet, &scenario, dense)?;
 
     // Fleet timeline: budget vs realized draw, sampled every 20 s.
     println!("fleet timeline (budget -> realized, mean level across members):");
@@ -142,6 +252,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         storage.unique as f64 / 1024.0
     );
     println!("  merged trace events    {}", r.trace.len());
+    let p50 = percentile_us(&latencies, 50);
+    let p95 = percentile_us(&latencies, 95);
+    println!("  step latency           p50 {p50:.0} us, p95 {p95:.0} us (pool size {})", fleet.pool_size());
+    if opts.batched {
+        println!(
+            "  batching occupancy     {:.2} (fraction of member steps fused)",
+            fleet.batch_occupancy()
+        );
+    }
 
     // Every violation on record is a fault-era integrity flag (degraded /
     // minimal-risk ticks while the defense chain heals) — never the
@@ -160,5 +279,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("arbiter still never asked a *healthy* camera for more pruning than");
     println!("its safety envelope allows — every flagged tick above came from the");
     println!("fault storm itself, announced while the defense chain healed it.");
+
+    // Performance verdict: at 4+ workers on a multi-core host, the pooled
+    // path must not lose more than 5% to a serial rerun of the identical
+    // campaign (the persistent pool exists to *remove* per-tick
+    // threading overhead).
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    if opts.workers >= 4 && cores >= 4 {
+        let mut serial = build_fleet(opts.members, 1, opts.batched)?;
+        let (serial_r, serial_lat) = drive(&mut serial, &scenario, dense)?;
+        assert_eq!(r.ticks, serial_r.ticks, "pooled run must match serial run");
+        let serial_p50 = percentile_us(&serial_lat, 50);
+        println!(
+            "\npooled vs serial p50: {p50:.0} us vs {serial_p50:.0} us ({:.2}x)",
+            serial_p50 / p50
+        );
+        if p50 > serial_p50 * 1.05 {
+            eprintln!(
+                "FAIL: pooled stepping ({} workers) is >5% slower than serial \
+                 (p50 {p50:.0} us vs {serial_p50:.0} us)",
+                opts.workers
+            );
+            std::process::exit(1);
+        }
+    } else if opts.workers >= 4 {
+        println!("\n(pooled-vs-serial verdict skipped: only {cores} core(s) available)");
+    }
     Ok(())
 }
